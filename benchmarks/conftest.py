@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark file regenerates one row of DESIGN.md's experiment index.
+Conventions:
+
+- instances are built deterministically via ``spawn_rng`` so numbers are
+  comparable across runs;
+- every benchmark also *asserts* the qualitative claim it reproduces
+  (who wins, which shape), so ``pytest benchmarks/ --benchmark-only``
+  doubles as a reproduction check;
+- the paper-style series (the actual Figure-2 rows) are attached as
+  ``benchmark.extra_info`` and printed by ``python -m repro fig2`` etc.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import bound_for_ratio, figure2_chain
+from repro.instrumentation.rng import spawn_rng
+
+MASTER_SEED = 20260706
+
+
+def make_chain(n: int, ratio: float, w_max: float = 100.0, rep: int = 0):
+    """The Figure-2 instance family, deterministic per (n, ratio, rep)."""
+    rng = spawn_rng(MASTER_SEED, "bench", n, ratio, rep)
+    chain = figure2_chain(n, w_max, rng)
+    return chain, bound_for_ratio(chain, ratio)
+
+
+@pytest.fixture
+def fig2_chain():
+    return make_chain

@@ -1,0 +1,99 @@
+"""Algorithm comparison (Section 2.3.2): the paper's O(n + p log q)
+algorithm vs the O(n log n) baseline [11], the naive recurrence, the
+O(n^2) DP and the modern O(n) deque.
+
+Shape claims reproduced:
+
+- all algorithms return the same optimum (asserted);
+- the paper algorithm "retains the worst case performance at least as
+  good as the best known current algorithm" — at every size it is
+  within a small constant of the O(n log n) baseline and typically
+  faster for moderate K;
+- the quadratic DP falls hopelessly behind (run at a smaller n).
+"""
+
+import pytest
+
+from benchmarks.conftest import make_chain
+from repro.baselines.exact_dp import bandwidth_min_dp
+from repro.baselines.nicol import bandwidth_min_nlogn
+from repro.baselines.sliding_window import bandwidth_min_deque
+from repro.core.bandwidth import bandwidth_min
+from repro.core.recurrence import bandwidth_min_naive
+
+N_LARGE = 30_000
+N_SMALL = 2_000
+RATIO = 4.0
+
+ALGORITHMS = {
+    "paper": bandwidth_min,
+    "nicol_nlogn": bandwidth_min_nlogn,
+    "deque_linear": bandwidth_min_deque,
+    "naive_recurrence": bandwidth_min_naive,
+}
+
+
+@pytest.fixture(scope="module")
+def large_instance():
+    return make_chain(N_LARGE, RATIO)
+
+
+@pytest.fixture(scope="module")
+def reference_weight(large_instance):
+    chain, bound = large_instance
+    return bandwidth_min_deque(chain, bound).weight
+
+
+@pytest.mark.parametrize("name", list(ALGORITHMS))
+def test_large_chain(benchmark, name, large_instance, reference_weight):
+    chain, bound = large_instance
+    result = benchmark(ALGORITHMS[name], chain, bound)
+    assert result.weight == pytest.approx(reference_weight)
+
+
+def test_quadratic_dp_small(benchmark):
+    chain, bound = make_chain(N_SMALL, RATIO)
+    result = benchmark(bandwidth_min_dp, chain, bound)
+    assert result.weight == pytest.approx(bandwidth_min(chain, bound).weight)
+
+
+@pytest.mark.parametrize("ratio", [1.5, 16.0, 128.0])
+def test_paper_algorithm_across_k(benchmark, ratio):
+    chain, bound = make_chain(N_LARGE, ratio)
+    result = benchmark(bandwidth_min, chain, bound)
+    assert result.is_feasible(bound)
+
+
+def test_paper_never_loses_asymptotically(benchmark):
+    """The paper's claim is about abstract operations: its sweep does
+    ``O(n + p log q)`` comparisons against the baseline's
+    ``O(n log n)``.  Assert that on operation counts, with a loose
+    wall-clock guard on top (in CPython the baseline's inner loop is
+    C-accelerated ``heapq``, so wall time alone under-credits the
+    asymptotics — see EXPERIMENTS.md)."""
+    import math
+    import time
+
+    from repro.core.bandwidth import bandwidth_stats
+
+    chain, bound = make_chain(N_LARGE, RATIO)
+
+    def both():
+        t0 = time.perf_counter()
+        a = bandwidth_min(chain, bound)
+        t1 = time.perf_counter()
+        b = bandwidth_min_nlogn(chain, bound)
+        t2 = time.perf_counter()
+        return (t1 - t0, t2 - t1, a.weight, b.weight)
+
+    paper_t, nicol_t, wa, wb = benchmark(both)
+    assert wa == pytest.approx(wb)
+    stats = bandwidth_stats(chain, bound)
+    paper_ops = stats.n + stats.r + stats.search_steps
+    nlogn_ops = stats.n_log_n
+    assert paper_ops < nlogn_ops, (
+        f"paper should win on operations: {paper_ops} vs {nlogn_ops:.0f}"
+    )
+    # Wall-clock guard: pure-Python constants cost a small factor, but
+    # the paper algorithm must stay in the same league.
+    assert paper_t < 8.0 * nicol_t

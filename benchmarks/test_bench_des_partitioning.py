@@ -1,0 +1,105 @@
+"""Section 3 distributed-simulation study.
+
+Reproduced shape: on circular/linearizable circuits, the paper's
+bandwidth-minimal partition of the (activity-weighted) linear supergraph
+crosses fewer processor boundaries than round-robin or random gate
+placement with the same processor count, while keeping load balanced —
+exactly the "load on all processors balanced and number of messages
+minimized" property the section argues for.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bandwidth import bandwidth_min
+from repro.desim.distributed import simulate_partitioned
+from repro.desim.linearize import circuit_supergraph
+from repro.desim.netlists import adder_pipeline, ring_counter
+from repro.desim.simulator import LogicSimulator
+
+END_TIME = 1200.0
+
+
+@pytest.fixture(scope="module")
+def ring_study():
+    circuit = ring_counter(64)
+    profile = LogicSimulator(circuit).run(END_TIME)
+    supergraph = circuit_supergraph(circuit, activity=profile.activity())
+    bound = 6.0 * supergraph.chain.max_vertex_weight()
+    cut = bandwidth_min(supergraph.chain, bound)
+    assignment = supergraph.assignment_from_cut(cut.cut_indices)
+    return circuit, assignment, cut.num_components
+
+
+def test_sequential_simulation_cost(benchmark):
+    circuit = ring_counter(64)
+    sim = LogicSimulator(circuit)
+    result = benchmark(sim.run, END_TIME)
+    assert result.events_processed > 0
+
+
+def test_partitioned_simulation_cost(benchmark, ring_study):
+    circuit, assignment, _k = ring_study
+    run = benchmark(simulate_partitioned, circuit, assignment, END_TIME)
+    assert run.cross_messages >= 0
+
+
+def test_smart_beats_round_robin_and_random(benchmark, ring_study):
+    circuit, smart_assignment, k = ring_study
+
+    def compare():
+        smart = simulate_partitioned(circuit, smart_assignment, END_TIME)
+        round_robin = simulate_partitioned(
+            circuit, [g % k for g in range(circuit.num_gates)], END_TIME
+        )
+        rng = random.Random(4)
+        shuffled = simulate_partitioned(
+            circuit,
+            [rng.randrange(k) for _ in range(circuit.num_gates)],
+            END_TIME,
+        )
+        return smart, round_robin, shuffled
+
+    smart, round_robin, shuffled = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert smart.cross_messages < round_robin.cross_messages
+    assert smart.cross_messages < shuffled.cross_messages
+    # Load stays balanced within the K bound's slack.
+    assert smart.load_imbalance < 2.0
+
+
+def test_linearizable_pipeline_circuit(benchmark):
+    circuit, _stages = adder_pipeline(10, bits=4)
+    stim = [
+        (float(t), g, (t // 40 + g) % 2 == 0)
+        for t in range(0, 800, 40)
+        for g in circuit.primary_inputs()
+    ]
+
+    def study():
+        profile = LogicSimulator(circuit).run(1000.0, stimuli=stim)
+        supergraph = circuit_supergraph(circuit, activity=profile.activity())
+        bound = max(
+            supergraph.chain.total_weight() / 4,
+            supergraph.chain.max_vertex_weight(),
+        )
+        cut = bandwidth_min(supergraph.chain, bound)
+        assignment = supergraph.assignment_from_cut(cut.cut_indices)
+        smart = simulate_partitioned(circuit, assignment, 1000.0, stimuli=stim)
+        k = cut.num_components
+        round_robin = simulate_partitioned(
+            circuit,
+            [g % k for g in range(circuit.num_gates)],
+            1000.0,
+            stimuli=stim,
+        )
+        return smart, round_robin
+
+    smart, round_robin = benchmark.pedantic(study, rounds=1, iterations=1)
+    assert smart.num_processors >= 2
+    # The dense adder stages force many cut boundaries (only ~10 BFS
+    # layers exist), so the meaningful claim is relative: the partition
+    # keeps far more traffic local than placement ignoring structure.
+    assert smart.cross_messages < 0.8 * round_robin.cross_messages

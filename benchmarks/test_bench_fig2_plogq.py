@@ -1,0 +1,59 @@
+"""Figure 2 (panel c): p log q vs n log n.
+
+Paper claims: "the maximum value of p log q is much less than n log n.
+Therefore, we expect a constant time improvement even in the worst
+case", and p log q is "very low in many cases (particularly for high
+and low K)".
+
+Regenerate the series with ``python -m repro fig2``.
+"""
+
+import pytest
+
+from repro.analysis.figure2 import figure2_sweep, headline_claims
+
+NS = [1000, 4000]
+RATIOS = [1.2, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0]
+
+
+@pytest.fixture(scope="module")
+def sweep_points():
+    return figure2_sweep(NS, RATIOS, repetitions=2)
+
+
+def test_sweep_cost(benchmark):
+    points = benchmark(figure2_sweep, [1000], [4.0, 64.0], 1)
+    assert len(points) == 2
+
+
+def test_max_plogq_much_less_than_nlogn(benchmark, sweep_points):
+    claims = benchmark(headline_claims, sweep_points)
+    for n in NS:
+        claim = claims[n]
+        assert claim["max_p_log_q"] < 0.5 * claim["n_log_n"], (
+            f"n={n}: max p log q = {claim['max_p_log_q']:.0f} not well "
+            f"below n log n = {claim['n_log_n']:.0f}"
+        )
+
+
+def test_low_at_extreme_k(sweep_points, benchmark):
+    benchmark(lambda: None)
+    claims = headline_claims(sweep_points)
+    for n in NS:
+        assert claims[n]["low_at_extremes"], (
+            f"n={n}: p log q not low at extreme K values"
+        )
+
+
+def test_plogq_scales_sublinearly_with_nlogn(sweep_points, benchmark):
+    benchmark(lambda: None)
+    by_n = {}
+    for point in sweep_points:
+        by_n.setdefault(point.n, []).append(point)
+    ratios = {
+        n: max(p.p_log_q for p in pts) / pts[0].n_log_n
+        for n, pts in by_n.items()
+    }
+    # The advantage does not evaporate as n grows (ratio roughly stable).
+    values = [ratios[n] for n in NS]
+    assert max(values) / min(values) < 1.5

@@ -1,0 +1,69 @@
+"""Figure 2 (panels a/b): prime-subpath statistics p and q vs K.
+
+Paper claim: "for given n, p log q may be very low in many cases
+(particularly for high and low K)"; p is bounded by n-1 and falls as K
+approaches the total weight; q grows with K but the number of
+non-redundant edges r stays <= min(n-1, 2p-1).
+
+Regenerate the full series with ``python -m repro fig2``.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_chain
+from repro.core.prime_subpaths import PrimeStructure
+
+N = 4000
+RATIOS = [1.2, 4.0, 16.0, 64.0]
+
+
+@pytest.mark.parametrize("ratio", RATIOS)
+def test_prime_structure_cost(benchmark, ratio):
+    chain, bound = make_chain(N, ratio)
+    structure = benchmark(PrimeStructure.compute, chain, bound)
+    # Structural bounds from Section 2.3.
+    assert structure.p <= N - 1
+    assert structure.r <= min(N - 1, 2 * structure.p - 1)
+    benchmark.extra_info.update(
+        {"p": structure.p, "q": round(structure.q, 3), "r": structure.r}
+    )
+
+
+def test_q_grows_with_k_and_p_shrinks(benchmark):
+    def measure():
+        rows = []
+        for ratio in RATIOS:
+            chain, bound = make_chain(N, ratio)
+            s = PrimeStructure.compute(chain, bound)
+            rows.append((ratio, s.p, s.q))
+        return rows
+
+    rows = benchmark(measure)
+    qs = [q for _r, _p, q in rows]
+    assert qs == sorted(qs), "q must grow with K"
+    # p at the largest swept K is below p at the smallest.
+    assert rows[-1][1] < rows[0][1]
+
+
+def test_p_drops_to_zero_at_huge_k(benchmark):
+    chain, _ = make_chain(N, 2.0)
+    bound = chain.total_weight()
+
+    structure = benchmark(PrimeStructure.compute, chain, bound)
+    assert structure.p == 0
+
+
+def test_mean_prime_length_matches_paper_bound(benchmark):
+    """Section 2.3.2: with weights uniform on [w1, w2], average prime
+    subpath length is about 2K/(w1+w2)."""
+    ratio = 8.0
+    chain, bound = make_chain(N, ratio)
+
+    structure = benchmark(PrimeStructure.compute, chain, bound)
+    w1, w2 = 1.0, 100.0
+    predicted = 2 * bound / (w1 + w2)
+    measured = structure.mean_prime_length()
+    assert measured == pytest.approx(predicted, rel=0.15)
+    benchmark.extra_info.update(
+        {"measured_len": round(measured, 2), "paper_bound": round(predicted, 2)}
+    )

@@ -1,0 +1,56 @@
+"""Figure 2 (panel d): effect of the maximum module execution weight.
+
+The paper's simulations relate p, q and p log q to the "maximum vertex
+weight (maximum module execution time)".  At a fixed K/w_max ratio,
+widening the weight range leaves the *relative* structure stable (prime
+lengths are governed by 2K/(w1+w2)); at a fixed absolute K, a larger
+w_max shortens prime subpaths and lowers q.
+
+Regenerate the series with ``python -m repro fig2w``.
+"""
+
+import pytest
+
+from benchmarks.conftest import MASTER_SEED
+from repro.analysis.figure2 import figure2_weight_sweep
+from repro.core.prime_subpaths import PrimeStructure
+from repro.graphs.generators import figure2_chain
+from repro.instrumentation.rng import spawn_rng
+
+N = 2000
+
+
+def test_weight_sweep_cost(benchmark):
+    points = benchmark(figure2_weight_sweep, N, [5.0, 100.0], 4.0, 1)
+    assert len(points) == 2
+    assert all(p.p > 0 for p in points)
+
+
+def test_fixed_ratio_keeps_prime_length_scaled(benchmark):
+    def run():
+        return figure2_weight_sweep(N, [10.0, 30.0, 100.0], ratio=6.0,
+                                    repetitions=2)
+
+    points = benchmark(run)
+    # Mean prime length tracks 2K/(w1+w2) for each w_max.
+    for point in points:
+        predicted = 2 * point.bound / (1.0 + point.w_max)
+        assert point.mean_prime_length == pytest.approx(predicted, rel=0.2)
+
+
+def test_fixed_absolute_k_larger_weights_lower_q(benchmark):
+    def run():
+        absolute_k = 400.0
+        rows = []
+        for w_max in (20.0, 50.0, 100.0, 200.0):
+            rng = spawn_rng(MASTER_SEED, "fig2w-abs", w_max)
+            chain = figure2_chain(N, w_max, rng)
+            structure = PrimeStructure.compute(chain, absolute_k)
+            rows.append((w_max, structure.q))
+        return rows
+
+    rows = benchmark(run)
+    qs = [q for _w, q in rows]
+    assert qs == sorted(qs, reverse=True), (
+        f"q should fall as module weights grow at fixed K: {rows}"
+    )

@@ -1,0 +1,47 @@
+"""Section 2.3.2's average-case claim: with K/w_max bounded, q is
+bounded on average and the algorithm runs in linear time.
+
+Reproduced shape: at a fixed ratio, measured abstract operations fit
+``a*n + b`` essentially perfectly, and q stays flat as n grows 16x.
+
+Regenerate the series with ``python -m repro linear``.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_chain
+from repro.analysis.complexity import linear_average_case
+from repro.core.bandwidth import bandwidth_min
+
+NS = [2000, 4000, 8000, 16000, 32000]
+RATIO = 3.0
+
+
+@pytest.mark.parametrize("n", NS)
+def test_runtime_at_fixed_ratio(benchmark, n):
+    chain, bound = make_chain(n, RATIO)
+    result = benchmark(bandwidth_min, chain, bound)
+    assert result.is_feasible(bound)
+
+
+def test_operations_fit_linear_model(benchmark):
+    def run():
+        return linear_average_case(
+            NS, ratio=RATIO, repetitions=2, measure_time=False
+        )
+
+    points, linear_fit, _nlogn_fit = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert linear_fit.r_squared > 0.999
+    qs = [pt.q for pt in points]
+    assert max(qs) / min(qs) < 1.3, f"q not bounded at fixed ratio: {qs}"
+
+
+def test_ops_per_task_flat(benchmark):
+    def run():
+        points, _lin, _nl = linear_average_case(
+            [4000, 32000], ratio=RATIO, repetitions=2, measure_time=False
+        )
+        return [pt.operations / pt.n for pt in points]
+
+    per_task = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert per_task[1] == pytest.approx(per_task[0], rel=0.15)

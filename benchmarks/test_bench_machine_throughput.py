@@ -1,0 +1,94 @@
+"""Machine-level effect of partition quality (Section 3, condition 2/3).
+
+Runs the pipelined executor on a communication-bound shared-memory
+machine and compares partitions from each algorithm.  Reproduced shape:
+on a serializing bus, the bandwidth-minimal partition carries the least
+traffic and sustains at least the throughput of weight-oblivious
+partitions with the same stage count; on a crossbar the bottleneck
+(heaviest single link) matters more.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_chain
+from repro.baselines.greedy import equal_blocks_cut, first_fit_cut
+from repro.core.bandwidth import bandwidth_min
+from repro.core.pipeline import partition_chain
+from repro.machine.executor import simulate_pipeline
+from repro.machine.interconnect import Crossbar, SharedBus
+from repro.machine.machine import SharedMemoryMachine
+
+N = 300
+RATIO = 6.0
+ITEMS = 60
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return make_chain(N, RATIO)
+
+
+@pytest.fixture(scope="module")
+def bus_machine():
+    return SharedMemoryMachine(64, interconnect=SharedBus(bandwidth=4.0))
+
+
+def test_execute_bandwidth_partition(benchmark, instance, bus_machine):
+    chain, bound = instance
+    cut = bandwidth_min(chain, bound)
+    ex = benchmark(
+        simulate_pipeline, chain, cut.cut_indices, bus_machine, ITEMS
+    )
+    assert ex.num_items == ITEMS
+
+
+def test_execute_firstfit_partition(benchmark, instance, bus_machine):
+    chain, bound = instance
+    cut = first_fit_cut(chain, bound)
+    ex = benchmark(
+        simulate_pipeline, chain, cut.cut_indices, bus_machine, ITEMS
+    )
+    assert ex.num_items == ITEMS
+
+
+def test_bandwidth_wins_on_bus(benchmark, instance, bus_machine):
+    chain, bound = instance
+
+    def compare():
+        smart = bandwidth_min(chain, bound)
+        naive = equal_blocks_cut(chain, smart.num_components)
+        ex_smart = simulate_pipeline(
+            chain, smart.cut_indices, bus_machine, ITEMS
+        )
+        ex_naive = simulate_pipeline(
+            chain, naive.cut_indices, bus_machine, ITEMS
+        )
+        return ex_smart, ex_naive
+
+    ex_smart, ex_naive = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert ex_smart.total_traffic < ex_naive.total_traffic
+    assert ex_smart.throughput >= 0.9 * ex_naive.throughput
+
+
+def test_bottleneck_partition_on_crossbar(benchmark, instance):
+    chain, bound = instance
+    machine = SharedMemoryMachine(64, interconnect=Crossbar(bandwidth=4.0))
+
+    def compare():
+        bn = partition_chain(chain, bound, "bottleneck+processors")
+        bw = partition_chain(chain, bound, "bandwidth")
+        ex_bn = simulate_pipeline(chain, bn.cut_indices, machine, ITEMS)
+        ex_bw = simulate_pipeline(chain, bw.cut_indices, machine, ITEMS)
+        max_edge_bn = max(
+            (chain.edge_weight(i) for i in bn.cut_indices), default=0.0
+        )
+        max_edge_bw = max(
+            (chain.edge_weight(i) for i in bw.cut_indices), default=0.0
+        )
+        return ex_bn, ex_bw, max_edge_bn, max_edge_bw
+
+    _ex_bn, _ex_bw, max_bn, max_bw = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    # Bottleneck objective really does bound the heaviest link tighter.
+    assert max_bn <= max_bw + 1e-9

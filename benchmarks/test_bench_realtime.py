@@ -1,0 +1,64 @@
+"""Section 3 real-time study (Figure 3 pipeline).
+
+Reproduced shape: planning meets the deadline whenever the instance is
+schedulable; the bandwidth objective yields the lowest total network
+demand while bottleneck+processors yields the lowest per-link maximum;
+planning cost is dominated by the O(n + p log q) partitioner.
+"""
+
+import pytest
+
+from benchmarks.conftest import MASTER_SEED
+from repro.graphs.generators import random_chain
+from repro.instrumentation.rng import spawn_rng
+from repro.machine.interconnect import SharedBus
+from repro.machine.machine import SharedMemoryMachine
+from repro.realtime.planner import compare_objectives, plan_realtime_task
+from repro.realtime.spec import RealTimeTask
+
+
+def make_task(n: int, deadline_ratio: float = 4.0) -> RealTimeTask:
+    rng = spawn_rng(MASTER_SEED, "rt", n)
+    chain = random_chain(n, rng, vertex_range=(1, 10), edge_range=(1, 100))
+    return RealTimeTask(
+        f"rt-{n}", chain.alpha, chain.beta,
+        deadline=deadline_ratio * max(chain.alpha),
+    )
+
+
+@pytest.fixture(scope="module")
+def machine():
+    # Large enough that even the n=10k task's partition maps trivially
+    # (Section 3 assumes processors >= partitions).
+    return SharedMemoryMachine(4096, interconnect=SharedBus(bandwidth=10.0))
+
+
+@pytest.mark.parametrize("n", [100, 1000, 10_000])
+def test_planning_cost(benchmark, n, machine):
+    task = make_task(n)
+    plan = benchmark(plan_realtime_task, task, machine)
+    assert plan.meets_deadline
+
+
+def test_objective_tradeoffs(benchmark, machine):
+    task = make_task(2000)
+    plans = benchmark.pedantic(
+        compare_objectives, args=(task, machine), rounds=1, iterations=1
+    )
+    by_objective = {p.objective: p for p in plans}
+    bandwidth = by_objective["bandwidth"]
+    processors = by_objective["processors"]
+    assert all(p.meets_deadline for p in plans)
+    assert bandwidth.traffic.total_demand <= processors.traffic.total_demand
+    assert processors.processors_used <= bandwidth.processors_used
+
+
+def test_tight_deadline_uses_more_processors(benchmark, machine):
+    def run():
+        loose = plan_realtime_task(make_task(1000, 8.0), machine)
+        tight = plan_realtime_task(make_task(1000, 1.5), machine)
+        return loose, tight
+
+    loose, tight = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert tight.processors_used > loose.processors_used
+    assert tight.meets_deadline and loose.meets_deadline

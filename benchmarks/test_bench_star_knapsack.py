@@ -1,0 +1,66 @@
+"""Theorem 1: the NP-complete star case and its knapsack solver.
+
+Reproduced shape: the exact star solver's cost scales with leaf count
+times capacity (pseudo-polynomial), while the *chain* problem of the
+same size stays trivially fast — the polynomial/NP-complete divide the
+paper draws between linear and tree task graphs.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import MASTER_SEED, make_chain
+from repro.baselines.star_knapsack import knapsack_01, star_bandwidth_min
+from repro.core.bandwidth import bandwidth_min
+from repro.graphs.tree import Tree
+from repro.instrumentation.rng import spawn_rng
+
+
+def make_star(num_leaves: int, capacity_ratio: float = 0.5):
+    rng = spawn_rng(MASTER_SEED, "star", num_leaves)
+    leaves = [float(rng.randint(1, 50)) for _ in range(num_leaves)]
+    profits = [float(rng.randint(1, 100)) for _ in range(num_leaves)]
+    star = Tree.star(0.0, leaves, profits)
+    bound = max(max(leaves), capacity_ratio * sum(leaves))
+    return star, float(int(bound))
+
+
+@pytest.mark.parametrize("leaves", [50, 200, 800])
+def test_star_solver_scaling(benchmark, leaves):
+    star, bound = make_star(leaves)
+    cut, weight = benchmark(star_bandwidth_min, star, bound)
+    assert weight >= 0
+    kept_weight = sum(
+        star.vertex_weight(v)
+        for v in range(1, star.num_vertices)
+        if not any(v in edge for edge in cut)
+    )
+    assert kept_weight <= bound
+
+
+def test_knapsack_dp_cost(benchmark):
+    rng = spawn_rng(MASTER_SEED, "knap")
+    weights = [rng.randint(1, 60) for _ in range(300)]
+    profits = [rng.randint(1, 99) for _ in range(300)]
+    solution = benchmark(knapsack_01, weights, profits, 2000)
+    assert solution.profit > 0
+
+
+def test_chain_vs_star_divide(benchmark):
+    """Same vertex count: the chain optimum is orders of magnitude
+    cheaper to compute than the star's pseudo-polynomial DP."""
+
+    def both():
+        star, star_bound = make_star(500, capacity_ratio=0.5)
+        t0 = time.perf_counter()
+        star_bandwidth_min(star, star_bound)
+        t1 = time.perf_counter()
+        chain, chain_bound = make_chain(501, 4.0)
+        t2 = time.perf_counter()
+        bandwidth_min(chain, chain_bound)
+        t3 = time.perf_counter()
+        return t1 - t0, t3 - t2
+
+    star_t, chain_t = benchmark(both)
+    assert chain_t < star_t

@@ -1,0 +1,55 @@
+"""Appendix B: expected TEMP_S queue length is O(log q_i).
+
+Reproduced shape: the measured mean queue length stays within a small
+constant of log2(q) across two orders of magnitude of q, far below the
+trivial bound q itself — hence the claimed O(p log log q) average.
+
+Regenerate the series with ``python -m repro temps``.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import make_chain
+from repro.analysis.complexity import temp_s_length_experiment
+from repro.core.bandwidth import bandwidth_stats
+
+N = 4000
+RATIOS = [2.0, 8.0, 32.0, 128.0, 512.0]
+
+
+@pytest.mark.parametrize("ratio", RATIOS)
+def test_instrumented_run_cost(benchmark, ratio):
+    chain, bound = make_chain(N, ratio)
+    stats = benchmark(bandwidth_stats, chain, bound)
+    if stats.q > 2.0:
+        assert stats.mean_temp_s_len <= 4.0 * math.log2(stats.q) + 2.0
+        assert stats.mean_temp_s_len < stats.q
+    benchmark.extra_info.update(
+        {
+            "q": round(stats.q, 2),
+            "log2_q": round(math.log2(max(stats.q, 1.001)), 2),
+            "mean_temp_s": round(stats.mean_temp_s_len, 2),
+            "max_temp_s": stats.max_temp_s_len,
+        }
+    )
+
+
+def test_mean_length_tracks_log_q(benchmark):
+    def run():
+        return temp_s_length_experiment([N], RATIOS, repetitions=2)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    for point in points:
+        if point.q > 4.0:
+            # Within a constant of log2 q; far from linear in q.
+            assert point.mean_temp_s_len <= 3.0 * point.log2_q + 2.0
+            assert point.mean_temp_s_len <= point.q / 3.0
+
+
+def test_max_length_far_below_q(benchmark):
+    chain, bound = make_chain(N, 512.0)
+    stats = benchmark(bandwidth_stats, chain, bound)
+    assert stats.q > 50
+    assert stats.max_temp_s_len < stats.q / 3.0

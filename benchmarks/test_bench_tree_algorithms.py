@@ -1,0 +1,82 @@
+"""Tree algorithm complexity (Sections 2.1 and 2.2).
+
+- Algorithm 2.1: the paper's O(n^2) re-scan formulation vs the
+  output-identical union-find formulation (run at a size where the
+  quadratic cost is visible but not painful);
+- Algorithm 2.2: O(n log n) processor minimization, plus the combined
+  bottleneck -> processor-min pipeline (Section 2.2's super-node step).
+"""
+
+import pytest
+
+from benchmarks.conftest import MASTER_SEED
+from repro.baselines.kundu_misra import processor_min_bottom_up
+from repro.core.bottleneck import bottleneck_min, bottleneck_min_naive
+from repro.core.pipeline import partition_tree
+from repro.core.processor_min import processor_min
+from repro.graphs.generators import random_tree
+from repro.instrumentation.rng import spawn_rng
+
+
+def make_tree(n: int, attachment: str = "uniform"):
+    rng = spawn_rng(MASTER_SEED, "tree", n, attachment)
+    tree = random_tree(n, rng, vertex_range=(1, 10), edge_range=(1, 100),
+                       attachment=attachment)
+    return tree, 4.0 * tree.max_vertex_weight()
+
+
+@pytest.fixture(scope="module")
+def big_tree():
+    return make_tree(20_000)
+
+
+def test_bottleneck_union_find(benchmark, big_tree):
+    tree, bound = big_tree
+    result = benchmark(bottleneck_min, tree, bound)
+    assert result.is_feasible(bound)
+
+
+def test_bottleneck_naive_paper_version(benchmark):
+    tree, bound = make_tree(800)  # O(n^2): keep it modest
+    result = benchmark(bottleneck_min_naive, tree, bound)
+    assert result.cut_edges == bottleneck_min(tree, bound).cut_edges
+
+
+def test_optimized_beats_naive(benchmark):
+    import time
+
+    tree, bound = make_tree(800)
+
+    def both():
+        t0 = time.perf_counter()
+        fast = bottleneck_min(tree, bound)
+        t1 = time.perf_counter()
+        slow = bottleneck_min_naive(tree, bound)
+        t2 = time.perf_counter()
+        assert fast.cut_edges == slow.cut_edges
+        return t1 - t0, t2 - t1
+
+    fast_t, slow_t = benchmark(both)
+    assert fast_t < slow_t
+
+
+@pytest.mark.parametrize("n", [2000, 20000])
+def test_processor_min_scaling(benchmark, n):
+    tree, bound = make_tree(n)
+    result = benchmark(processor_min, tree, bound)
+    assert result.is_feasible(bound)
+
+
+def test_processor_min_star_heavy(benchmark):
+    tree, bound = make_tree(5000, attachment="preferential")
+    result = benchmark(processor_min, tree, bound)
+    assert result.num_components == processor_min_bottom_up(
+        tree, bound
+    ).num_components
+
+
+def test_full_pipeline(benchmark, big_tree):
+    tree, bound = big_tree
+    plan = benchmark(partition_tree, tree, bound)
+    assert plan.final_cut <= plan.bottleneck_cut
+    assert plan.num_processors <= len(plan.bottleneck_cut) + 1

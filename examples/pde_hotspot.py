@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""PDE strip decomposition with a refinement hotspot (Section 1).
+
+The paper's Section 1 motivates linear task graphs with PDE solvers
+that "decompose the problem into strips of grid points of simple
+iterative calculations where each strip needs data from neighbouring
+strips".  Uniform strips are trivial to place; *adaptively refined*
+grids are not: a hotspot multiplies the work of nearby strips.  This
+example shows how the paper's algorithms handle it:
+
+1. generate strips with a 4x refinement bump,
+2. sweep the processor budget and report the tightest achievable
+   iteration bound (the inverse problem) and its communication price,
+3. inject a slowdown on the hotspot's processor and watch the executor
+   move the bottleneck.
+
+Run:  python examples/pde_hotspot.py
+"""
+
+import random
+
+from repro.analysis.tables import render_table
+from repro.core import bandwidth_min
+from repro.core.inverse import partition_chain_for_processors
+from repro.graphs.workloads import pde_strip_chain
+from repro.machine import SharedBus, SharedMemoryMachine, simulate_pipeline
+
+
+def main() -> None:
+    chain = pde_strip_chain(
+        64, grid_rows=40, rng=random.Random(3), hotspot=0.35
+    )
+    print(f"adaptive PDE grid: {chain.num_tasks} strips, total work "
+          f"{chain.total_weight():.0f}, heaviest strip "
+          f"{chain.max_vertex_weight():.0f} (refinement hotspot at 35%)\n")
+
+    rows = []
+    for budget in (2, 4, 8, 16, 32):
+        plan = partition_chain_for_processors(chain, budget)
+        rows.append([
+            budget,
+            round(plan.bound, 1),
+            plan.num_components,
+            round(plan.bandwidth_cut.weight, 1),
+        ])
+    print(render_table(
+        ["processor budget", "best bound K", "blocks used",
+         "comm volume"],
+        rows,
+        "Inverse problem: tightest iteration bound per budget",
+    ))
+
+    # Partition for 8 processors and execute 50 iterations.
+    plan = partition_chain_for_processors(chain, 8)
+    cut = bandwidth_min(chain, plan.bound)
+    machine = SharedMemoryMachine(32, interconnect=SharedBus(bandwidth=30.0))
+    healthy = simulate_pipeline(chain, cut.cut_indices, machine, 50)
+    k = cut.num_components
+    hotspot_stage = max(
+        range(k),
+        key=lambda s: healthy.stage_compute_times[s],
+    )
+    factors = [1.0] * k
+    factors[hotspot_stage] = 0.5  # the hotspot's processor degrades
+    degraded = simulate_pipeline(
+        chain, cut.cut_indices, machine, 50, stage_speed_factors=factors
+    )
+    print(f"\nexecution of 50 iterations on {k} stages:")
+    print(f"  healthy : makespan {healthy.makespan:7.1f}, bottleneck "
+          f"stage {healthy.bottleneck_stage}")
+    print(f"  degraded: makespan {degraded.makespan:7.1f} "
+          f"(stage {hotspot_stage} at half speed), bottleneck "
+          f"stage {degraded.bottleneck_stage}")
+    slowdown = degraded.makespan / healthy.makespan
+    print(f"  slowdown factor {slowdown:.2f} — the deadline-aware planner "
+          "would re-partition with the inverse API above.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim — metadata lives in pyproject.toml.
+
+Kept so `pip install -e . --no-use-pep517` works on machines without the
+`wheel` package (e.g. offline environments).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Experiment drivers reproducing the paper's evaluation.
+
+- :mod:`~repro.analysis.figure2` — the Figure-2 simulation sweeps
+  relating ``n, p, q, K, p log q`` and the maximum vertex weight;
+- :mod:`~repro.analysis.complexity` — empirical complexity fits (the
+  linear-average-case claim of Section 2.3.2 and the Appendix-B TEMP_S
+  length claim);
+- :mod:`~repro.analysis.sweeps` — generic deterministic sweep runner;
+- :mod:`~repro.analysis.stats` — small statistics helpers;
+- :mod:`~repro.analysis.tables` — ASCII rendering for harness output.
+"""
+
+from repro.analysis.figure2 import Fig2Point, figure2_sweep, figure2_weight_sweep
+from repro.analysis.stats import mean, stddev, summarize
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "Fig2Point",
+    "figure2_sweep",
+    "figure2_weight_sweep",
+    "mean",
+    "render_table",
+    "stddev",
+    "summarize",
+]

@@ -1,0 +1,89 @@
+"""Minimal ASCII scatter/line plots for terminal experiment output.
+
+The paper's Figure 2 is a set of curves; the CLI renders the same
+series as terminal plots so the shape claims are visible without a
+plotting stack.  Deliberately tiny: fixed-size canvas, linear or log
+axes, multiple labelled series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError("log axis requires positive values")
+        return math.log10(value)
+    return value
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """Render named ``(x, y)`` series onto a character canvas.
+
+    Returns the plot as a string: title, canvas with y-axis labels,
+    x-range line and a legend mapping markers to series names.
+    """
+    if not series or all(not points for points in series.values()):
+        raise ValueError("nothing to plot")
+    points_t: Dict[str, List[Tuple[float, float]]] = {}
+    for name, points in series.items():
+        points_t[name] = [
+            (_transform(x, log_x), _transform(y, log_y)) for x, y in points
+        ]
+    xs = [x for pts in points_t.values() for x, _y in pts]
+    ys = [y for pts in points_t.values() for _x, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(points_t.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in pts:
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((y - y_lo) / y_span * (height - 1)))
+            canvas[height - 1 - row][col] = marker
+
+    def fmt(value: float, log: bool) -> str:
+        return f"{10 ** value:.3g}" if log else f"{value:.3g}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = fmt(y_hi, log_y)
+    bottom_label = fmt(y_lo, log_y)
+    label_width = max(len(top_label), len(bottom_label))
+    for r, row in enumerate(canvas):
+        if r == 0:
+            label = top_label.rjust(label_width)
+        elif r == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    x_line = (
+        " " * label_width
+        + " +"
+        + fmt(x_lo, log_x).ljust(width - 10)
+        + fmt(x_hi, log_x).rjust(8)
+    )
+    lines.append(x_line)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(points_t)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Empirical complexity measurement and model fitting.
+
+Backs two claims of Section 2.3.2:
+
+1. *Linear on average when K/w_max is bounded* — "if K/w2 is bounded by
+   some constant, then q also will be bounded by the same constant on
+   the average", making the sweep cost ``O(n)``.
+   :func:`linear_average_case` measures abstract operations (and
+   optionally wall time) at a fixed ratio for growing ``n`` and fits
+   ``a*n + b`` vs ``a*n log n + b`` models.
+2. *Appendix B* — the expected TEMP_S length at step ``i`` is
+   ``O(log q_i)`` for randomly ordered W values.
+   :func:`temp_s_length_experiment` measures mean queue lengths against
+   ``log2(q)``.
+
+Fitting uses ordinary least squares via :mod:`numpy`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bandwidth import bandwidth_min, bandwidth_stats
+from repro.graphs.generators import bound_for_ratio, figure2_chain
+from repro.instrumentation.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Least-squares fit of ``y ~ a * model(n) + b``."""
+
+    model_name: str
+    a: float
+    b: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.a * x + self.b
+
+
+def fit_model(
+    xs: Sequence[float], ys: Sequence[float], model_name: str
+) -> FitResult:
+    """Fit ``y = a * f(x) + b`` for ``f`` in {n, nlogn, logn, const}."""
+    transforms: dict = {
+        "n": lambda x: x,
+        "nlogn": lambda x: x * math.log2(x) if x > 1 else 0.0,
+        "logn": lambda x: math.log2(x) if x > 1 else 0.0,
+        "const": lambda x: 1.0,
+    }
+    f = transforms[model_name]
+    fx = np.array([f(x) for x in xs], dtype=float)
+    y = np.array(ys, dtype=float)
+    design = np.column_stack([fx, np.ones_like(fx)])
+    coeffs, _res, _rank, _sv = np.linalg.lstsq(design, y, rcond=None)
+    predictions = design @ coeffs
+    ss_res = float(np.sum((y - predictions) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return FitResult(model_name, float(coeffs[0]), float(coeffs[1]), r2)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    n: int
+    operations: float
+    wall_time: float
+    p: float
+    q: float
+
+
+def linear_average_case(
+    ns: Sequence[int],
+    ratio: float = 3.0,
+    w_max: float = 100.0,
+    repetitions: int = 3,
+    measure_time: bool = True,
+) -> Tuple[List[ScalingPoint], FitResult, FitResult]:
+    """Measure Algorithm 4.1's cost at a fixed ``K/w_max`` ratio.
+
+    Returns the raw points plus linear and ``n log n`` fits of the
+    abstract operation count (``n`` sweep work + search steps): with the
+    ratio fixed, ``q`` stays bounded and the linear model should win.
+    """
+    points: List[ScalingPoint] = []
+    for n in ns:
+        ops_samples: List[float] = []
+        time_samples: List[float] = []
+        p_samples: List[float] = []
+        q_samples: List[float] = []
+        for rep in range(repetitions):
+            rng = spawn_rng(20260706, "linear", n, ratio, rep)
+            chain = figure2_chain(n, w_max, rng)
+            bound = bound_for_ratio(chain, ratio)
+            start = time.perf_counter()
+            stats = bandwidth_stats(chain, bound)
+            elapsed = time.perf_counter() - start
+            # Total abstract work: the O(n) sweep plus the queue searches.
+            ops_samples.append(n + stats.r + stats.search_steps)
+            time_samples.append(elapsed if measure_time else 0.0)
+            p_samples.append(stats.p)
+            q_samples.append(stats.q)
+        points.append(
+            ScalingPoint(
+                n=n,
+                operations=sum(ops_samples) / len(ops_samples),
+                wall_time=sum(time_samples) / len(time_samples),
+                p=sum(p_samples) / len(p_samples),
+                q=sum(q_samples) / len(q_samples),
+            )
+        )
+    xs = [pt.n for pt in points]
+    ys = [pt.operations for pt in points]
+    return points, fit_model(xs, ys, "n"), fit_model(xs, ys, "nlogn")
+
+
+@dataclass(frozen=True)
+class TempSPoint:
+    n: int
+    ratio: float
+    q: float
+    log2_q: float
+    mean_temp_s_len: float
+    max_temp_s_len: float
+
+
+def temp_s_length_experiment(
+    ns: Sequence[int],
+    ratios: Sequence[float],
+    w_max: float = 100.0,
+    repetitions: int = 3,
+) -> List[TempSPoint]:
+    """Appendix-B measurement: TEMP_S queue length vs ``log2 q``."""
+    points: List[TempSPoint] = []
+    for n in ns:
+        for ratio in ratios:
+            qs: List[float] = []
+            means: List[float] = []
+            maxes: List[float] = []
+            for rep in range(repetitions):
+                rng = spawn_rng(20260706, "temps", n, ratio, rep)
+                chain = figure2_chain(n, w_max, rng)
+                bound = bound_for_ratio(chain, ratio)
+                stats = bandwidth_stats(chain, bound)
+                qs.append(stats.q)
+                means.append(stats.mean_temp_s_len)
+                maxes.append(stats.max_temp_s_len)
+            q = sum(qs) / len(qs)
+            points.append(
+                TempSPoint(
+                    n=n,
+                    ratio=ratio,
+                    q=q,
+                    log2_q=math.log2(q) if q > 1 else 0.0,
+                    mean_temp_s_len=sum(means) / len(means),
+                    max_temp_s_len=sum(maxes) / len(maxes),
+                )
+            )
+    return points
+
+
+def runtime_comparison(
+    algorithms: dict,
+    ns: Sequence[int],
+    ratio: float,
+    w_max: float = 100.0,
+    repetitions: int = 3,
+) -> List[dict]:
+    """Wall-time of several chain partitioners on identical instances.
+
+    ``algorithms`` maps name -> callable(chain, bound); rows carry one
+    mean time per algorithm, plus the shared optimum as a cross-check.
+    """
+    rows: List[dict] = []
+    for n in ns:
+        row: dict = {"n": n}
+        times: dict = {name: [] for name in algorithms}
+        optima: List[float] = []
+        for rep in range(repetitions):
+            rng = spawn_rng(20260706, "runtime", n, ratio, rep)
+            chain = figure2_chain(n, w_max, rng)
+            bound = bound_for_ratio(chain, ratio)
+            rep_opt: List[float] = []
+            for name, func in algorithms.items():
+                start = time.perf_counter()
+                result = func(chain, bound)
+                times[name].append(time.perf_counter() - start)
+                rep_opt.append(result.weight)
+            spread = max(rep_opt) - min(rep_opt)
+            if spread > 1e-6 * max(1.0, max(rep_opt)):
+                raise AssertionError(
+                    f"algorithms disagree at n={n}, rep={rep}: {rep_opt}"
+                )
+            optima.append(rep_opt[0])
+        for name in algorithms:
+            row[name] = sum(times[name]) / len(times[name])
+        row["optimum"] = sum(optima) / len(optima)
+        rows.append(row)
+    return rows

@@ -1,0 +1,153 @@
+"""The Figure-2 simulation sweeps.
+
+The paper: "We have done extensive simulation to obtain the relation
+between n, p, q, K, p log q and maximum vertex weight (maximum module
+execution time).  ...  for given n, p log q may be very low in many
+cases (particularly for high and low K). ... the maximum value of
+p log q is much less than n log n."
+
+:func:`figure2_sweep` reruns that simulation family: chains with vertex
+weights uniform on ``[1, w_max]``, the bound swept as a multiple of the
+maximum vertex weight, several repetitions per point, everything seeded.
+:func:`figure2_weight_sweep` varies ``w_max`` at fixed ``n`` and ratio
+(the "maximum module execution time" axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Iterable, List, Sequence
+
+from repro.analysis.stats import mean
+from repro.core.bandwidth import bandwidth_stats
+from repro.core.prime_subpaths import PrimeStructure
+from repro.graphs.generators import bound_for_ratio, figure2_chain
+from repro.instrumentation.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class Fig2Point:
+    """One averaged sweep point (all fields are means over repetitions)."""
+
+    n: int
+    ratio: float  # K / w_max
+    w_max: float
+    bound: float
+    p: float
+    q: float
+    r: float
+    p_log_q: float
+    n_log_n: float
+    mean_prime_length: float
+    max_temp_s_len: float
+    mean_temp_s_len: float
+    search_steps: float
+
+    @property
+    def plogq_over_nlogn(self) -> float:
+        return self.p_log_q / self.n_log_n if self.n_log_n else 0.0
+
+    def as_row(self) -> List[float]:
+        return [getattr(self, f.name) for f in fields(self)]
+
+
+def _measure_once(
+    n: int, w_max: float, ratio: float, seed_labels
+) -> dict:
+    rng = spawn_rng(20260706, *seed_labels)
+    chain = figure2_chain(n, w_max, rng)
+    bound = bound_for_ratio(chain, ratio)
+    stats = bandwidth_stats(chain, bound)
+    structure = PrimeStructure.compute(chain, bound)
+    return {
+        "bound": bound,
+        "p": stats.p,
+        "q": stats.q,
+        "r": stats.r,
+        "p_log_q": stats.p_log_q,
+        "n_log_n": stats.n_log_n,
+        "mean_prime_length": structure.mean_prime_length(),
+        "max_temp_s_len": stats.max_temp_s_len,
+        "mean_temp_s_len": stats.mean_temp_s_len,
+        "search_steps": stats.search_steps,
+    }
+
+
+def figure2_sweep(
+    ns: Sequence[int],
+    ratios: Sequence[float],
+    repetitions: int = 3,
+    w_max: float = 100.0,
+) -> List[Fig2Point]:
+    """The main Figure-2 grid: every (n, K/w_max ratio) pair, averaged."""
+    points: List[Fig2Point] = []
+    for n in ns:
+        for ratio in ratios:
+            samples = [
+                _measure_once(n, w_max, ratio, ("fig2", n, ratio, rep))
+                for rep in range(repetitions)
+            ]
+            points.append(
+                Fig2Point(
+                    n=n,
+                    ratio=ratio,
+                    w_max=w_max,
+                    **{
+                        key: mean([s[key] for s in samples])
+                        for key in samples[0]
+                    },
+                )
+            )
+    return points
+
+
+def figure2_weight_sweep(
+    n: int,
+    w_maxes: Sequence[float],
+    ratio: float = 4.0,
+    repetitions: int = 3,
+) -> List[Fig2Point]:
+    """Fix ``n`` and the K ratio; sweep the maximum module weight."""
+    points: List[Fig2Point] = []
+    for w_max in w_maxes:
+        samples = [
+            _measure_once(n, w_max, ratio, ("fig2w", n, w_max, ratio, rep))
+            for rep in range(repetitions)
+        ]
+        points.append(
+            Fig2Point(
+                n=n,
+                ratio=ratio,
+                w_max=w_max,
+                **{key: mean([s[key] for s in samples]) for key in samples[0]},
+            )
+        )
+    return points
+
+
+def headline_claims(points: Iterable[Fig2Point]) -> dict:
+    """The two claims the paper draws from Figure 2, evaluated on a sweep.
+
+    Returns ``max p log q`` vs ``n log n`` per n, and whether the
+    low-for-extreme-K shape holds (p log q at the smallest and largest
+    swept ratios below the per-n maximum).
+    """
+    by_n: dict = {}
+    for point in points:
+        by_n.setdefault(point.n, []).append(point)
+    claims = {}
+    for n, pts in by_n.items():
+        pts = sorted(pts, key=lambda point: point.ratio)
+        peak = max(point.p_log_q for point in pts)
+        claims[n] = {
+            "max_p_log_q": peak,
+            "n_log_n": pts[0].n_log_n,
+            "max_ratio_of_nlogn": (
+                peak / pts[0].n_log_n if pts[0].n_log_n else 0.0
+            ),
+            "low_at_extremes": (
+                pts[0].p_log_q <= peak and pts[-1].p_log_q <= peak
+                and (pts[-1].p_log_q < 0.5 * peak or pts[0].p_log_q < 0.5 * peak)
+            ),
+        }
+    return claims

@@ -1,0 +1,83 @@
+"""ASCII rendering of chain partitions.
+
+Makes the objects the algorithms argue about visible in the terminal:
+blocks with their loads, cut edges with their weights, and the bound
+they respect — used by the examples and handy in a REPL.
+
+::
+
+    [ 0..1 | w=7.0 ]--(1.0)--[ 2..3 | w=7.0 ]--(2.0)--[ 4 | w=6.0 ]
+    bound K=9: 3 blocks, bandwidth 3.0, bottleneck 2.0
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.graphs.chain import Chain
+
+
+def render_chain_partition(
+    chain: Chain,
+    cut_indices: Sequence[int],
+    bound: Optional[float] = None,
+    max_width: int = 100,
+) -> str:
+    """One-line (wrapped) drawing of the blocks a cut induces."""
+    blocks = chain.cut_components(cut_indices)
+    boundaries = sorted(set(cut_indices))
+    parts: List[str] = []
+    for idx, (lo, hi) in enumerate(blocks):
+        span = f"{lo}" if lo == hi else f"{lo}..{hi}"
+        parts.append(f"[ {span} | w={chain.segment_weight(lo, hi):g} ]")
+        if idx < len(boundaries):
+            parts.append(f"--({chain.edge_weight(boundaries[idx]):g})--")
+    # Wrap at block boundaries.
+    lines: List[str] = []
+    current = ""
+    for part in parts:
+        if current and len(current) + len(part) > max_width:
+            lines.append(current)
+            current = "    " + part
+        else:
+            current += part
+    if current:
+        lines.append(current)
+
+    weights = [chain.segment_weight(lo, hi) for lo, hi in blocks]
+    bandwidth = chain.cut_weight(boundaries)
+    bottleneck = max(
+        (chain.edge_weight(i) for i in boundaries), default=0.0
+    )
+    summary = (
+        f"{len(blocks)} blocks, max load {max(weights):g}, "
+        f"bandwidth {bandwidth:g}, bottleneck {bottleneck:g}"
+    )
+    if bound is not None:
+        ok = "ok" if max(weights) <= bound else "VIOLATED"
+        summary = f"bound K={bound:g} ({ok}): " + summary
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_load_bars(
+    chain: Chain,
+    cut_indices: Sequence[int],
+    bound: Optional[float] = None,
+    width: int = 40,
+) -> str:
+    """Per-block load bars scaled to the bound (or the max load)."""
+    blocks = chain.cut_components(cut_indices)
+    weights = [chain.segment_weight(lo, hi) for lo, hi in blocks]
+    scale = bound if bound is not None else max(weights)
+    lines = []
+    for idx, ((lo, hi), w) in enumerate(zip(blocks, weights)):
+        filled = min(width, int(round(w / scale * width)))
+        bar = "#" * filled + "." * (width - filled)
+        span = f"{lo}" if lo == hi else f"{lo}..{hi}"
+        lines.append(
+            f"block {idx:>2} [{bar}] {w:8.2f}  tasks {span}"
+        )
+    if bound is not None:
+        lines.append(f"{'':>9}bound K = {bound:g} (full bar)")
+    return "\n".join(lines)

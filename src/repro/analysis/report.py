@@ -1,0 +1,264 @@
+"""One-shot reproduction report: every experiment, one command.
+
+``python -m repro report`` runs a (fast, reduced-size) version of every
+experiment in DESIGN.md's index, checks each paper claim
+programmatically and prints a PASS/FAIL verdict table — the executable
+summary of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, List
+
+
+@dataclass
+class ClaimResult:
+    claim: str
+    passed: bool
+    detail: str
+    seconds: float
+
+
+def _check(claims: List[ClaimResult], claim: str, func: Callable[[], str]):
+    start = time.perf_counter()
+    try:
+        detail = func()
+        passed = True
+    except AssertionError as exc:
+        detail = str(exc) or "assertion failed"
+        passed = False
+    claims.append(ClaimResult(claim, passed, detail, time.perf_counter() - start))
+
+
+def run_report(quick: bool = True) -> List[ClaimResult]:
+    """Run all claim checks; ``quick`` shrinks instance sizes."""
+    from repro.analysis.complexity import (
+        linear_average_case,
+        temp_s_length_experiment,
+    )
+    from repro.analysis.figure2 import figure2_sweep, headline_claims
+    from repro.baselines import bandwidth_min_dp, bandwidth_min_nlogn
+    from repro.core import bandwidth_min, bandwidth_stats
+    from repro.core.bicriteria import lexicographic_chain_partition
+    from repro.graphs.generators import bound_for_ratio, figure2_chain
+    from repro.instrumentation.rng import spawn_rng
+
+    n = 1000 if quick else 4000
+    reps = 2 if quick else 3
+    claims: List[ClaimResult] = []
+
+    # --- Figure 2 ----------------------------------------------------
+    points = figure2_sweep(
+        [n], [1.2, 4.0, 16.0, 64.0, 0.28 * n], repetitions=reps
+    )
+    summary = headline_claims(points)[n]
+
+    def fig2_max():
+        ratio = summary["max_ratio_of_nlogn"]
+        assert ratio < 0.5, f"max p log q at {100*ratio:.0f}% of n log n"
+        return f"max p log q = {100*ratio:.0f}% of n log n"
+
+    _check(claims, "Fig2: max p log q << n log n", fig2_max)
+
+    def fig2_extremes():
+        assert summary["low_at_extremes"]
+        return "p log q low at extreme K"
+
+    _check(claims, "Fig2: low for high and low K", fig2_extremes)
+
+    def prime_length():
+        point = next(p for p in points if p.ratio == 16.0)
+        predicted = 2 * point.bound / (1.0 + point.w_max)
+        assert abs(point.mean_prime_length - predicted) < 0.2 * predicted, (
+            f"measured {point.mean_prime_length:.1f} vs {predicted:.1f}"
+        )
+        return (
+            f"prime length {point.mean_prime_length:.1f} ~ "
+            f"2K/(w1+w2) = {predicted:.1f}"
+        )
+
+    _check(claims, "S2.3.2: prime length ~ 2K/(w1+w2)", prime_length)
+
+    # --- Appendix B ---------------------------------------------------
+    def temps():
+        pts = temp_s_length_experiment([n], [32.0, 256.0], repetitions=reps)
+        for point in pts:
+            assert point.mean_temp_s_len <= 3 * point.log2_q + 2
+            assert point.mean_temp_s_len <= point.q / 3
+        worst = max(pts, key=lambda point: point.q)
+        return (
+            f"mean |TEMP_S| = {worst.mean_temp_s_len:.1f} at "
+            f"q = {worst.q:.0f} (log2 q = {worst.log2_q:.1f})"
+        )
+
+    _check(claims, "Appendix B: |TEMP_S| ~ log q", temps)
+
+    # --- Linear average case -------------------------------------------
+    def linear():
+        sizes = [n, 2 * n, 4 * n]
+        _points, lin, _nl = linear_average_case(
+            sizes, ratio=3.0, repetitions=reps, measure_time=False
+        )
+        assert lin.r_squared > 0.999, f"R^2 = {lin.r_squared:.5f}"
+        return f"linear fit R^2 = {lin.r_squared:.5f}"
+
+    _check(claims, "S2.3.2: linear time at bounded K/w", linear)
+
+    # --- Algorithm agreement -------------------------------------------
+    def agreement():
+        rng = spawn_rng(20260706, "report", n)
+        chain = figure2_chain(n, 100.0, rng)
+        bound = bound_for_ratio(chain, 8.0)
+        a = bandwidth_min(chain, bound).weight
+        b = bandwidth_min_nlogn(chain, bound).weight
+        c = bandwidth_min_dp(chain, bound).weight
+        assert abs(a - b) < 1e-6 and abs(a - c) < 1e-6
+        return f"three algorithms agree: optimum {a:.1f}"
+
+    _check(claims, "S2.3: algorithms agree on the optimum", agreement)
+
+    def ops_win():
+        rng = spawn_rng(20260706, "report-ops", n)
+        chain = figure2_chain(4 * n, 100.0, rng)
+        bound = bound_for_ratio(chain, 8.0)
+        stats = bandwidth_stats(chain, bound)
+        paper_ops = stats.n + stats.r + stats.search_steps
+        assert paper_ops < stats.n_log_n
+        return (
+            f"{paper_ops:.0f} ops vs n log n = {stats.n_log_n:.0f} "
+            f"({100 * paper_ops / stats.n_log_n:.0f}%)"
+        )
+
+    _check(claims, "S2.3.2: fewer operations than O(n log n)", ops_win)
+
+    # --- Tree algorithms ------------------------------------------------
+    def tree_claims():
+        from repro.baselines.tree_dp import min_cuts_exact
+        from repro.core import partition_tree, processor_min
+        from repro.graphs.generators import random_tree
+
+        tree = random_tree(14, spawn_rng(1, "report-tree"),
+                           integer_weights=True)
+        bound = 3.0 * tree.max_vertex_weight()
+        greedy = processor_min(tree, bound)
+        assert len(greedy.cut_edges) == min_cuts_exact(tree, bound)
+        plan = partition_tree(tree, bound)
+        assert plan.final_cut <= plan.bottleneck_cut
+        return (
+            f"Alg 2.2 optimal ({greedy.num_components} components); "
+            "pipeline cut nests in bottleneck cut"
+        )
+
+    _check(claims, "S2.1/2.2: tree algorithms optimal", tree_claims)
+
+    # --- Theorem 1 -------------------------------------------------------
+    def theorem1():
+        from repro.baselines import (
+            enumerate_tree_optima,
+            star_bandwidth_min,
+        )
+        from repro.graphs.tree import Tree
+
+        star = Tree.star(0.0, [2, 3, 4, 5, 6], [10, 20, 30, 40, 50])
+        _cut, weight = star_bandwidth_min(star, 9.0)
+        oracle = enumerate_tree_optima(star, 9.0)
+        assert abs(weight - oracle.min_bandwidth) < 1e-9
+        return f"star optimum {weight:g} via knapsack == brute force"
+
+    _check(claims, "Theorem 1: star <-> knapsack", theorem1)
+
+    # --- Section 3 -------------------------------------------------------
+    def realtime():
+        from repro.graphs.generators import random_chain
+        from repro.machine import SharedBus, SharedMemoryMachine
+        from repro.realtime import RealTimeTask
+        from repro.realtime.planner import compare_objectives
+
+        chain = random_chain(60, spawn_rng(2, "report-rt"),
+                             vertex_range=(1, 10), edge_range=(1, 100))
+        task = RealTimeTask("r", chain.alpha, chain.beta,
+                            deadline=4.0 * max(chain.alpha))
+        machine = SharedMemoryMachine(64, interconnect=SharedBus(10.0))
+        plans = {p.objective: p for p in compare_objectives(task, machine)}
+        assert all(p.meets_deadline for p in plans.values())
+        assert (
+            plans["bandwidth"].traffic.total_demand
+            <= plans["processors"].traffic.total_demand
+        )
+        return (
+            f"bandwidth demand {plans['bandwidth'].traffic.total_demand:.0f}"
+            f" <= processors-objective "
+            f"{plans['processors'].traffic.total_demand:.0f}"
+        )
+
+    _check(claims, "S3: real-time objectives trade off as claimed", realtime)
+
+    def des():
+        from repro.core import bandwidth_min as bw
+        from repro.desim import (
+            LogicSimulator,
+            ParallelLogicSimulator,
+            circuit_supergraph,
+        )
+        from repro.desim.netlists import ring_counter
+
+        circuit = ring_counter(48)
+        profile = LogicSimulator(circuit).run(800.0)
+        sg = circuit_supergraph(circuit, activity=profile.activity())
+        cut = bw(sg.chain, 6.0 * sg.chain.max_vertex_weight())
+        smart = sg.assignment_from_cut(cut.cut_indices)
+        k = cut.num_components
+        naive = [g % k for g in range(circuit.num_gates)]
+        run_smart = ParallelLogicSimulator(circuit, smart).run(800.0)
+        run_naive = ParallelLogicSimulator(circuit, naive).run(800.0)
+        assert run_smart.final_values == run_naive.final_values
+        assert run_smart.cross_messages < run_naive.cross_messages
+        return (
+            f"cross messages {run_smart.cross_messages} vs "
+            f"{run_naive.cross_messages} (round robin), identical results"
+        )
+
+    _check(claims, "S3: partitioned simulation minimizes messages", des)
+
+    def lexicographic():
+        rng = spawn_rng(3, "report-lex")
+        from repro.graphs.generators import random_chain
+
+        chain = random_chain(40, rng)
+        bound = 3.0 * chain.max_vertex_weight()
+        result = lexicographic_chain_partition(chain, bound)
+        free = bandwidth_min(chain, bound)
+        assert result.bandwidth >= free.weight - 1e-9
+        if result.cut_indices:
+            assert max(
+                chain.edge_weight(i) for i in result.cut_indices
+            ) <= result.bottleneck + 1e-9
+        return (
+            f"bottleneck {result.bottleneck:.1f}, "
+            f"bandwidth {result.bandwidth:.1f}"
+        )
+
+    _check(claims, "S3: lexicographic bottleneck+bandwidth", lexicographic)
+
+    return claims
+
+
+def render_report(claims: List[ClaimResult]) -> str:
+    width = max(len(c.claim) for c in claims)
+    lines = ["Reproduction report", "=" * (width + 40)]
+    for c in claims:
+        status = "PASS" if c.passed else "FAIL"
+        lines.append(
+            f"[{status}] {c.claim.ljust(width)}  {c.detail} "
+            f"({c.seconds:.1f}s)"
+        )
+    failed = sum(1 for c in claims if not c.passed)
+    lines.append("=" * (width + 40))
+    lines.append(
+        f"{len(claims) - failed}/{len(claims)} claims reproduced"
+        + ("" if not failed else f" — {failed} FAILED")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Generic deterministic parameter-sweep runner.
+
+Small utility used by benchmarks and the CLI: run a measurement function
+over the cartesian product of named parameter lists, with a
+deterministic per-point RNG, collecting dict rows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.instrumentation.rng import spawn_rng
+
+
+def sweep(
+    measure: Callable[..., Dict],
+    parameters: Dict[str, Sequence],
+    repetitions: int = 1,
+    master_seed: int = 20260706,
+) -> List[Dict]:
+    """Run ``measure(rng=..., **point)`` for every parameter combination.
+
+    ``measure`` receives each parameter by keyword plus a seeded ``rng``;
+    it returns a dict of measurements.  Rows carry the parameters, the
+    repetition index and the measurements.
+    """
+    names = list(parameters)
+    rows: List[Dict] = []
+    for values in itertools.product(*(parameters[name] for name in names)):
+        point = dict(zip(names, values))
+        for rep in range(repetitions):
+            rng = spawn_rng(master_seed, *values, rep)
+            measurements = measure(rng=rng, **point)
+            row = dict(point)
+            row["rep"] = rep
+            row.update(measurements)
+            rows.append(row)
+    return rows
+
+
+def aggregate(rows: List[Dict], group_by: Sequence[str]) -> List[Dict]:
+    """Average numeric fields of rows sharing the same group key."""
+    groups: Dict[tuple, List[Dict]] = {}
+    for row in rows:
+        key = tuple(row[name] for name in group_by)
+        groups.setdefault(key, []).append(row)
+    out: List[Dict] = []
+    for key, members in groups.items():
+        agg: Dict = dict(zip(group_by, key))
+        numeric = [
+            name
+            for name, value in members[0].items()
+            if name not in group_by
+            and name != "rep"
+            and isinstance(value, (int, float))
+        ]
+        for name in numeric:
+            agg[name] = sum(m[name] for m in members) / len(members)
+        out.append(agg)
+    return out

@@ -1,0 +1,90 @@
+"""Baselines and oracles the paper compares against (or that we use to
+verify the paper's algorithms).
+
+Chain bandwidth minimization (same problem as Algorithm 4.1):
+
+- :func:`~repro.baselines.exact_dp.bandwidth_min_dp` — ``O(n^2)`` DP
+  oracle;
+- :func:`~repro.baselines.nicol.bandwidth_min_nlogn` — Nicol &
+  O'Hallaron-style ``O(n log n)`` baseline [11];
+- :func:`~repro.baselines.sliding_window.bandwidth_min_deque` — modern
+  ``O(n)`` monotone deque;
+- :mod:`~repro.baselines.brute_force` — exhaustive enumeration.
+
+Tree processor minimization:
+
+- :func:`~repro.baselines.kundu_misra.processor_min_bottom_up` —
+  independent bottom-up greedy;
+- :func:`~repro.baselines.tree_dp.min_cuts_exact` — exact DP oracle.
+
+Chains-on-chains (the prior-work family, references [5] and [8]):
+
+- :mod:`~repro.baselines.bokhari`, :mod:`~repro.baselines.hansen_lih`.
+
+NP-complete star case (Theorem 1): :mod:`~repro.baselines.star_knapsack`.
+
+Naive comparison partitions: :mod:`~repro.baselines.greedy`.
+"""
+
+from repro.baselines.bokhari import CCPResult, bokhari_pipelined_dp, ccp_dp, ccp_probe
+from repro.baselines.brute_force import (
+    BruteForceOptimum,
+    chain_min_bandwidth,
+    chain_min_bottleneck,
+    chain_min_components,
+    enumerate_tree_optima,
+)
+from repro.baselines.exact_dp import bandwidth_min_dp
+from repro.baselines.greedy import equal_blocks_cut, first_fit_cut, random_feasible_cut
+from repro.baselines.hansen_lih import ccp_hansen_lih
+from repro.baselines.heterogeneous import ccp_hetero_dp, ccp_hetero_probe
+from repro.baselines.host_satellite import (
+    HostSatelliteResult,
+    brute_force_host_satellite,
+    host_satellite_min_bottleneck,
+)
+from repro.baselines.kundu_misra import processor_min_bottom_up
+from repro.baselines.nicol import bandwidth_min_nlogn
+from repro.baselines.sliding_window import bandwidth_min_deque
+from repro.baselines.star_knapsack import (
+    KnapsackSolution,
+    knapsack_01,
+    knapsack_items_to_cut,
+    knapsack_to_star,
+    cut_to_knapsack_items,
+    star_bandwidth_min,
+)
+from repro.baselines.tree_dp import min_components_exact, min_cuts_exact
+
+__all__ = [
+    "BruteForceOptimum",
+    "CCPResult",
+    "KnapsackSolution",
+    "bandwidth_min_deque",
+    "bandwidth_min_dp",
+    "bandwidth_min_nlogn",
+    "bokhari_pipelined_dp",
+    "ccp_dp",
+    "ccp_hansen_lih",
+    "ccp_probe",
+    "chain_min_bandwidth",
+    "chain_min_bottleneck",
+    "chain_min_components",
+    "ccp_hetero_dp",
+    "ccp_hetero_probe",
+    "HostSatelliteResult",
+    "brute_force_host_satellite",
+    "host_satellite_min_bottleneck",
+    "cut_to_knapsack_items",
+    "enumerate_tree_optima",
+    "equal_blocks_cut",
+    "first_fit_cut",
+    "knapsack_01",
+    "knapsack_items_to_cut",
+    "knapsack_to_star",
+    "min_components_exact",
+    "min_cuts_exact",
+    "processor_min_bottom_up",
+    "random_feasible_cut",
+    "star_bandwidth_min",
+]

@@ -1,0 +1,184 @@
+"""Host–satellite tree partitioning (Bokhari's polynomial tree case).
+
+The paper's related-work discussion notes that "Bokhari's bottleneck
+minimization problem takes polynomial time when the task graph is a
+tree and target architecture is single host multiple (identical)
+satellite system".  This module provides that comparison point.
+
+Model (single host, unlimited identical satellites):
+
+* the task graph is a rooted tree; the root stays on the host;
+* a cut edge ``(parent, v)`` offloads the *entire* subtree under ``v``
+  to a dedicated satellite (satellites cannot talk to each other, so
+  offloaded pieces must be whole subtrees and nested offloads are
+  pointless — the outermost cut already removed the work);
+* satellite load = subtree weight + the cut edge's communication;
+* host load = weight kept on the host + communication of all cut edges;
+* objective: minimize the bottleneck ``max(host load, satellite loads)``.
+
+For a candidate bottleneck ``B`` the feasibility question is solved by
+a greedy DP: walking bottom-up, offload a subtree exactly when it is
+allowed (``subtree weight + edge <= B``) and profitable (the edge costs
+the host less than keeping the subtree).  The minimum feasible ``B`` is
+then found by bisection; the tests validate optimality against
+brute-force enumeration of offload sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.graphs.task_graph import Edge
+from repro.graphs.tree import Tree
+
+
+@dataclass
+class HostSatelliteResult:
+    """An offload plan: cut edges, per-satellite loads, host load."""
+
+    tree: Tree
+    root: int
+    offloaded: Set[Edge]
+    host_load: float
+    satellite_loads: List[float]
+
+    @property
+    def bottleneck(self) -> float:
+        return max([self.host_load] + self.satellite_loads)
+
+    @property
+    def num_satellites(self) -> int:
+        return len(self.satellite_loads)
+
+
+def _best_host_load(
+    tree: Tree, root: int, bound: float
+) -> Tuple[float, Set[Edge], List[float]]:
+    """Minimum host load when every satellite must stay within ``bound``.
+
+    Greedy bottom-up: because offloading subtree ``v`` replaces its
+    *entire* host-side contribution by the single edge weight, and
+    contributions are additive and independent across siblings, the
+    host-optimal plan offloads ``v`` iff it fits a satellite and the
+    edge is cheaper than the subtree's own best host-side cost.
+    """
+    order, parent = tree.post_order(root)
+    subtree = tree.subtree_weights(root)
+    # host_cost[v] = min host-side cost contributed by v's subtree,
+    # assuming v itself stays on the host.
+    host_cost = [0.0] * tree.num_vertices
+    offloaded: Set[Edge] = set()
+    satellite_loads: List[float] = []
+    chosen: List[List[Edge]] = [[] for _ in range(tree.num_vertices)]
+    loads: List[List[float]] = [[] for _ in range(tree.num_vertices)]
+
+    for v in order:
+        cost = tree.vertex_weight(v)
+        cuts: List[Edge] = []
+        sat: List[float] = []
+        for c in tree.neighbors(v):
+            if parent[c] != v:
+                continue
+            edge = (v, c) if v < c else (c, v)
+            edge_w = tree.edge_weight(v, c)
+            keep = host_cost[c]
+            sat_load = subtree[c] + edge_w
+            if sat_load <= bound and edge_w < keep:
+                cost += edge_w
+                cuts.append(edge)
+                sat.append(sat_load)
+            else:
+                cost += keep
+                cuts.extend(chosen[c])
+                sat.extend(loads[c])
+        host_cost[v] = cost
+        chosen[v] = cuts
+        loads[v] = sat
+
+    return host_cost[root], set(chosen[root]), loads[root]
+
+
+def host_satellite_min_bottleneck(
+    tree: Tree, root: int = 0, tolerance: float = 1e-9
+) -> HostSatelliteResult:
+    """Minimize ``max(host load, satellite loads)`` by bisection on B.
+
+    Bisection runs on the bottleneck value; each probe is the linear
+    greedy above.  Converges to within ``tolerance`` of the optimum and
+    snaps to the realized bottleneck of the final plan.
+    """
+    total = tree.total_vertex_weight()
+    # B can never beat the heaviest single vertex kept on the host.
+    lo = tree.vertex_weight(root)
+    hi = total  # keeping everything on the host is always feasible
+
+    def plan_for(bound: float) -> HostSatelliteResult:
+        host, cuts, sats = _best_host_load(tree, root, bound)
+        return HostSatelliteResult(tree, root, cuts, host, sats)
+
+    best = plan_for(hi)
+    hi = best.bottleneck
+    for _ in range(200):
+        if hi - lo <= tolerance * max(1.0, total):
+            break
+        mid = 0.5 * (lo + hi)
+        candidate = plan_for(mid)
+        if candidate.bottleneck <= mid:
+            best = candidate
+            hi = min(mid, candidate.bottleneck)
+        else:
+            lo = mid
+    return best
+
+
+def brute_force_host_satellite(
+    tree: Tree, root: int = 0
+) -> HostSatelliteResult:
+    """Exhaustive optimum over all antichains of offloaded subtrees
+    (tiny instances; used as the test oracle)."""
+    if tree.num_edges > 16:
+        raise ValueError("brute force limited to 16 edges")
+    _order, parent = tree.post_order(root)
+    subtree = tree.subtree_weights(root)
+    edges = [
+        (min(p, v), max(p, v))
+        for v, p in enumerate(parent)
+        if p >= 0
+    ]
+    child_of_edge = {}
+    for v, p in enumerate(parent):
+        if p >= 0:
+            child_of_edge[(min(p, v), max(p, v))] = v
+
+    def is_antichain(selected: List[Edge]) -> bool:
+        roots = [child_of_edge[e] for e in selected]
+        for r in roots:
+            p = parent[r]
+            while p >= 0:
+                if p in roots:
+                    return False
+                p = parent[p]
+        return True
+
+    from itertools import combinations
+
+    best: Optional[HostSatelliteResult] = None
+    for r in range(len(edges) + 1):
+        for combo in combinations(edges, r):
+            selected = list(combo)
+            if not is_antichain(selected):
+                continue
+            sat_loads = []
+            host = tree.total_vertex_weight()
+            for e in selected:
+                child = child_of_edge[e]
+                w = tree.edge_weight(*e)
+                sat_loads.append(subtree[child] + w)
+                host -= subtree[child]
+                host += w
+            plan = HostSatelliteResult(tree, root, set(selected), host, sat_loads)
+            if best is None or plan.bottleneck < best.bottleneck:
+                best = plan
+    assert best is not None
+    return best

@@ -1,0 +1,443 @@
+"""Command-line entry points: ``python -m repro <experiment>``.
+
+Each subcommand regenerates one of the paper's evaluation artifacts as
+an ASCII table (see DESIGN.md's experiment index):
+
+- ``fig2``      — the Figure-2 sweep (p, q, p log q vs K and n);
+- ``fig2w``     — Figure-2 weight-range sweep (vs max module weight);
+- ``compare``   — wall-clock comparison of the bandwidth algorithms;
+- ``linear``    — the bounded-K/w linear-average-case experiment;
+- ``temps``     — the Appendix-B TEMP_S queue-length measurement;
+- ``tree``      — bottleneck + processor minimization demo on a tree;
+- ``realtime``  — the Section-3 real-time planning demo;
+- ``circuit``   — the Section-3 distributed-simulation demo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    from repro.analysis.figure2 import figure2_sweep, headline_claims
+    from repro.analysis.tables import render_table
+
+    ns = [int(x) for x in args.n]
+    ratios = [float(x) for x in args.ratio]
+    points = figure2_sweep(ns, ratios, repetitions=args.reps)
+    rows = [
+        [p.n, p.ratio, p.p, p.q, p.p_log_q, p.n_log_n,
+         p.plogq_over_nlogn, p.mean_prime_length, p.mean_temp_s_len]
+        for p in points
+    ]
+    print(
+        render_table(
+            ["n", "K/wmax", "p", "q", "p log q", "n log n",
+             "ratio", "prime len", "mean |TEMP_S|"],
+            rows,
+            "Figure 2 — prime-subpath statistics vs K",
+        )
+    )
+    print()
+    for n, claim in headline_claims(points).items():
+        print(
+            f"n={n}: max p log q = {claim['max_p_log_q']:.0f} "
+            f"({100 * claim['max_ratio_of_nlogn']:.0f}% of n log n), "
+            f"low at extreme K: {claim['low_at_extremes']}"
+        )
+    return 0
+
+
+def _cmd_fig2w(args: argparse.Namespace) -> int:
+    from repro.analysis.figure2 import figure2_weight_sweep
+    from repro.analysis.tables import render_table
+
+    points = figure2_weight_sweep(
+        args.n, [float(w) for w in args.wmax], ratio=args.k_ratio,
+        repetitions=args.reps,
+    )
+    rows = [
+        [p.w_max, p.bound, p.p, p.q, p.p_log_q, p.mean_prime_length]
+        for p in points
+    ]
+    print(
+        render_table(
+            ["w_max", "K", "p", "q", "p log q", "prime len"],
+            rows,
+            f"Figure 2 — effect of max module weight (n={args.n})",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.complexity import runtime_comparison
+    from repro.analysis.tables import render_table
+    from repro.baselines import (
+        bandwidth_min_deque,
+        bandwidth_min_dp,
+        bandwidth_min_nlogn,
+    )
+    from repro.core import bandwidth_min
+    from repro.core.recurrence import bandwidth_min_naive
+
+    algorithms = {
+        "paper O(n+p log q)": bandwidth_min,
+        "nicol O(n log n)": bandwidth_min_nlogn,
+        "deque O(n)": bandwidth_min_deque,
+        "naive recurrence": bandwidth_min_naive,
+    }
+    if args.include_quadratic:
+        algorithms["dp O(n^2)"] = bandwidth_min_dp
+    ns = [int(x) for x in args.n]
+    rows = runtime_comparison(algorithms, ns, ratio=args.k_ratio,
+                              repetitions=args.reps)
+    headers = ["n"] + list(algorithms) + ["optimum"]
+    print(
+        render_table(
+            headers,
+            [[row[h] for h in headers] for row in rows],
+            f"Bandwidth minimization wall time (s), K = {args.k_ratio} * wmax",
+        )
+    )
+    return 0
+
+
+def _cmd_linear(args: argparse.Namespace) -> int:
+    from repro.analysis.complexity import linear_average_case
+    from repro.analysis.tables import render_table
+
+    ns = [int(x) for x in args.n]
+    points, linear_fit, nlogn_fit = linear_average_case(
+        ns, ratio=args.k_ratio, repetitions=args.reps
+    )
+    rows = [[p.n, p.operations, p.wall_time, p.p, p.q] for p in points]
+    print(
+        render_table(
+            ["n", "operations", "seconds", "p", "q"],
+            rows,
+            f"Linear-average-case experiment, K/wmax = {args.k_ratio}",
+        )
+    )
+    print()
+    print(f"linear fit : ops ~ {linear_fit.a:.3f} n + {linear_fit.b:.1f} "
+          f"(R^2 = {linear_fit.r_squared:.5f})")
+    print(f"nlogn fit  : ops ~ {nlogn_fit.a:.3f} n log n + {nlogn_fit.b:.1f} "
+          f"(R^2 = {nlogn_fit.r_squared:.5f})")
+    return 0
+
+
+def _cmd_temps(args: argparse.Namespace) -> int:
+    from repro.analysis.complexity import temp_s_length_experiment
+    from repro.analysis.tables import render_table
+
+    points = temp_s_length_experiment(
+        [int(x) for x in args.n],
+        [float(x) for x in args.ratio],
+        repetitions=args.reps,
+    )
+    rows = [
+        [p.n, p.ratio, p.q, p.log2_q, p.mean_temp_s_len, p.max_temp_s_len]
+        for p in points
+    ]
+    print(
+        render_table(
+            ["n", "K/wmax", "q", "log2 q", "mean |TEMP_S|", "max |TEMP_S|"],
+            rows,
+            "Appendix B — TEMP_S queue length vs log q",
+        )
+    )
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    from repro.core import partition_tree
+    from repro.graphs.generators import random_tree
+
+    tree = random_tree(args.n, rng=args.seed, integer_weights=True)
+    bound = args.k_ratio * tree.max_vertex_weight()
+    plan = partition_tree(tree, bound)
+    print(f"tree: n={tree.num_vertices}, total weight {tree.total_vertex_weight():g}")
+    print(plan.summary())
+    partition = plan.partition()
+    print(f"component weights: {[round(w, 1) for w in partition.component_weights]}")
+    return 0
+
+
+def _cmd_realtime(args: argparse.Namespace) -> int:
+    from repro.graphs.generators import random_chain
+    from repro.machine import SharedBus, SharedMemoryMachine
+    from repro.realtime import RealTimeTask, build_schedule, plan_realtime_task
+    from repro.realtime.planner import compare_objectives
+
+    rng_chain = random_chain(args.n, rng=args.seed,
+                             vertex_range=(1, 10), edge_range=(1, 100))
+    task = RealTimeTask(
+        "demo", rng_chain.alpha, rng_chain.beta,
+        deadline=args.k_ratio * max(rng_chain.alpha),
+    )
+    machine = SharedMemoryMachine(64, interconnect=SharedBus(bandwidth=10.0))
+    for plan in compare_objectives(task, machine):
+        print(f"[{plan.objective}] {plan.summary()}")
+    plan = plan_realtime_task(task, machine)
+    schedules = build_schedule(plan, machine)
+    print(f"stages: {len(schedules)}, worst slack "
+          f"{min(s.slack for s in schedules):.2f}")
+    return 0
+
+
+def _cmd_circuit(args: argparse.Namespace) -> int:
+    from repro.core import bandwidth_min
+    from repro.desim import LogicSimulator, circuit_supergraph, simulate_partitioned
+    from repro.desim.netlists import ring_counter
+
+    circuit = ring_counter(args.n)
+    profile = LogicSimulator(circuit).run(args.end_time)
+    supergraph = circuit_supergraph(circuit, activity=profile.activity())
+    bound = args.k_ratio * supergraph.chain.max_vertex_weight()
+    cut = bandwidth_min(supergraph.chain, bound)
+    assignment = supergraph.assignment_from_cut(cut.cut_indices)
+    run = simulate_partitioned(circuit, assignment, args.end_time)
+    print(f"circuit: {circuit!r}")
+    print(f"partition: {run.num_processors} processors, "
+          f"{run.cross_messages} cross / {run.local_messages} local messages, "
+          f"imbalance {run.load_imbalance:.2f}")
+    return 0
+
+
+def _cmd_ring(args: argparse.Namespace) -> int:
+    from repro.core.bandwidth import bandwidth_min
+    from repro.core.ring import ring_bandwidth_min
+    from repro.graphs.ring import Ring
+    from repro.instrumentation.rng import spawn_rng
+
+    rng = spawn_rng(args.seed, "ring", args.n)
+    alpha = [rng.uniform(1, 10) for _ in range(args.n)]
+    beta = [rng.uniform(1, 100) for _ in range(args.n)]
+    ring = Ring(alpha, beta)
+    bound = args.k_ratio * ring.max_vertex_weight()
+    exact = ring_bandwidth_min(ring, bound)
+    # Heuristic: break at the lightest edge first, then solve the chain.
+    lightest = min(range(ring.num_edges), key=lambda i: ring.beta[i])
+    chain = ring.open_at(lightest)
+    heuristic_weight = ring.edge_weight(lightest) + bandwidth_min(
+        chain, bound
+    ).weight
+    print(f"ring: n={ring.num_tasks}, K={bound:.1f}")
+    print(f"exact circular partition : weight {exact.weight:.2f} "
+          f"({len(exact.cut_indices)} cuts, "
+          f"{exact.candidates_tried} candidates tried)")
+    print(f"break-lightest heuristic : weight {heuristic_weight:.2f}")
+    gap = heuristic_weight / exact.weight if exact.weight else 1.0
+    print(f"heuristic/exact ratio    : {gap:.4f}")
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+    from repro.core.inverse import tree_pareto_frontier
+    from repro.graphs.generators import random_tree
+
+    tree = random_tree(args.n, rng=args.seed, integer_weights=True)
+    rows = tree_pareto_frontier(tree, args.max_processors)
+    print(
+        render_table(
+            ["processors", "best bound K", "components", "bottleneck",
+             "bandwidth"],
+            [[r["processors"], r["bound"], r["components"], r["bottleneck"],
+              r["bandwidth"]] for r in rows],
+            f"Processor/bound Pareto frontier (tree n={args.n}, "
+            f"total {tree.total_vertex_weight():g})",
+        )
+    )
+    return 0
+
+
+def _cmd_sync(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+    from repro.core.bandwidth import bandwidth_min
+    from repro.desim import (
+        LogicSimulator,
+        ParallelLogicSimulator,
+        TimeWarpSimulator,
+        circuit_supergraph,
+    )
+    from repro.desim.netlists import ring_counter
+
+    circuit = ring_counter(args.n)
+    profile = LogicSimulator(circuit).run(args.end_time)
+    supergraph = circuit_supergraph(circuit, activity=profile.activity())
+    cut = bandwidth_min(
+        supergraph.chain, args.k_ratio * supergraph.chain.max_vertex_weight()
+    )
+    k = cut.num_components
+    placements = {
+        "algorithm 4.1": supergraph.assignment_from_cut(cut.cut_indices),
+        "round robin": [g % k for g in range(circuit.num_gates)],
+    }
+    rows = []
+    for name, assignment in placements.items():
+        conservative = ParallelLogicSimulator(circuit, assignment).run(
+            args.end_time
+        )
+        optimistic = TimeWarpSimulator(circuit, assignment).run(args.end_time)
+        assert optimistic.final_values == conservative.final_values
+        rows.append([
+            name,
+            conservative.cross_messages,
+            conservative.windows,
+            optimistic.rollbacks,
+            optimistic.events_rolled_back,
+            f"{100 * optimistic.wasted_fraction:.1f}%",
+            optimistic.anti_messages,
+        ])
+    print(render_table(
+        ["placement", "cross msgs", "cons. windows", "TW rollbacks",
+         "TW rolled-back", "TW wasted", "TW anti-msgs"],
+        rows,
+        f"Synchronization cost on {k} LPs (identical committed results)",
+    ))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_report, run_report
+
+    claims = run_report(quick=not args.full)
+    print(render_report(claims))
+    return 0 if all(c.passed for c in claims) else 1
+
+
+def _cmd_fig2plot(args: argparse.Namespace) -> int:
+    from repro.analysis.ascii_plot import ascii_plot
+    from repro.analysis.figure2 import figure2_sweep
+
+    ns = [int(x) for x in args.n]
+    ratios = [float(x) for x in args.ratio]
+    points = figure2_sweep(ns, ratios, repetitions=args.reps)
+    series = {}
+    for n in ns:
+        series[f"p log q (n={n})"] = [
+            (p.ratio, max(p.p_log_q, 0.1)) for p in points if p.n == n
+        ]
+        series[f"n log n (n={n})"] = [
+            (p.ratio, p.n_log_n) for p in points if p.n == n
+        ]
+    print(
+        ascii_plot(
+            series,
+            log_x=True,
+            log_y=True,
+            title="Figure 2: p log q vs n log n over K/wmax (log-log)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Ray & Jiang (ICDCS 1994) — experiment CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig2", help="Figure-2 sweep")
+    p.add_argument("--n", nargs="+", default=["1000", "4000"])
+    p.add_argument("--ratio", nargs="+",
+                   default=["1.2", "2", "4", "8", "16", "40", "100", "300"])
+    p.add_argument("--reps", type=int, default=3)
+    p.set_defaults(func=_cmd_fig2)
+
+    p = sub.add_parser("fig2w", help="Figure-2 weight-range sweep")
+    p.add_argument("--n", type=int, default=2000)
+    p.add_argument("--wmax", nargs="+", default=["2", "5", "10", "30", "100", "300"])
+    p.add_argument("--k-ratio", type=float, default=4.0)
+    p.add_argument("--reps", type=int, default=3)
+    p.set_defaults(func=_cmd_fig2w)
+
+    p = sub.add_parser("compare", help="algorithm wall-time comparison")
+    p.add_argument("--n", nargs="+", default=["1000", "10000", "100000"])
+    p.add_argument("--k-ratio", type=float, default=4.0)
+    p.add_argument("--reps", type=int, default=3)
+    p.add_argument("--include-quadratic", action="store_true")
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("linear", help="linear-average-case experiment")
+    p.add_argument("--n", nargs="+",
+                   default=["2000", "4000", "8000", "16000", "32000"])
+    p.add_argument("--k-ratio", type=float, default=3.0)
+    p.add_argument("--reps", type=int, default=3)
+    p.set_defaults(func=_cmd_linear)
+
+    p = sub.add_parser("temps", help="Appendix-B TEMP_S length experiment")
+    p.add_argument("--n", nargs="+", default=["4000"])
+    p.add_argument("--ratio", nargs="+",
+                   default=["2", "8", "32", "128", "512"])
+    p.add_argument("--reps", type=int, default=3)
+    p.set_defaults(func=_cmd_temps)
+
+    p = sub.add_parser("tree", help="tree partitioning demo")
+    p.add_argument("--n", type=int, default=200)
+    p.add_argument("--k-ratio", type=float, default=5.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_tree)
+
+    p = sub.add_parser("realtime", help="real-time planning demo (Section 3)")
+    p.add_argument("--n", type=int, default=100)
+    p.add_argument("--k-ratio", type=float, default=4.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_realtime)
+
+    p = sub.add_parser("circuit", help="distributed simulation demo (Section 3)")
+    p.add_argument("--n", type=int, default=64)
+    p.add_argument("--k-ratio", type=float, default=8.0)
+    p.add_argument("--end-time", type=float, default=2000.0)
+    p.set_defaults(func=_cmd_circuit)
+
+    p = sub.add_parser("ring", help="circular task graph partitioning")
+    p.add_argument("--n", type=int, default=500)
+    p.add_argument("--k-ratio", type=float, default=4.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_ring)
+
+    p = sub.add_parser("pareto", help="processor/bound trade-off for a tree")
+    p.add_argument("--n", type=int, default=120)
+    p.add_argument("--max-processors", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_pareto)
+
+    p = sub.add_parser(
+        "sync", help="conservative vs Time Warp synchronization comparison"
+    )
+    p.add_argument("--n", type=int, default=64)
+    p.add_argument("--k-ratio", type=float, default=6.0)
+    p.add_argument("--end-time", type=float, default=1500.0)
+    p.set_defaults(func=_cmd_sync)
+
+    p = sub.add_parser(
+        "report", help="run every experiment and print PASS/FAIL verdicts"
+    )
+    p.add_argument("--full", action="store_true",
+                   help="larger instances (slower, closer to EXPERIMENTS.md)")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("fig2plot", help="ASCII plot of the Figure-2 curves")
+    p.add_argument("--n", nargs="+", default=["2000"])
+    p.add_argument("--ratio", nargs="+",
+                   default=["1.2", "2", "4", "8", "16", "40", "100", "300"])
+    p.add_argument("--reps", type=int, default=2)
+    p.set_defaults(func=_cmd_fig2plot)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

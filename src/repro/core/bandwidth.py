@@ -1,0 +1,143 @@
+"""Bandwidth minimization for linear task graphs — Algorithm 4.1.
+
+Given a chain with vertex weights ``alpha`` and edge weights ``beta``
+and a bound ``K >= max alpha``, find a minimum-total-weight edge cut
+``S`` such that every component of ``P - S`` weighs at most ``K``
+(Section 2.3 of the paper).
+
+The algorithm:
+
+1. compute the ``p`` prime subpaths and reduce to ``r <= min(n-1, 2p-1)``
+   non-redundant edges — ``O(n)``
+   (:mod:`repro.core.prime_subpaths`);
+2. sweep the non-redundant edges left to right maintaining the TEMP_S
+   queue (:mod:`repro.core.temp_s`), evaluating the recurrence
+
+   .. math::
+
+       W_j = \\beta_j + \\beta(S_{\\gamma_j}), \\qquad
+       \\beta(S_i) = \\min_{e_j \\in P_i} W_j
+
+   in ``O(log q_i)`` per edge, for ``O(n + p log q)`` total.
+
+The return value reports the cut, its weight and the Figure-2 statistics
+(``p``, ``q``, TEMP_S lengths, search steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.feasibility import validate_bound
+from repro.core.prime_subpaths import PrimeStructure
+from repro.core.temp_s import SolutionNode, TempSQueue, solution_weight
+from repro.graphs.chain import Chain
+from repro.graphs.partition import Cut, cut_from_chain_indices
+from repro.instrumentation.counters import AlgorithmStats, OpCounter
+
+
+@dataclass
+class ChainCutResult:
+    """A cut on a chain: edge indices, total weight and run statistics."""
+
+    chain: Chain
+    cut_indices: List[int]
+    weight: float
+    stats: Optional[AlgorithmStats] = field(default=None, repr=False)
+
+    @property
+    def num_components(self) -> int:
+        return len(self.cut_indices) + 1
+
+    def component_weights(self) -> List[float]:
+        return self.chain.component_weights(self.cut_indices)
+
+    def blocks(self) -> List[tuple]:
+        return self.chain.cut_components(self.cut_indices)
+
+    def as_cut(self) -> Cut:
+        """The cut as a :class:`repro.graphs.partition.Cut` on the chain's
+        task-graph form (allocates a fresh graph)."""
+        return cut_from_chain_indices(self.chain.to_task_graph(), self.cut_indices)
+
+    def is_feasible(self, bound: float) -> bool:
+        return self.chain.is_feasible_cut(self.cut_indices, bound)
+
+
+def bandwidth_min(
+    chain: Chain,
+    bound: float,
+    *,
+    apply_reduction: bool = True,
+    search: str = "binary",
+    collect_stats: bool = False,
+) -> ChainCutResult:
+    """Minimum-bandwidth load-bounded cut of a chain — Algorithm 4.1.
+
+    Parameters
+    ----------
+    chain:
+        The linear task graph.
+    bound:
+        Execution-time bound ``K``; must be at least the maximum vertex
+        weight (:class:`~repro.core.feasibility.InfeasibleBoundError`
+        otherwise).
+    apply_reduction:
+        Keep only non-redundant edges (the default, as in the paper).
+        Disable to measure what the reduction buys (ablation).
+    search:
+        ``"binary"`` for the paper's binary search on the TEMP_S W
+        column, ``"linear"`` for amortized monotone-deque pops.
+    collect_stats:
+        Attach an :class:`~repro.instrumentation.counters.AlgorithmStats`
+        with the Figure-2 quantities to the result (small overhead).
+    """
+    validate_bound(chain.alpha, bound)
+    structure = PrimeStructure.compute(chain, bound, apply_reduction=apply_reduction)
+    counter = OpCounter() if collect_stats else None
+    queue = TempSQueue(search=search, counter=counter)
+
+    final_sol: Optional[SolutionNode] = None
+    final_weight = 0.0
+    if structure.p > 0:
+        gamma_sol: Optional[SolutionNode] = None  # S_{lo_j - 1}; None = empty
+        for edge in structure.edges:
+            completed = queue.pop_completed(edge.first_prime)
+            if completed is not None:
+                gamma_sol = completed.sol
+            w_value = edge.weight + solution_weight(
+                gamma_sol if edge.first_prime > 0 else None
+            )
+            node = SolutionNode(
+                edge.index,
+                edge.weight,
+                gamma_sol if edge.first_prime > 0 else None,
+            )
+            queue.update(w_value, node, edge.first_prime, edge.last_prime)
+        # The last prime subpath never completes during the sweep; its
+        # solution sits in the BOTTOM row ("Solution S_p is
+        # TEMP_S(4, BOTTOM)").
+        bottom = queue.bottom
+        final_sol = bottom.sol
+        final_weight = bottom.w
+
+    cut_indices = final_sol.edge_indices() if final_sol is not None else []
+    stats: Optional[AlgorithmStats] = None
+    if collect_stats:
+        stats = AlgorithmStats(chain.num_tasks)
+        stats.p = structure.p
+        stats.r = structure.r
+        stats.q_values = structure.q_values
+        if counter is not None:
+            stats.search_steps = counter.get("search_steps")
+            stats.max_temp_s_len = int(counter.trace_max("temp_s_len"))
+            stats.mean_temp_s_len = counter.trace_mean("temp_s_len")
+    return ChainCutResult(chain, cut_indices, final_weight, stats)
+
+
+def bandwidth_stats(chain: Chain, bound: float, **kwargs) -> AlgorithmStats:
+    """Convenience wrapper returning only the Figure-2 statistics."""
+    result = bandwidth_min(chain, bound, collect_stats=True, **kwargs)
+    assert result.stats is not None
+    return result.stats

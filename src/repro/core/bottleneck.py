@@ -1,0 +1,138 @@
+"""Bottleneck minimization for tree task graphs — Algorithm 2.1.
+
+Given a tree ``T`` with vertex weights and edge weights and a bound
+``K``, find an edge cut ``S`` such that no component of ``T - S`` weighs
+more than ``K`` and the *heaviest* edge of ``S`` is as light as possible
+(Section 2.1).  The paper's greedy adds edges to ``S`` in increasing
+weight order and stops at the first feasible prefix; its correctness
+proof shows any feasible prefix of the sorted order whose last edge is
+no heavier than an optimal solution's heaviest edge works.
+
+Two implementations with identical output:
+
+- :func:`bottleneck_min_naive` — the paper's loop verbatim: after each
+  added edge, re-check all component weights (``O(n)`` BFS), ``O(n^2)``
+  total.
+- :func:`bottleneck_min` — observes that ``T - S_i`` (removing the ``i``
+  lightest edges) equals the forest built from the ``n-1-i`` *heaviest*
+  edges, so a single union-find sweep adding edges heaviest-first finds
+  the break-even point in ``O(n log n)`` (sorting dominates).
+
+Both use the same deterministic tie-break (weight, then canonical edge),
+so their outputs are identical sets, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.core.feasibility import validate_bound
+from repro.graphs.partition import Cut, Partition
+from repro.graphs.task_graph import Edge
+from repro.graphs.tree import Tree
+
+
+@dataclass
+class TreeCutResult:
+    """A cut on a tree: edges, bottleneck value and induced partition."""
+
+    tree: Tree
+    cut_edges: Set[Edge]
+    bottleneck: float
+
+    @property
+    def num_components(self) -> int:
+        return len(self.cut_edges) + 1
+
+    def as_cut(self) -> Cut:
+        return Cut(self.tree, self.cut_edges)
+
+    def partition(self) -> Partition:
+        return self.as_cut().partition()
+
+    def is_feasible(self, bound: float) -> bool:
+        return all(w <= bound for w in self.tree.component_weights(self.cut_edges))
+
+
+def _sorted_edges(tree: Tree) -> List[Tuple[float, Edge]]:
+    """Edges sorted by (weight, canonical index) — the shared tie-break."""
+    return sorted(
+        ((weight, edge) for edge, weight in tree.weighted_edges()),
+        key=lambda item: (item[0], item[1]),
+    )
+
+
+def bottleneck_min_naive(tree: Tree, bound: float) -> TreeCutResult:
+    """Algorithm 2.1 exactly as printed: grow ``S`` one sorted edge at a
+    time, re-checking feasibility after each addition.  ``O(n^2)``."""
+    validate_bound(tree.vertex_weights, bound)
+    ordered = _sorted_edges(tree)
+    cut: Set[Edge] = set()
+    if all(w <= bound for w in tree.component_weights(cut)):
+        return TreeCutResult(tree, cut, 0.0)
+    for weight, edge in ordered:
+        cut.add(edge)
+        if all(w <= bound for w in tree.component_weights(cut)):
+            return TreeCutResult(tree, set(cut), weight)
+    raise AssertionError("unreachable: cutting all edges is always feasible")
+
+
+class _UnionFind:
+    """Weighted union-find tracking component vertex weights."""
+
+    __slots__ = ("parent", "size", "weight")
+
+    def __init__(self, vertex_weights: List[float]) -> None:
+        n = len(vertex_weights)
+        self.parent = list(range(n))
+        self.size = [1] * n
+        self.weight = list(vertex_weights)
+
+    def find(self, v: int) -> int:
+        root = v
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[v] != root:  # path compression
+            self.parent[v], v = root, self.parent[v]
+        return root
+
+    def union(self, u: int, v: int) -> float:
+        """Merge the components of u and v; return the merged weight."""
+        ru, rv = self.find(u), self.find(v)
+        if ru == rv:
+            raise AssertionError("tree edges never merge the same component")
+        if self.size[ru] < self.size[rv]:
+            ru, rv = rv, ru
+        self.parent[rv] = ru
+        self.size[ru] += self.size[rv]
+        self.weight[ru] += self.weight[rv]
+        return self.weight[ru]
+
+
+def bottleneck_min(tree: Tree, bound: float) -> TreeCutResult:
+    """Optimized Algorithm 2.1: identical output, one union-find sweep.
+
+    ``T - S_i`` (the ``i`` lightest edges removed) is the forest spanned
+    by the ``n-1-i`` heaviest edges.  Component weights only grow as
+    heavier-first edges are added, so the feasible prefix boundary is
+    found by adding edges heaviest-first until a merge would exceed the
+    bound; the cut is everything not yet added.
+    """
+    max_weight = validate_bound(tree.vertex_weights, bound)
+    ordered = _sorted_edges(tree)
+    uf = _UnionFind(list(tree.vertex_weights))
+    # Walk from the heaviest edge downwards; stop before the first merge
+    # that creates an over-weight component.
+    boundary = 0  # edges ordered[0:boundary] form the cut
+    for idx in range(len(ordered) - 1, -1, -1):
+        weight, (u, v) = ordered[idx]
+        if uf.weight[uf.find(u)] + uf.weight[uf.find(v)] > bound:
+            boundary = idx + 1
+            break
+        uf.union(u, v)
+    cut = {edge for _, edge in ordered[:boundary]}
+    bottleneck = ordered[boundary - 1][0] if boundary else 0.0
+    # max_weight <= bound guarantees feasibility even when every edge is cut.
+    assert max_weight <= bound
+    return TreeCutResult(tree, cut, bottleneck)

@@ -1,0 +1,239 @@
+"""Prime (minimal critical) subpaths of a chain — Section 2.3.
+
+A *critical subpath* is a contiguous run of tasks whose total vertex
+weight exceeds the bound ``K``.  A cut is feasible iff it removes at
+least one edge from every critical subpath.  A critical subpath that
+contains another critical subpath is *dominated*; the minimal ones are
+*prime*, and hitting all primes suffices.  The paper shows there are at
+most ``n - 1`` primes and that they can be found in linear time; this
+module does so with a two-pointer sweep.
+
+Throughout, task indices are 0-based and edge ``j`` joins tasks ``j``
+and ``j + 1``.  A prime subpath over tasks ``[first_task .. last_task]``
+has edge set ``[first_task .. last_task - 1]`` — always non-empty
+because a single task never exceeds ``K`` (feasibility is validated
+first).
+
+The module also performs the paper's *non-redundant edge* reduction: if
+two edges belong to exactly the same set of prime subpaths, the heavier
+one can never appear in an optimal solution, so only the lightest edge
+of each membership class is kept.  The paper bounds the number of kept
+edges by ``min(n - 1, 2p - 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.core.feasibility import validate_bound
+from repro.graphs.chain import Chain
+
+
+class PrimeSubpath(NamedTuple):
+    """A minimal critical subpath.
+
+    ``first_task .. last_task`` are the tasks it covers (inclusive);
+    its edge interval is ``first_edge .. last_edge`` with
+    ``first_edge == first_task`` and ``last_edge == last_task - 1``.
+    """
+
+    first_task: int
+    last_task: int
+    weight: float
+
+    @property
+    def first_edge(self) -> int:
+        return self.first_task
+
+    @property
+    def last_edge(self) -> int:
+        return self.last_task - 1
+
+    @property
+    def num_tasks(self) -> int:
+        return self.last_task - self.first_task + 1
+
+    @property
+    def num_edges(self) -> int:
+        return self.last_task - self.first_task
+
+    def contains_edge(self, edge: int) -> bool:
+        return self.first_edge <= edge <= self.last_edge
+
+
+def find_prime_subpaths(chain: Chain, bound: float) -> List[PrimeSubpath]:
+    """All prime subpaths of ``chain`` under the bound, left to right.
+
+    Two-pointer sweep, ``O(n)``.  For each left endpoint ``a`` the sweep
+    finds the smallest ``b`` with ``weight(a..b) > bound``; the candidate
+    ``[a, b]`` is prime iff no critical subpath nests strictly inside,
+    which (with ``b`` minimal per ``a`` and non-decreasing in ``a``)
+    happens exactly when the next candidate ends strictly later.
+
+    Both endpoint sequences of the returned list are strictly
+    increasing, which is the ordering property Algorithm 4.1 relies on.
+    """
+    validate_bound(chain.alpha, bound)
+    n = chain.num_tasks
+    prefix = chain.prefix_weights()
+
+    # ends[a] = smallest b >= a with weight(a..b) > bound, or None.
+    candidates: List[Tuple[int, int]] = []
+    b = 0
+    for a in range(n):
+        if b < a:
+            b = a
+        # Grow b until the window exceeds the bound.
+        while b < n and prefix[b + 1] - prefix[a] <= bound:
+            b += 1
+        if b == n:
+            break  # no window starting at >= a can exceed the bound
+        candidates.append((a, b))
+
+    primes: List[PrimeSubpath] = []
+    for idx, (a, b) in enumerate(candidates):
+        if idx + 1 < len(candidates) and candidates[idx + 1][1] == b:
+            continue  # dominated: [a+1, b] is critical and nested inside
+        primes.append(PrimeSubpath(a, b, prefix[b + 1] - prefix[a]))
+    return primes
+
+
+def edge_membership_intervals(
+    primes: List[PrimeSubpath], num_edges: int
+) -> Tuple[List[int], List[int]]:
+    """For every edge ``j``, the contiguous range of prime indices
+    containing it.
+
+    Returns ``(lo, hi)`` arrays: edge ``j`` belongs to primes
+    ``lo[j] .. hi[j]`` inclusive, or to none when ``lo[j] > hi[j]``.
+    Because prime subpaths are sorted with strictly increasing endpoints,
+    membership is always a contiguous interval, and the arrays are
+    computed with two monotone pointers in ``O(n + p)``.
+
+    The paper's ``gamma_j`` (index of the last prime wholly to the left
+    of ``e_j``) is ``lo[j] - 1`` in 0-based terms, and the paper's
+    ``q_j`` (number of primes containing ``e_j``) is
+    ``hi[j] - lo[j] + 1``.
+    """
+    p = len(primes)
+    lo = [p] * num_edges  # min i with last_edge >= j
+    hi = [-1] * num_edges  # max i with first_edge <= j
+    lo_ptr = 0
+    hi_ptr = -1
+    for j in range(num_edges):
+        while lo_ptr < p and primes[lo_ptr].last_edge < j:
+            lo_ptr += 1
+        while hi_ptr + 1 < p and primes[hi_ptr + 1].first_edge <= j:
+            hi_ptr += 1
+        lo[j] = lo_ptr
+        hi[j] = hi_ptr
+    return lo, hi
+
+
+class ReducedEdge(NamedTuple):
+    """A non-redundant edge kept for Algorithm 4.1.
+
+    ``index``/``weight`` identify the chain edge; ``first_prime`` and
+    ``last_prime`` give its (contiguous) prime-subpath membership.
+    """
+
+    index: int
+    weight: float
+    first_prime: int
+    last_prime: int
+
+    @property
+    def gamma(self) -> int:
+        """0-based ``gamma_j``: primes ``0 .. gamma`` all lie left of the
+        edge (``-1`` when the edge is inside the very first prime)."""
+        return self.first_prime - 1
+
+    @property
+    def q(self) -> int:
+        """Number of primes containing this edge (the paper's ``q_j``)."""
+        return self.last_prime - self.first_prime + 1
+
+
+def reduce_edges(
+    chain: Chain,
+    primes: List[PrimeSubpath],
+    membership: Optional[Tuple[List[int], List[int]]] = None,
+    apply_reduction: bool = True,
+) -> List[ReducedEdge]:
+    """The non-redundant edge list, in increasing edge order.
+
+    Edges covered by no prime subpath are dropped (they can never pay
+    for themselves in a minimum-weight hitting set).  Among edges with
+    identical prime membership, only a minimum-weight one is kept
+    (leftmost on ties, for determinism).  Pass
+    ``apply_reduction=False`` to keep every covered edge — used by the
+    ablation benchmarks to measure what the reduction buys.
+    """
+    lo, hi = membership or edge_membership_intervals(primes, chain.num_edges)
+    kept: List[ReducedEdge] = []
+    beta = chain.beta
+    for j in range(chain.num_edges):
+        if lo[j] > hi[j]:
+            continue  # edge in no prime subpath
+        candidate = ReducedEdge(j, beta[j], lo[j], hi[j])
+        if (
+            apply_reduction
+            and kept
+            and kept[-1].first_prime == lo[j]
+            and kept[-1].last_prime == hi[j]
+        ):
+            if beta[j] < kept[-1].weight:
+                kept[-1] = candidate
+        else:
+            kept.append(candidate)
+    return kept
+
+
+@dataclass
+class PrimeStructure:
+    """Everything Algorithm 4.1 needs, precomputed in ``O(n)``.
+
+    Also carries the quantities Figure 2 plots: ``p`` (prime count),
+    ``r`` (non-redundant edge count), the per-edge ``q_j`` values and
+    their mean ``q``.
+    """
+
+    chain: Chain
+    bound: float
+    primes: List[PrimeSubpath]
+    edges: List[ReducedEdge]
+
+    @classmethod
+    def compute(
+        cls, chain: Chain, bound: float, apply_reduction: bool = True
+    ) -> "PrimeStructure":
+        primes = find_prime_subpaths(chain, bound)
+        edges = reduce_edges(chain, primes, apply_reduction=apply_reduction)
+        return cls(chain, bound, primes, edges)
+
+    @property
+    def p(self) -> int:
+        return len(self.primes)
+
+    @property
+    def r(self) -> int:
+        return len(self.edges)
+
+    @property
+    def q_values(self) -> List[int]:
+        return [edge.q for edge in self.edges]
+
+    @property
+    def q(self) -> float:
+        if not self.edges:
+            return 0.0
+        return sum(edge.q for edge in self.edges) / len(self.edges)
+
+    def mean_prime_length(self) -> float:
+        """Average prime subpath length in tasks (Section 2.3.2 bound:
+        at most ``2K / (w1 + w2)`` under uniform weights, in the
+        large-``K`` regime)."""
+        if not self.primes:
+            return 0.0
+        return sum(sp.num_tasks for sp in self.primes) / len(self.primes)

@@ -1,0 +1,251 @@
+"""The TEMP_S queue of Algorithm 4.1 (paper Appendix A).
+
+TEMP_S is "an implementation of a queue from which elements may be
+removed from both the head and tail".  Each row describes a contiguous
+range of prime-subpath indices whose minimum W-value so far is identical:
+
+========  =====================================================
+column    meaning
+========  =====================================================
+``lo``    first prime-subpath index covered by the row (L column)
+``hi``    last prime-subpath index covered (R column)
+``w``     the common minimum W-value (W column)
+``sol``   solution achieving it (S column), a parent-pointer chain
+========  =====================================================
+
+Invariants maintained by :class:`TempSQueue` (and asserted by the test
+suite):
+
+- rows cover a contiguous, increasing range of prime indices with no
+  gaps or overlaps (the currently *open* subpaths);
+- the W column is strictly increasing from head (TOP) to tail (BOTTOM) —
+  open subpaths see suffixes of the processed edges, so their minima are
+  non-decreasing, and equal minima share one row;
+- the number of rows never exceeds the number of open subpaths
+  (Appendix B measures the actual row count, expected ``O(log q_i)``).
+
+Solutions are stored as parent-pointer chains (:class:`SolutionNode`)
+rather than materialized sets, preserving the paper's ``O(n)`` space
+bound: the S column of the recurrence is always ``{e_i} ∪ S_gamma_i``,
+i.e. one new edge plus a reference to an earlier solution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.instrumentation.counters import OpCounter
+
+
+class SolutionNode:
+    """One link of a cut-solution chain: edge ``edge_index`` plus the
+    solution it extends.  ``weight`` caches the cumulative cut weight
+    so that ``beta(S)`` lookups are O(1)."""
+
+    __slots__ = ("edge_index", "prev", "weight")
+
+    def __init__(
+        self, edge_index: int, edge_weight: float, prev: Optional["SolutionNode"]
+    ) -> None:
+        self.edge_index = edge_index
+        self.prev = prev
+        self.weight = edge_weight + (prev.weight if prev is not None else 0.0)
+
+    def edge_indices(self) -> List[int]:
+        """Materialize the cut as a sorted list of chain edge indices."""
+        indices: List[int] = []
+        node: Optional[SolutionNode] = self
+        while node is not None:
+            indices.append(node.edge_index)
+            node = node.prev
+        indices.reverse()
+        return indices
+
+    def __repr__(self) -> str:
+        return f"SolutionNode(e{self.edge_index}, beta(S)={self.weight:g})"
+
+
+def solution_weight(sol: Optional[SolutionNode]) -> float:
+    """``beta(S)`` of a (possibly empty) solution chain."""
+    return sol.weight if sol is not None else 0.0
+
+
+class Row:
+    """One TEMP_S row (L, R, W, S)."""
+
+    __slots__ = ("lo", "hi", "w", "sol")
+
+    def __init__(self, lo: int, hi: int, w: float, sol: SolutionNode) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.w = w
+        self.sol = sol
+
+    def __repr__(self) -> str:
+        return f"Row([{self.lo}..{self.hi}], W={self.w:g})"
+
+
+class TempSQueue:
+    """The double-ended TEMP_S queue with the paper's two update costs.
+
+    ``search="binary"`` reproduces Algorithm 4.1's binary search on the
+    W column (``O(log len)`` worst case per processed edge).
+    ``search="linear"`` replaces it by monotone-deque pops from the
+    BOTTOM end (amortized ``O(1)``, but ``O(len)`` worst case at a single
+    step) — the ablation discussed in DESIGN.md.
+    """
+
+    __slots__ = ("_rows", "_top", "search", "counter")
+
+    def __init__(self, search: str = "binary", counter: Optional[OpCounter] = None):
+        if search not in ("binary", "linear"):
+            raise ValueError(f"unknown search strategy {search!r}")
+        self._rows: List[Row] = []
+        self._top = 0  # index of the TOP row inside _rows
+        self.search = search
+        self.counter = counter
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows) - self._top
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate rows from TOP to BOTTOM (test/debug use)."""
+        return iter(self._rows[self._top :])
+
+    @property
+    def top(self) -> Row:
+        if not self:
+            raise IndexError("TEMP_S is empty")
+        return self._rows[self._top]
+
+    @property
+    def bottom(self) -> Row:
+        if not self:
+            raise IndexError("TEMP_S is empty")
+        return self._rows[-1]
+
+    def covered_range(self) -> Optional[tuple]:
+        """(lowest, highest) open prime index, or None when empty."""
+        if not self:
+            return None
+        return (self.top.lo, self.bottom.hi)
+
+    # ------------------------------------------------------------------
+    # Head (TOP) operations — completing prime subpaths
+    # ------------------------------------------------------------------
+    def pop_completed(self, first_open_prime: int) -> Optional[Row]:
+        """Retire all primes with index below ``first_open_prime``.
+
+        Returns the row that covered prime ``first_open_prime - 1`` (whose
+        W/S columns are that prime's final solution ``S_gamma``), or
+        ``None`` when nothing was retired at this step.  Rows fully below
+        the threshold are dropped; a row straddling it is trimmed in
+        place (the paper's "increase the L column of the TOP row").
+        """
+        completed: Optional[Row] = None
+        rows = self._rows
+        top = self._top
+        size = len(rows)
+        while top < size:
+            row = rows[top]
+            if row.lo >= first_open_prime:
+                break
+            completed = row
+            if row.hi < first_open_prime:
+                top += 1  # entire row retired
+            else:
+                row.lo = first_open_prime  # trim and stop
+                break
+        self._top = top
+        if top > 64 and top * 2 > size:
+            # Compact the backing list so long runs keep O(live) memory.
+            self._rows = rows[top:]
+            self._top = 0
+        return completed
+
+    # ------------------------------------------------------------------
+    # Tail (BOTTOM) operations — the per-edge update
+    # ------------------------------------------------------------------
+    def update(self, w: float, sol: SolutionNode, new_lo: int, new_hi: int) -> None:
+        """Process one edge with W-value ``w``: fold it into the minima of
+        all open subpaths and open the subpaths up to ``new_hi``.
+
+        ``new_lo .. new_hi`` is the edge's prime-subpath membership range
+        (``new_lo`` is only consulted when the queue drained completely,
+        to anchor the fresh row).
+
+        Implements step 2a of Algorithm 4.1: find the first row whose
+        W is >= ``w``, replace that row and everything below it with a
+        single row carrying ``w``, then extend the BOTTOM row (or create
+        one) to cover newly opened subpaths, whose first processed edge
+        is this one.
+        """
+        rows = self._rows
+        prev_hi = rows[-1].hi if len(rows) > self._top else None
+        split = self._find_first_ge(w)
+        if split is not None:
+            old_bottom_hi = rows[-1].hi
+            merged = rows[split]
+            merged.hi = old_bottom_hi if old_bottom_hi > new_hi else new_hi
+            merged.w = w
+            merged.sol = sol
+            del rows[split + 1 :]
+        elif prev_hi is None:
+            # Queue drained: every earlier prime completed, so the new
+            # row covers exactly this edge's membership range.
+            rows.append(Row(new_lo, new_hi, w, sol))
+        elif new_hi > prev_hi:
+            rows.append(Row(prev_hi + 1, new_hi, w, sol))
+        # else: w exceeds every open minimum and opens nothing — no-op.
+        if self.counter is not None:
+            self.counter.trace("temp_s_len", len(self))
+
+    def _find_first_ge(self, w: float) -> Optional[int]:
+        """Index (into ``_rows``) of the first row with ``row.w >= w``."""
+        lo, hi = self._top, len(self._rows)
+        if lo == hi:
+            return None
+        if self.search == "linear":
+            idx = hi
+            while idx > lo and self._rows[idx - 1].w >= w:
+                idx -= 1
+                if self.counter is not None:
+                    self.counter.add("search_steps")
+            return idx if idx < hi else None
+        # Binary search on the (strictly increasing) W column.
+        first = hi
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.counter is not None:
+                self.counter.add("search_steps")
+            if self._rows[mid].w >= w:
+                first = mid
+                hi = mid
+            else:
+                lo = mid + 1
+        return first if first < len(self._rows) else None
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by tests, not by the algorithm)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        rows = self._rows[self._top :]
+        for row in rows:
+            if row.lo > row.hi:
+                raise AssertionError(f"empty row {row}")
+        for left, right in zip(rows, rows[1:]):
+            if right.lo != left.hi + 1:
+                raise AssertionError(f"gap/overlap between {left} and {right}")
+            if not right.w > left.w:
+                raise AssertionError(
+                    f"W column not strictly increasing: {left} -> {right}"
+                )
+
+    def __repr__(self) -> str:
+        return f"TempSQueue({list(self.rows())!r})"

@@ -1,0 +1,49 @@
+"""Discrete-event logic simulation — the Section 3 application study.
+
+The paper's second application partitions a logic circuit for
+*distributed discrete event simulation*: gates are processes, wires are
+message channels, and the partitioning problem is to place gates on
+processors so that load is balanced and cross-processor messages are
+few.  This package builds the whole substrate from scratch:
+
+- :mod:`~repro.desim.events` / :mod:`~repro.desim.event_queue` — the
+  event kernel (timestamped events, stable binary-heap queue);
+- :mod:`~repro.desim.gates` — gate models (AND/OR/NOT/... , DFF);
+- :mod:`~repro.desim.circuit` — netlists, fan-out, task-graph export;
+- :mod:`~repro.desim.netlists` — circuit generators (ring counters,
+  pipelines of adders, linear shift registers, random glue);
+- :mod:`~repro.desim.simulator` — the event-driven simulator;
+- :mod:`~repro.desim.distributed` — a partitioned run that tallies
+  inter-processor messages and per-processor event load;
+- :mod:`~repro.desim.linearize` — circuit → linear supergraph adapter
+  (Section 3's "generate a super-graph, which is linear").
+"""
+
+from repro.desim.circuit import Circuit
+from repro.desim.distributed import DistributedRun, simulate_partitioned
+from repro.desim.event_queue import EventQueue
+from repro.desim.events import Event
+from repro.desim.gates import GATE_TYPES, evaluate_gate
+from repro.desim.linearize import circuit_supergraph
+from repro.desim.parallel import ParallelLogicSimulator, ParallelRunResult
+from repro.desim.simulator import LogicSimulator, SimulationResult
+from repro.desim.timewarp import TimeWarpResult, TimeWarpSimulator
+from repro.desim.waveform import WaveformRecorder
+
+__all__ = [
+    "Circuit",
+    "DistributedRun",
+    "Event",
+    "EventQueue",
+    "GATE_TYPES",
+    "LogicSimulator",
+    "ParallelLogicSimulator",
+    "ParallelRunResult",
+    "SimulationResult",
+    "TimeWarpResult",
+    "TimeWarpSimulator",
+    "WaveformRecorder",
+    "circuit_supergraph",
+    "evaluate_gate",
+    "simulate_partitioned",
+]

@@ -1,0 +1,139 @@
+"""Circuit (netlist) representation.
+
+A circuit is a directed graph of gates: each gate has a type, an ordered
+input list (gate ids it reads) and an implied fan-out (gates reading
+it).  The paper's modelling maps this to an *undirected* task graph —
+"an edge links two processes which need to pass messages to each other
+directly" — with gate evaluation cost as vertex weight and estimated
+message volume as edge weight; :meth:`Circuit.to_task_graph` performs
+that export (summing volumes when two gates are wired in both
+directions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.desim.gates import gate_cost, gate_delay
+from repro.graphs.task_graph import TaskGraph
+
+
+@dataclass
+class Gate:
+    """One gate instance: type plus the ids of the gates it reads."""
+
+    ident: int
+    gate_type: str
+    inputs: List[int] = field(default_factory=list)
+    name: str = ""
+
+    @property
+    def cost(self) -> float:
+        return gate_cost(self.gate_type)
+
+    @property
+    def delay(self) -> float:
+        return gate_delay(self.gate_type)
+
+
+class Circuit:
+    """A gate-level netlist."""
+
+    def __init__(self) -> None:
+        self.gates: List[Gate] = []
+        self.fanout: List[List[int]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_gate(
+        self, gate_type: str, inputs: Sequence[int] = (), name: str = ""
+    ) -> int:
+        """Add a gate reading the given gate ids; returns its id."""
+        ident = len(self.gates)
+        for src in inputs:
+            if not (0 <= src < ident) and src != ident:
+                # Self-loops and forward references are allowed only via
+                # connect_input (sequential circuits close cycles late).
+                raise ValueError(f"gate {ident} reads unknown gate {src}")
+        gate = Gate(ident, gate_type, list(inputs), name or f"g{ident}")
+        gate_cost(gate_type)  # validates the type
+        self.gates.append(gate)
+        self.fanout.append([])
+        for src in inputs:
+            self.fanout[src].append(ident)
+        return ident
+
+    def connect_input(self, gate_id: int, source_id: int) -> None:
+        """Wire ``source_id`` as an additional input of ``gate_id``
+        (may create cycles — used for flip-flop feedback)."""
+        if not (0 <= gate_id < len(self.gates)):
+            raise ValueError(f"unknown gate {gate_id}")
+        if not (0 <= source_id < len(self.gates)):
+            raise ValueError(f"unknown source gate {source_id}")
+        self.gates[gate_id].inputs.append(source_id)
+        self.fanout[source_id].append(gate_id)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def primary_inputs(self) -> List[int]:
+        return [g.ident for g in self.gates if g.gate_type == "INPUT"]
+
+    def flip_flops(self) -> List[int]:
+        return [g.ident for g in self.gates if g.gate_type == "DFF"]
+
+    def wire_pairs(self) -> Dict[Tuple[int, int], int]:
+        """Undirected gate pairs that exchange signals, with multiplicity
+        (a pair wired in both directions counts twice)."""
+        pairs: Dict[Tuple[int, int], int] = {}
+        for gate in self.gates:
+            for src in gate.inputs:
+                if src == gate.ident:
+                    continue
+                key = (src, gate.ident) if src < gate.ident else (gate.ident, src)
+                pairs[key] = pairs.get(key, 0) + 1
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Task-graph export
+    # ------------------------------------------------------------------
+    def to_task_graph(
+        self, activity: Optional[Sequence[float]] = None
+    ) -> TaskGraph:
+        """Export the circuit as the paper's weighted task graph.
+
+        Vertex weight = gate evaluation cost, optionally scaled by a
+        measured per-gate ``activity`` factor (events evaluated during a
+        profiling run); edge weight = estimated messages per wire,
+        likewise scaled by the driving gate's activity.
+        """
+        if activity is not None and len(activity) != self.num_gates:
+            raise ValueError("activity must cover every gate")
+
+        def act(g: int) -> float:
+            return activity[g] if activity is not None else 1.0
+
+        weights = [g.cost * max(act(g.ident), 1e-9) for g in self.gates]
+        graph = TaskGraph(weights)
+        edge_volume: Dict[Tuple[int, int], float] = {}
+        for gate in self.gates:
+            for src in gate.inputs:
+                if src == gate.ident:
+                    continue
+                key = (src, gate.ident) if src < gate.ident else (gate.ident, src)
+                edge_volume[key] = edge_volume.get(key, 0.0) + max(act(src), 1e-9)
+        for (u, v), volume in edge_volume.items():
+            graph.add_edge(u, v, volume)
+        return graph
+
+    def __repr__(self) -> str:
+        kinds: Dict[str, int] = {}
+        for g in self.gates:
+            kinds[g.gate_type] = kinds.get(g.gate_type, 0) + 1
+        return f"Circuit({self.num_gates} gates: {kinds})"

@@ -1,0 +1,45 @@
+"""A stable binary-heap event queue.
+
+Events pop in timestamp order; ties break by insertion order, which
+keeps runs deterministic (a requirement for comparing the sequential and
+partitioned simulations message-for-message).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.desim.events import Event
+
+
+class EventQueue:
+    """Priority queue of :class:`~repro.desim.events.Event`."""
+
+    __slots__ = ("_heap", "_seq", "pushed", "popped")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self.pushed = 0
+        self.popped = 0
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, (event.time, self._seq, event))
+        self._seq += 1
+        self.pushed += 1
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        self.popped += 1
+        return heapq.heappop(self._heap)[2]
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

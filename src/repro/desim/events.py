@@ -1,0 +1,28 @@
+"""Events of the logic simulation kernel.
+
+An event is a scheduled signal change: at time ``time``, gate ``gate``'s
+output (or a primary input) takes value ``value``.  Events carry the
+originating gate so the distributed run can attribute the message to a
+processor pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    """A signal-change event.
+
+    ``source`` is the driving gate id (or ``-1`` for primary-input
+    stimuli); ``value`` is the new logic value (bool).
+    """
+
+    time: float
+    source: int
+    value: bool
+
+    def __repr__(self) -> str:
+        return f"Event(t={self.time:g}, gate={self.source}, v={int(self.value)})"

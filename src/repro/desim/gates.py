@@ -1,0 +1,86 @@
+"""Gate models for the logic simulator.
+
+Combinational gates evaluate their inputs instantaneously and drive the
+result after a propagation delay; ``DFF`` (D flip-flop) is the one
+sequential element — it samples its input on the simulated clock and is
+what makes ring counters and shift registers oscillate.  ``INPUT``
+vertices are stimulus sources driven directly by the testbench.
+
+Each gate type carries a nominal evaluation *cost* (its vertex weight in
+the exported task graph) loosely proportional to its fan-in, which is
+all the partitioning algorithms need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+GATE_TYPES: Dict[str, float] = {
+    # type: nominal evaluation cost (task-graph vertex weight)
+    "INPUT": 0.5,
+    "BUF": 1.0,
+    "NOT": 1.0,
+    "AND": 2.0,
+    "OR": 2.0,
+    "NAND": 2.0,
+    "NOR": 2.0,
+    "XOR": 3.0,
+    "XNOR": 3.0,
+    "DFF": 4.0,
+}
+
+#: Propagation delay per gate type (arbitrary simulated time units).
+GATE_DELAYS: Dict[str, float] = {
+    "INPUT": 0.0,
+    "BUF": 1.0,
+    "NOT": 1.0,
+    "AND": 2.0,
+    "OR": 2.0,
+    "NAND": 2.0,
+    "NOR": 2.0,
+    "XOR": 3.0,
+    "XNOR": 3.0,
+    "DFF": 1.0,
+}
+
+
+def evaluate_gate(gate_type: str, inputs: Sequence[bool]) -> bool:
+    """Combinational evaluation of one gate.
+
+    ``DFF`` is handled by the simulator's clock logic, not here; calling
+    it anyway returns its (single) input, i.e. transparent-latch
+    semantics, which the sequential simulator overrides.
+    """
+    if gate_type in ("INPUT", "BUF", "DFF"):
+        if gate_type == "INPUT":
+            return inputs[0] if inputs else False
+        return inputs[0]
+    if gate_type == "NOT":
+        return not inputs[0]
+    if gate_type == "AND":
+        return all(inputs)
+    if gate_type == "NAND":
+        return not all(inputs)
+    if gate_type == "OR":
+        return any(inputs)
+    if gate_type == "NOR":
+        return not any(inputs)
+    if gate_type == "XOR":
+        return sum(map(bool, inputs)) % 2 == 1
+    if gate_type == "XNOR":
+        return sum(map(bool, inputs)) % 2 == 0
+    raise ValueError(f"unknown gate type {gate_type!r}")
+
+
+def gate_cost(gate_type: str) -> float:
+    try:
+        return GATE_TYPES[gate_type]
+    except KeyError:
+        raise ValueError(f"unknown gate type {gate_type!r}") from None
+
+
+def gate_delay(gate_type: str) -> float:
+    try:
+        return GATE_DELAYS[gate_type]
+    except KeyError:
+        raise ValueError(f"unknown gate type {gate_type!r}") from None

@@ -1,0 +1,80 @@
+"""Circuit → linear supergraph adapter (Section 3).
+
+"If the topological structure of the simulated system renders a linear
+process graph then the application of our algorithm becomes
+straightforward.  Otherwise, for a more general system, we may first
+approximate the original system by generating a super-graph, which is
+linear, from the process graph, then apply the algorithm to the
+super-graph."
+
+:func:`circuit_supergraph` implements that decision procedure over the
+circuit's exported task graph: paths pass through unchanged, simple
+cycles are broken at their lightest wire, and everything else is
+layered by BFS (exact inter-layer traffic, see
+:mod:`repro.graphs.supergraph`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.desim.circuit import Circuit
+from repro.graphs.chain import Chain
+from repro.graphs.supergraph import (
+    Supergraph,
+    bfs_linear_supergraph,
+    ring_to_chain,
+)
+from repro.graphs.task_graph import TaskGraph
+
+
+def circuit_supergraph(
+    circuit: Circuit,
+    activity: Optional[Sequence[float]] = None,
+    source: Optional[int] = None,
+) -> Supergraph:
+    """The linear supergraph of a circuit's task graph.
+
+    ``activity`` optionally weights gates/wires with measured dynamics
+    (see :meth:`repro.desim.simulator.SimulationResult.activity`).
+    """
+    graph = circuit.to_task_graph(activity)
+    if graph.is_path():
+        chain = Chain.from_task_graph(graph)
+        # Groups follow the path order used by Chain.from_task_graph.
+        order = _path_order(graph)
+        return Supergraph(graph, chain, [[v] for v in order], exact=True)
+    if _is_cycle(graph):
+        supergraph, _broken = ring_to_chain(graph)
+        return supergraph
+    start = source if source is not None else _default_source(circuit)
+    return bfs_linear_supergraph(graph, start)
+
+
+def _is_cycle(graph: TaskGraph) -> bool:
+    n = graph.num_vertices
+    return (
+        n >= 3
+        and graph.num_edges == n
+        and all(graph.degree(v) == 2 for v in range(n))
+        and graph.is_connected()
+    )
+
+
+def _path_order(graph: TaskGraph) -> list:
+    endpoints = [v for v in range(graph.num_vertices) if graph.degree(v) == 1]
+    if graph.num_vertices == 1:
+        return [0]
+    order = [min(endpoints)]
+    prev = -1
+    while len(order) < graph.num_vertices:
+        current = order[-1]
+        nxt = [v for v in graph.neighbors(current) if v != prev][0]
+        prev = current
+        order.append(nxt)
+    return order
+
+
+def _default_source(circuit: Circuit) -> int:
+    inputs = circuit.primary_inputs()
+    return inputs[0] if inputs else 0

@@ -1,0 +1,151 @@
+"""Circuit generators for the distributed-simulation study.
+
+Section 3 singles out systems that are "circular or linear in nature or
+can be approximated by a linear task graph, such as a circular type
+logic circuit".  These generators produce exactly that family:
+
+- :func:`ring_counter` — a cycle of D flip-flops with an inverter
+  (Johnson counter): circular, self-oscillating;
+- :func:`inverter_ring` — an odd chain of NOT gates closed into a ring
+  (a ring oscillator): pure combinational oscillation;
+- :func:`shift_register` — a linear chain of DFFs fed by one input;
+- :func:`adder_pipeline` — a pipeline of ripple-carry adder stages:
+  linear at the stage level with wide local structure (the shape the
+  linear-supergraph approximation targets);
+- :func:`random_glue_circuit` — stages of random 2-input gates with
+  mostly-local wiring (controlled long-range fraction).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.desim.circuit import Circuit
+
+
+def ring_counter(num_stages: int) -> Circuit:
+    """A Johnson/twisted ring counter: DFF_0 -> DFF_1 -> ... -> DFF_{k-1}
+    -> NOT -> DFF_0.  Self-oscillates with period 2k clock ticks."""
+    if num_stages < 2:
+        raise ValueError("ring counter needs at least 2 stages")
+    circuit = Circuit()
+    dffs: List[int] = []
+    for i in range(num_stages):
+        dffs.append(circuit.add_gate("DFF", name=f"ff{i}"))
+    inverter = circuit.add_gate("NOT", [dffs[-1]], name="twist")
+    circuit.connect_input(dffs[0], inverter)
+    for i in range(1, num_stages):
+        circuit.connect_input(dffs[i], dffs[i - 1])
+    return circuit
+
+
+def inverter_ring(num_inverters: int) -> Circuit:
+    """A ring oscillator of an odd number of NOT gates."""
+    if num_inverters < 3 or num_inverters % 2 == 0:
+        raise ValueError("ring oscillator needs an odd count >= 3")
+    circuit = Circuit()
+    gates = [circuit.add_gate("NOT", name=f"inv{i}") for i in range(num_inverters)]
+    for i in range(num_inverters):
+        circuit.connect_input(gates[i], gates[i - 1])
+    return circuit
+
+
+def shift_register(length: int) -> Circuit:
+    """A linear shift register: INPUT -> DFF -> DFF -> ... (length DFFs)."""
+    if length < 1:
+        raise ValueError("shift register needs at least one stage")
+    circuit = Circuit()
+    stimulus = circuit.add_gate("INPUT", name="din")
+    prev = stimulus
+    for i in range(length):
+        prev = circuit.add_gate("DFF", [prev], name=f"sr{i}")
+    return circuit
+
+
+def adder_pipeline(
+    num_stages: int, bits: int = 4
+) -> Tuple[Circuit, List[int]]:
+    """A pipeline of ``num_stages`` ripple-carry adder stages.
+
+    Each stage adds a constant pattern to the registered value of the
+    previous stage: per bit an XOR/AND pair plus carry logic, then a DFF
+    rank.  Returns ``(circuit, stage_of_gate)`` so experiments know the
+    natural linear grouping.
+    """
+    if num_stages < 1 or bits < 1:
+        raise ValueError("need at least one stage and one bit")
+    circuit = Circuit()
+    stage_of: List[int] = []
+
+    def tag(gate_id: int, stage: int) -> int:
+        while len(stage_of) <= gate_id:
+            stage_of.append(stage)
+        return gate_id
+
+    current = [
+        tag(circuit.add_gate("INPUT", name=f"in{b}"), 0) for b in range(bits)
+    ]
+    toggles = [
+        tag(circuit.add_gate("INPUT", name=f"tgl{b}"), 0) for b in range(bits)
+    ]
+    for stage in range(1, num_stages + 1):
+        carry: Optional[int] = None
+        next_rank: List[int] = []
+        for b in range(bits):
+            a, t = current[b], toggles[b % len(toggles)]
+            s1 = tag(circuit.add_gate("XOR", [a, t], name=f"s{stage}x{b}"), stage)
+            c1 = tag(circuit.add_gate("AND", [a, t], name=f"s{stage}a{b}"), stage)
+            if carry is None:
+                total, carry = s1, c1
+            else:
+                total = tag(
+                    circuit.add_gate("XOR", [s1, carry], name=f"s{stage}t{b}"),
+                    stage,
+                )
+                c2 = tag(
+                    circuit.add_gate("AND", [s1, carry], name=f"s{stage}b{b}"),
+                    stage,
+                )
+                carry = tag(
+                    circuit.add_gate("OR", [c1, c2], name=f"s{stage}c{b}"),
+                    stage,
+                )
+            reg = tag(circuit.add_gate("DFF", [total], name=f"s{stage}r{b}"), stage)
+            next_rank.append(reg)
+        current = next_rank
+    return circuit, stage_of
+
+
+def random_glue_circuit(
+    num_gates: int,
+    rng: Optional[random.Random] = None,
+    locality: float = 0.9,
+    num_inputs: int = 4,
+) -> Circuit:
+    """Random mostly-local combinational circuit with a DFF backbone.
+
+    Gates read from recent predecessors with probability ``locality``
+    (window of 8), otherwise from anywhere earlier — the knob that makes
+    the linear-supergraph approximation progressively lossier.
+    """
+    if num_gates < num_inputs + 2:
+        raise ValueError("circuit too small")
+    r = rng or random.Random(0)
+    circuit = Circuit()
+    for i in range(num_inputs):
+        circuit.add_gate("INPUT", name=f"in{i}")
+    kinds = ["AND", "OR", "XOR", "NAND", "NOR", "NOT", "DFF"]
+    while circuit.num_gates < num_gates:
+        ident = circuit.num_gates
+        kind = r.choice(kinds)
+        fan_in = 1 if kind in ("NOT", "DFF") else 2
+        sources = []
+        for _ in range(fan_in):
+            if r.random() < locality:
+                lo = max(0, ident - 8)
+            else:
+                lo = 0
+            sources.append(r.randrange(lo, ident))
+        circuit.add_gate(kind, sources)
+    return circuit

@@ -1,0 +1,455 @@
+"""Optimistic (Time Warp) parallel logic simulation.
+
+Complements the conservative engine (:mod:`repro.desim.parallel`):
+where that engine *blocks* at lookahead windows, Time Warp lets every
+logical process run ahead optimistically and repairs causality
+violations after the fact — the other classic synchronization family
+for the distributed simulation study of the paper's Section 3.
+
+Mechanics (Jefferson's scheme, in-process):
+
+* each LP processes its pending events in local order, up to a batch
+  quantum per scheduling round (the quantum is what creates genuine
+  optimism between LPs);
+* every processed event leaves an *undo record*: the state cells it
+  changed (values, pending-filter entries, mirrors, counters) and the
+  messages it sent;
+* a *straggler* (message older than the LP's local virtual time) or an
+  *anti-message* rolls the LP back: undo records are unwound in reverse
+  order past the straggler, sent messages are cancelled with
+  anti-messages (cascading rollbacks recurse immediately since
+  everything is in-process);
+* when all queues drain below the end time, the surviving state is the
+  committed run.
+
+Because rollback restores *all* touched state including the statistics,
+the committed outputs (final values, evaluation counts, per-wire
+deliveries) are exactly those of the conservative/sequential engines —
+asserted by the test suite — while the engine additionally reports the
+optimism costs: rolled-back events, rollbacks and anti-messages, which
+shrink as the partition keeps traffic local.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.desim.circuit import Circuit
+from repro.desim.gates import evaluate_gate
+
+_KIND_TICK = 0
+_KIND_SIGNAL = 1
+
+# Undo-log cell identifiers.
+_CELL_VALUE = 0
+_CELL_PENDING = 1
+_CELL_MIRROR = 2
+_CELL_EVAL = 3
+_CELL_DELIVERY = 4
+_CELL_LOCAL = 5
+_CELL_CROSS = 6
+
+Entry = Tuple[float, int, int, int, bool]  # (time, kind, source, seq, value)
+
+
+@dataclass
+class TimeWarpResult:
+    """Committed outputs plus optimism-cost counters."""
+
+    num_lps: int
+    end_time: float
+    final_values: List[bool]
+    evaluations: List[int]
+    deliveries: Dict[Tuple[int, int], int]
+    cross_messages: int
+    local_messages: int
+    events_executed: int
+    events_rolled_back: int
+    rollbacks: int
+    anti_messages: int
+    fossils_collected: int = 0
+    max_live_records: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        return self.cross_messages + self.local_messages
+
+    @property
+    def committed_events(self) -> int:
+        return self.events_executed - self.events_rolled_back
+
+    @property
+    def wasted_fraction(self) -> float:
+        if self.events_executed == 0:
+            return 0.0
+        return self.events_rolled_back / self.events_executed
+
+
+class _Record:
+    """Undo record of one processed event."""
+
+    __slots__ = ("entry", "undo", "sent")
+
+    def __init__(self, entry: Entry) -> None:
+        self.entry = entry
+        self.undo: List[Tuple[int, int, object]] = []
+        self.sent: List[Tuple[int, Entry]] = []  # (target lp, entry)
+
+
+class _LP:
+    """One logical process: queue, processed log, local clock."""
+
+    __slots__ = ("ident", "pending", "processed", "next_tick", "tick_index")
+
+    def __init__(self, ident: int, clock_period: float) -> None:
+        self.ident = ident
+        self.pending: List[Entry] = []
+        self.processed: List[_Record] = []
+        self.next_tick = clock_period
+        self.tick_index = 1
+
+    def lvt_key(self) -> Tuple:
+        if not self.processed:
+            return (-1.0,)
+        return self.processed[-1].entry[:4]
+
+    def horizon(self, has_dffs: bool) -> float:
+        """Earliest time this LP could still execute (its GVT input)."""
+        times = []
+        if self.pending:
+            times.append(self.pending[0][0])
+        if has_dffs:
+            times.append(self.next_tick)
+        return min(times) if times else float("inf")
+
+
+class TimeWarpSimulator:
+    """Optimistic simulation of a partitioned circuit."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        assignment: Sequence[int],
+        clock_period: float = 10.0,
+        batch: int = 8,
+    ) -> None:
+        if len(assignment) != circuit.num_gates:
+            raise ValueError("assignment must cover every gate")
+        if clock_period <= 0:
+            raise ValueError("clock period must be positive")
+        if batch < 1:
+            raise ValueError("batch quantum must be at least 1")
+        if circuit.num_gates == 0:
+            raise ValueError("empty circuit")
+        self.circuit = circuit
+        self.assignment = [int(a) for a in assignment]
+        if min(self.assignment) < 0:
+            raise ValueError("LP ids must be non-negative")
+        self.num_lps = max(self.assignment) + 1
+        self.clock_period = clock_period
+        self.batch = batch
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        end_time: float,
+        stimuli: Optional[Sequence[Tuple[float, int, bool]]] = None,
+        max_events: int = 2_000_000,
+    ) -> TimeWarpResult:
+        circuit = self.circuit
+        assignment = self.assignment
+        n = circuit.num_gates
+        k = self.num_lps
+
+        value = [False] * n
+        pending_out = [False] * n
+        mirrors: List[Dict[int, bool]] = [dict() for _ in range(k)]
+        evaluations = [0] * n
+        deliveries: Dict[Tuple[int, int], int] = {}
+        counters = {"cross": 0, "local": 0}
+        source_seq = [0] * n
+        stats = {
+            "executed": 0,
+            "rolled_back": 0,
+            "rollbacks": 0,
+            "anti": 0,
+        }
+
+        lps = [_LP(lp, self.clock_period) for lp in range(k)]
+        reader_lps: List[Tuple[int, ...]] = []
+        for g in range(n):
+            owner = assignment[g]
+            reader_lps.append(
+                tuple(sorted({assignment[t] for t in circuit.fanout[g]}
+                             - {owner}))
+            )
+
+        # ---------------- state mutation with undo logging ------------
+        def set_value(record: _Record, gate: int, new: bool) -> None:
+            record.undo.append((_CELL_VALUE, gate, value[gate]))
+            value[gate] = new
+
+        def set_pending(record: _Record, gate: int, new: bool) -> None:
+            record.undo.append((_CELL_PENDING, gate, pending_out[gate]))
+            pending_out[gate] = new
+
+        def set_mirror(record: _Record, lp: int, gate: int, new: bool):
+            old = mirrors[lp].get(gate, False)
+            record.undo.append((_CELL_MIRROR, lp * n + gate, old))
+            mirrors[lp][gate] = new
+
+        def bump_eval(record: _Record, gate: int) -> None:
+            record.undo.append((_CELL_EVAL, gate, evaluations[gate]))
+            evaluations[gate] += 1
+
+        def bump_delivery(record: _Record, src: int, dst: int, cell: int):
+            key = (src, dst)
+            record.undo.append((_CELL_DELIVERY, src * n + dst,
+                                deliveries.get(key, 0)))
+            deliveries[key] = deliveries.get(key, 0) + 1
+            name = "cross" if cell == _CELL_CROSS else "local"
+            record.undo.append((cell, 0, counters[name]))
+            counters[name] += 1
+
+        def apply_undo(record: _Record) -> None:
+            for cell, index, old in reversed(record.undo):
+                if cell == _CELL_VALUE:
+                    value[index] = old  # type: ignore[assignment]
+                elif cell == _CELL_PENDING:
+                    pending_out[index] = old  # type: ignore[assignment]
+                elif cell == _CELL_MIRROR:
+                    mirrors[index // n][index % n] = old  # type: ignore
+                elif cell == _CELL_EVAL:
+                    evaluations[index] = old  # type: ignore[assignment]
+                elif cell == _CELL_DELIVERY:
+                    key = (index // n, index % n)
+                    if old == 0:
+                        deliveries.pop(key, None)
+                    else:
+                        deliveries[key] = old  # type: ignore[assignment]
+                elif cell == _CELL_LOCAL:
+                    counters["local"] = old  # type: ignore[assignment]
+                elif cell == _CELL_CROSS:
+                    counters["cross"] = old  # type: ignore[assignment]
+
+        # ---------------- messaging and rollback ----------------------
+        def send(record: _Record, target_lp: int, entry: Entry) -> None:
+            record.sent.append((target_lp, entry))
+            deliver(target_lp, entry)
+
+        def deliver(target_lp: int, entry: Entry) -> None:
+            lp = lps[target_lp]
+            if lp.processed and entry[:4] < lp.lvt_key():
+                rollback(target_lp, entry[:4])
+            heapq.heappush(lp.pending, entry)
+
+        def cancel(target_lp: int, entry: Entry) -> None:
+            """Anti-message: annihilate a previously sent entry."""
+            stats["anti"] += 1
+            lp = lps[target_lp]
+            if lp.processed and entry[:4] <= lp.lvt_key():
+                rollback(target_lp, entry[:4])
+            # The entry is now unprocessed (or never was); remove it.
+            try:
+                lp.pending.remove(entry)
+                heapq.heapify(lp.pending)
+            except ValueError:
+                # Already annihilated (duplicate cancel via cascades).
+                pass
+
+        def rollback(lp_id: int, to_key: Tuple) -> None:
+            """Unwind processed records with key >= to_key."""
+            lp = lps[lp_id]
+            stats["rollbacks"] += 1
+            while lp.processed and lp.processed[-1].entry[:4] >= to_key:
+                record = lp.processed.pop()
+                stats["rolled_back"] += 1
+                apply_undo(record)
+                for target_lp, entry in record.sent:
+                    if target_lp == lp_id:
+                        # Local message: remove from our own queue (it
+                        # cannot be processed — its key exceeds ours).
+                        try:
+                            lp.pending.remove(entry)
+                            heapq.heapify(lp.pending)
+                        except ValueError:
+                            pass
+                    else:
+                        cancel(target_lp, entry)
+                if record.entry[1] == _KIND_TICK:
+                    lp.next_tick = record.entry[0]
+                    lp.tick_index = int(round(
+                        record.entry[0] / self.clock_period
+                    ))
+                else:
+                    # Re-insert the event itself for re-execution.
+                    heapq.heappush(lp.pending, record.entry)
+
+        # ---------------- event execution -----------------------------
+        def read_input(lp_id: int, gate_id: int) -> bool:
+            if assignment[gate_id] == lp_id:
+                return value[gate_id]
+            return mirrors[lp_id].get(gate_id, False)
+
+        def schedule_change(
+            record: _Record, fire_time: float, source: int, val: bool
+        ) -> None:
+            seq = source_seq[source]
+            source_seq[source] += 1
+            entry: Entry = (fire_time, _KIND_SIGNAL, source, seq, val)
+            send(record, assignment[source], entry)
+            for lp in reader_lps[source]:
+                send(record, lp, entry)
+
+        def evaluate_target(
+            record: _Record, lp_id: int, target_id: int, time: float
+        ) -> None:
+            gate = circuit.gates[target_id]
+            if gate.gate_type in ("DFF", "INPUT"):
+                return
+            bump_eval(record, target_id)
+            out = evaluate_gate(
+                gate.gate_type,
+                [read_input(lp_id, i) for i in gate.inputs],
+            )
+            if out != pending_out[target_id]:
+                set_pending(record, target_id, out)
+                schedule_change(record, time + gate.delay, target_id, out)
+
+        def execute(lp_id: int, entry: Entry) -> None:
+            record = _Record(entry)
+            time, kind, source, _seq, val = entry
+            if kind == _KIND_TICK:
+                for dff in dffs_of_lp[lp_id]:
+                    gate = circuit.gates[dff]
+                    sampled = (
+                        read_input(lp_id, gate.inputs[0])
+                        if gate.inputs
+                        else False
+                    )
+                    bump_eval(record, dff)
+                    if sampled != pending_out[dff]:
+                        set_pending(record, dff, sampled)
+                        schedule_change(
+                            record, time + gate.delay, dff, sampled
+                        )
+            elif assignment[source] == lp_id:
+                if value[source] != val:
+                    set_value(record, source, val)
+                    for target in circuit.fanout[source]:
+                        cell = (
+                            _CELL_LOCAL
+                            if assignment[target] == lp_id
+                            else _CELL_CROSS
+                        )
+                        bump_delivery(record, source, target, cell)
+                        if assignment[target] == lp_id:
+                            evaluate_target(record, lp_id, target, time)
+            else:
+                set_mirror(record, lp_id, source, val)
+                for target in circuit.fanout[source]:
+                    if assignment[target] == lp_id:
+                        evaluate_target(record, lp_id, target, time)
+            lps[lp_id].processed.append(record)
+
+        # ---------------- initialization ------------------------------
+        dffs_of_lp: List[List[int]] = [[] for _ in range(k)]
+        for dff in circuit.flip_flops():
+            dffs_of_lp[assignment[dff]].append(dff)
+
+        boot = _Record((-1.0, _KIND_SIGNAL, -1, -1, False))
+        inputs_set = set(circuit.primary_inputs())
+        per_gate: Dict[int, List[Tuple[float, bool]]] = {}
+        for time, gate_id, val in stimuli or ():
+            if gate_id not in inputs_set:
+                raise ValueError(f"gate {gate_id} is not a primary input")
+            per_gate.setdefault(gate_id, []).append((time, val))
+        for gate_id, events in per_gate.items():
+            events.sort(key=lambda item: item[0])
+            current = False
+            for time, val in events:
+                if val != current:
+                    current = val
+                    schedule_change(boot, time, gate_id, val)
+        for gate in circuit.gates:
+            if gate.gate_type in ("DFF", "INPUT"):
+                continue
+            out = evaluate_gate(
+                gate.gate_type, [value[i] for i in gate.inputs]
+            )
+            evaluations[gate.ident] += 1
+            if out != pending_out[gate.ident]:
+                pending_out[gate.ident] = out
+                schedule_change(boot, gate.delay, gate.ident, out)
+        # Boot-time sends are never rolled back (they precede every key).
+
+        # ---------------- main optimistic loop -------------------------
+        def next_entry(lp: _LP) -> Optional[Entry]:
+            tick_time = lp.next_tick if dffs_of_lp[lp.ident] else None
+            head = lp.pending[0] if lp.pending else None
+            if tick_time is not None and tick_time < end_time and (
+                head is None or tick_time <= head[0]
+            ):
+                return (tick_time, _KIND_TICK, -1, lp.tick_index, False)
+            if head is not None and head[0] < end_time:
+                return head
+            return None
+
+        fossils = 0
+        max_live = 0
+        while True:
+            progressed = False
+            for lp in lps:
+                for _ in range(self.batch):
+                    entry = next_entry(lp)
+                    if entry is None:
+                        break
+                    progressed = True
+                    stats["executed"] += 1
+                    if stats["executed"] > max_events:
+                        raise RuntimeError(
+                            f"exceeded {max_events} events — runaway "
+                            "oscillation or thrashing rollback?"
+                        )
+                    if entry[1] == _KIND_TICK:
+                        lp.next_tick += self.clock_period
+                        lp.tick_index += 1
+                    else:
+                        heapq.heappop(lp.pending)
+                    execute(lp.ident, entry)
+            if not progressed:
+                break
+            # GVT + fossil collection: no straggler or anti-message can
+            # ever target a record strictly below the global minimum of
+            # the still-executable horizon, so its undo log is garbage.
+            live = sum(len(lp.processed) for lp in lps)
+            max_live = max(max_live, live)
+            gvt = min(
+                lp.horizon(bool(dffs_of_lp[lp.ident])) for lp in lps
+            )
+            for lp in lps:
+                keep = 0
+                processed = lp.processed
+                while keep < len(processed) and processed[keep].entry[0] < gvt:
+                    keep += 1
+                if keep:
+                    fossils += keep
+                    del processed[:keep]
+
+        return TimeWarpResult(
+            num_lps=k,
+            end_time=end_time,
+            final_values=value,
+            evaluations=evaluations,
+            deliveries=deliveries,
+            cross_messages=counters["cross"],
+            local_messages=counters["local"],
+            events_executed=stats["executed"],
+            events_rolled_back=stats["rolled_back"],
+            rollbacks=stats["rollbacks"],
+            anti_messages=stats["anti"],
+            fossils_collected=fossils,
+            max_live_records=max_live,
+        )

@@ -1,0 +1,214 @@
+"""Waveform capture and VCD export for the logic simulator.
+
+:class:`WaveformRecorder` re-executes a deterministic simulation with a
+tap on every committed signal change of the watched gates, collecting
+``(time, value)`` series.  Two renderers:
+
+- :meth:`WaveformRecorder.to_vcd` — a standard Value Change Dump
+  document (readable by GTKWave and other waveform viewers);
+- :meth:`WaveformRecorder.ascii_waves` — quick terminal traces for
+  examples and debugging.
+
+The replay duplicates :class:`~repro.desim.simulator.LogicSimulator`'s
+event loop rule-for-rule (the engines are deterministic, and the replay
+asserts it converged to the same final values), so recording never
+perturbs the simulation under test.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.desim.circuit import Circuit
+from repro.desim.event_queue import EventQueue
+from repro.desim.events import Event
+from repro.desim.gates import evaluate_gate
+from repro.desim.simulator import LogicSimulator, SimulationResult
+
+
+class WaveformRecorder:
+    """Record committed signal changes of selected gates during a run."""
+
+    def __init__(
+        self, circuit: Circuit, watch: Optional[Sequence[int]] = None
+    ) -> None:
+        self.circuit = circuit
+        if watch is None:
+            watch = list(range(circuit.num_gates))
+        for g in watch:
+            if not 0 <= g < circuit.num_gates:
+                raise ValueError(f"cannot watch unknown gate {g}")
+        self.watch = list(dict.fromkeys(watch))  # dedupe, keep order
+        self.changes: Dict[int, List[Tuple[float, bool]]] = defaultdict(list)
+        self.end_time = 0.0
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        end_time: float,
+        stimuli: Optional[Sequence[Tuple[float, int, bool]]] = None,
+        clock_period: float = 10.0,
+    ) -> SimulationResult:
+        """Run the simulation, recording watched signals.
+
+        Returns the ordinary :class:`SimulationResult`; the recorder's
+        ``changes`` afterwards hold the watched waveforms.
+        """
+        result = LogicSimulator(self.circuit, clock_period=clock_period).run(
+            end_time, stimuli=stimuli
+        )
+        self.changes = defaultdict(list)
+        self.end_time = end_time
+        self._replay_with_tap(end_time, stimuli, clock_period, result)
+        return result
+
+    def _replay_with_tap(
+        self,
+        end_time: float,
+        stimuli: Optional[Sequence[Tuple[float, int, bool]]],
+        clock_period: float,
+        result: SimulationResult,
+    ) -> None:
+        circuit = self.circuit
+        n = circuit.num_gates
+        watch = set(self.watch)
+        value = [False] * n
+        pending = list(value)
+        queue = EventQueue()
+
+        inputs_set = set(circuit.primary_inputs())
+        for time, gate_id, v in stimuli or ():
+            if gate_id not in inputs_set:
+                raise ValueError(f"gate {gate_id} is not a primary input")
+            queue.push(Event(time, gate_id, v))
+        for gate in circuit.gates:
+            if gate.gate_type in ("DFF", "INPUT"):
+                continue
+            out = evaluate_gate(gate.gate_type, [value[i] for i in gate.inputs])
+            if out != pending[gate.ident]:
+                pending[gate.ident] = out
+                queue.push(Event(gate.delay, gate.ident, out))
+
+        dffs = circuit.flip_flops()
+        clock_times: List[float] = []
+        t = clock_period
+        while t < end_time:
+            clock_times.append(t)
+            t += clock_period
+        clock_idx = 0
+
+        while True:
+            next_event = queue.peek_time()
+            next_clock = (
+                clock_times[clock_idx] if clock_idx < len(clock_times) else None
+            )
+            if next_event is None and next_clock is None:
+                break
+            take_clock = next_clock is not None and (
+                next_event is None or next_clock <= next_event
+            )
+            if take_clock:
+                now = next_clock
+                clock_idx += 1
+                for dff in dffs:
+                    gate = circuit.gates[dff]
+                    sampled = value[gate.inputs[0]] if gate.inputs else False
+                    if sampled != pending[dff]:
+                        pending[dff] = sampled
+                        queue.push(Event(now + gate.delay, dff, sampled))
+                continue
+            event = queue.pop()
+            if event.time >= end_time:
+                break
+            src = event.source
+            if value[src] == event.value:
+                continue
+            value[src] = event.value
+            if src in watch:
+                self.changes[src].append((event.time, event.value))
+            for target_id in circuit.fanout[src]:
+                target = circuit.gates[target_id]
+                if target.gate_type in ("DFF", "INPUT"):
+                    continue
+                out = evaluate_gate(
+                    target.gate_type, [value[i] for i in target.inputs]
+                )
+                if out != pending[target_id]:
+                    pending[target_id] = out
+                    queue.push(
+                        Event(event.time + target.delay, target_id, out)
+                    )
+        assert value == result.final_values, "replay diverged from the run"
+
+    # ------------------------------------------------------------------
+    def to_vcd(self, timescale: str = "1ns", module: str = "repro") -> str:
+        """Render the capture as a Value Change Dump document.
+
+        Times are emitted in integer milli-units (time 12.5 → ``#12500``)
+        so fractional gate delays survive the integer timestamp format.
+        """
+        lines = [
+            "$date today $end",
+            "$version repro logic simulator $end",
+            f"$timescale {timescale} $end",
+            f"$scope module {module} $end",
+        ]
+        ids = {}
+        for i, gate in enumerate(self.watch):
+            code = self._vcd_id(i)
+            ids[gate] = code
+            name = self.circuit.gates[gate].name or f"g{gate}"
+            lines.append(f"$var wire 1 {code} {name} $end")
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+        lines.append("$dumpvars")
+        for gate in self.watch:
+            lines.append(f"0{ids[gate]}")
+        lines.append("$end")
+
+        merged: List[Tuple[float, int, bool]] = []
+        for gate, series in self.changes.items():
+            merged.extend((time, gate, v) for time, v in series)
+        merged.sort(key=lambda item: (item[0], item[1]))
+        current_time: Optional[float] = None
+        for time, gate, v in merged:
+            if time != current_time:
+                lines.append(f"#{int(round(time * 1000))}")
+                current_time = time
+            lines.append(f"{int(v)}{ids[gate]}")
+        lines.append(f"#{int(round(self.end_time * 1000))}")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _vcd_id(index: int) -> str:
+        """Printable VCD identifier ('!' .. '~', base-94 bijective)."""
+        chars = []
+        index += 1
+        while index:
+            index, rem = divmod(index - 1, 94)
+            chars.append(chr(33 + rem))
+        return "".join(reversed(chars))
+
+    def ascii_waves(self, width: int = 60) -> str:
+        """Terminal rendering: one row per watched gate."""
+        if self.end_time <= 0:
+            raise ValueError("record a run first")
+        label_width = max(
+            len(self.circuit.gates[g].name or f"g{g}") for g in self.watch
+        )
+        rows = []
+        for gate in self.watch:
+            series = self.changes.get(gate, [])
+            cells = []
+            current = False
+            idx = 0
+            for col in range(width):
+                t = (col + 0.5) * self.end_time / width
+                while idx < len(series) and series[idx][0] <= t:
+                    current = series[idx][1]
+                    idx += 1
+                cells.append("#" if current else "_")
+            name = self.circuit.gates[gate].name or f"g{gate}"
+            rows.append(f"{name.rjust(label_width)} {''.join(cells)}")
+        return "\n".join(rows)

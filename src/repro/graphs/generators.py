@@ -1,0 +1,216 @@
+"""Seeded random instance generators.
+
+The Figure-2 simulations in the paper are run on synthetic chains with
+"module execution weights" drawn from a bounded range; Section 2.3.2
+analyses the case of vertex weights uniform on ``[w1, w2]``.  These
+generators reproduce that family, plus the tree families needed by the
+Algorithm 2.1/2.2 experiments and the worked examples.
+
+Every generator takes a ``random.Random`` instance (or a seed) so that
+experiments are deterministic and reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.graphs.chain import Chain
+from repro.graphs.tree import Tree
+
+RandomLike = Union[random.Random, int, None]
+
+
+def _resolve_rng(rng: RandomLike) -> random.Random:
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)
+
+
+# ----------------------------------------------------------------------
+# Chains
+# ----------------------------------------------------------------------
+def random_chain(
+    n: int,
+    rng: RandomLike = None,
+    vertex_range: Tuple[float, float] = (1.0, 10.0),
+    edge_range: Tuple[float, float] = (1.0, 10.0),
+    integer_weights: bool = False,
+) -> Chain:
+    """A chain of ``n`` tasks with uniform weights.
+
+    ``vertex_range = (w1, w2)`` matches the paper's uniform-weight model;
+    set ``integer_weights=True`` for instances where exact tie behaviour
+    matters (oracle cross-checks).
+    """
+    if n < 1:
+        raise ValueError("chain needs at least one task")
+    r = _resolve_rng(rng)
+    if integer_weights:
+        lo_v, hi_v = int(vertex_range[0]), int(vertex_range[1])
+        lo_e, hi_e = int(edge_range[0]), int(edge_range[1])
+        alpha = [float(r.randint(lo_v, hi_v)) for _ in range(n)]
+        beta = [float(r.randint(lo_e, hi_e)) for _ in range(n - 1)]
+    else:
+        alpha = [r.uniform(*vertex_range) for _ in range(n)]
+        beta = [r.uniform(*edge_range) for _ in range(n - 1)]
+    return Chain(alpha, beta)
+
+
+def uniform_chain(n: int, vertex_weight: float = 1.0, edge_weight: float = 1.0) -> Chain:
+    """A chain with identical weights everywhere (worst case for primes)."""
+    return Chain([vertex_weight] * n, [edge_weight] * (n - 1))
+
+
+def pipeline_chain(
+    stage_costs: Sequence[float], message_volumes: Sequence[float]
+) -> Chain:
+    """A chain built directly from pipeline stage costs and message volumes
+    (the Section 3 real-time workload shape)."""
+    return Chain(list(stage_costs), list(message_volumes))
+
+
+# ----------------------------------------------------------------------
+# Trees
+# ----------------------------------------------------------------------
+def random_tree(
+    n: int,
+    rng: RandomLike = None,
+    vertex_range: Tuple[float, float] = (1.0, 10.0),
+    edge_range: Tuple[float, float] = (1.0, 10.0),
+    attachment: str = "uniform",
+    integer_weights: bool = False,
+) -> Tree:
+    """A random tree on ``n`` vertices.
+
+    ``attachment`` controls the shape:
+
+    - ``"uniform"`` — each new vertex attaches to a uniformly random
+      earlier vertex (random recursive tree; logarithmic depth).
+    - ``"preferential"`` — attaches proportionally to current degree
+      (star-like hubs; stresses Algorithm 2.2's leaf sorting).
+    - ``"path"`` — attaches to the previous vertex (degenerate chain).
+    """
+    if n < 1:
+        raise ValueError("tree needs at least one vertex")
+    r = _resolve_rng(rng)
+
+    def draw(lo: float, hi: float) -> float:
+        if integer_weights:
+            return float(r.randint(int(lo), int(hi)))
+        return r.uniform(lo, hi)
+
+    weights = [draw(*vertex_range) for _ in range(n)]
+    edges: List[Tuple[int, int]] = []
+    edge_weights: List[float] = []
+    degree = [0] * n
+    for v in range(1, n):
+        if attachment == "uniform":
+            parent = r.randrange(v)
+        elif attachment == "path":
+            parent = v - 1
+        elif attachment == "preferential":
+            # Degree + 1 weighting over the first v vertices.
+            total = v + sum(degree[:v])
+            pick = r.uniform(0, total)
+            acc = 0.0
+            parent = v - 1
+            for u in range(v):
+                acc += degree[u] + 1
+                if pick <= acc:
+                    parent = u
+                    break
+        else:
+            raise ValueError(f"unknown attachment model {attachment!r}")
+        edges.append((parent, v))
+        edge_weights.append(draw(*edge_range))
+        degree[parent] += 1
+        degree[v] += 1
+    return Tree(weights, edges, edge_weights)
+
+
+def random_star(
+    num_leaves: int,
+    rng: RandomLike = None,
+    leaf_range: Tuple[float, float] = (1.0, 10.0),
+    edge_range: Tuple[float, float] = (1.0, 10.0),
+    center_weight: float = 0.0,
+) -> Tree:
+    """A star graph as used in the Theorem 1 knapsack reduction."""
+    r = _resolve_rng(rng)
+    leaf_weights = [r.uniform(*leaf_range) for _ in range(num_leaves)]
+    edge_weights = [r.uniform(*edge_range) for _ in range(num_leaves)]
+    return Tree.star(center_weight, leaf_weights, edge_weights)
+
+
+def balanced_binary_tree(
+    depth: int,
+    rng: RandomLike = None,
+    vertex_range: Tuple[float, float] = (1.0, 10.0),
+    edge_range: Tuple[float, float] = (1.0, 10.0),
+) -> Tree:
+    """A complete binary tree of the given depth (divide-and-conquer shape
+    motivating tree task graphs in Section 1)."""
+    r = _resolve_rng(rng)
+    n = 2 ** (depth + 1) - 1
+    weights = [r.uniform(*vertex_range) for _ in range(n)]
+    edges = [((v - 1) // 2, v) for v in range(1, n)]
+    edge_weights = [r.uniform(*edge_range) for _ in range(n - 1)]
+    return Tree(weights, edges, edge_weights)
+
+
+def caterpillar_tree(
+    spine: int,
+    legs_per_vertex: int,
+    rng: RandomLike = None,
+    vertex_range: Tuple[float, float] = (1.0, 10.0),
+    edge_range: Tuple[float, float] = (1.0, 10.0),
+) -> Tree:
+    """A caterpillar: a spine path with ``legs_per_vertex`` leaves hanging
+    off every spine vertex — the shape Algorithm 2.2 peels efficiently."""
+    if spine < 1:
+        raise ValueError("caterpillar needs at least one spine vertex")
+    r = _resolve_rng(rng)
+    n = spine + spine * legs_per_vertex
+    weights = [r.uniform(*vertex_range) for _ in range(n)]
+    edges: List[Tuple[int, int]] = []
+    edge_weights: List[float] = []
+    for s in range(1, spine):
+        edges.append((s - 1, s))
+        edge_weights.append(r.uniform(*edge_range))
+    leaf = spine
+    for s in range(spine):
+        for _ in range(legs_per_vertex):
+            edges.append((s, leaf))
+            edge_weights.append(r.uniform(*edge_range))
+            leaf += 1
+    return Tree(weights, edges, edge_weights)
+
+
+# ----------------------------------------------------------------------
+# Figure-2 instance family
+# ----------------------------------------------------------------------
+def figure2_chain(
+    n: int,
+    w_max: float,
+    rng: RandomLike = None,
+    w_min: float = 1.0,
+) -> Chain:
+    """The instance family of the paper's simulations: vertex weights
+    uniform on ``[w_min, w_max]`` ("module execution time"), unit-range
+    edge weights."""
+    r = _resolve_rng(rng)
+    alpha = [r.uniform(w_min, w_max) for _ in range(n)]
+    beta = [r.uniform(1.0, w_max) for _ in range(max(n - 1, 0))]
+    return Chain(alpha, beta)
+
+
+def bound_for_ratio(chain: Chain, ratio: float) -> float:
+    """An execution-time bound ``K = ratio * max_i alpha_i``.
+
+    The paper requires ``K > max alpha_i``, so ``ratio`` must exceed 1;
+    Section 2.3.2's average-case analysis is parameterized by ``K / w2``.
+    """
+    if ratio <= 1.0:
+        raise ValueError("K must exceed the maximum vertex weight (ratio > 1)")
+    return ratio * chain.max_vertex_weight()

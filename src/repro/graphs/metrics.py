@@ -1,0 +1,98 @@
+"""Partition-quality metrics over arbitrary vertex assignments.
+
+The machine and simulation benchmarks compare partitions produced by
+different algorithms; this module computes the quantities the paper
+argues about — total crossing traffic (bandwidth demand on the
+interconnection network), the heaviest single inter-component flow
+(bottleneck), per-component loads and balance — from a plain
+``vertex -> component`` assignment, independent of how it was produced.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.graphs.task_graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class PartitionMetrics:
+    """Aggregate quality figures for one assignment."""
+
+    num_components: int
+    component_loads: Tuple[float, ...]
+    external_bandwidth: float
+    internal_bandwidth: float
+    bottleneck_flow: float
+    max_load: float
+    mean_load: float
+
+    @property
+    def load_imbalance(self) -> float:
+        return self.max_load / self.mean_load if self.mean_load else 1.0
+
+    @property
+    def communication_fraction(self) -> float:
+        total = self.external_bandwidth + self.internal_bandwidth
+        return self.external_bandwidth / total if total else 0.0
+
+
+def evaluate_assignment(
+    graph: TaskGraph, assignment: Sequence[int]
+) -> PartitionMetrics:
+    """Compute :class:`PartitionMetrics` for ``assignment[v] -> component``."""
+    if len(assignment) != graph.num_vertices:
+        raise ValueError("assignment must cover every vertex")
+    loads: Dict[int, float] = defaultdict(float)
+    for v in range(graph.num_vertices):
+        loads[assignment[v]] += graph.vertex_weight(v)
+
+    external = 0.0
+    internal = 0.0
+    flows: Dict[Tuple[int, int], float] = defaultdict(float)
+    for (u, v), w in graph.weighted_edges():
+        cu, cv = assignment[u], assignment[v]
+        if cu == cv:
+            internal += w
+        else:
+            external += w
+            key = (cu, cv) if cu < cv else (cv, cu)
+            flows[key] += w
+
+    load_values = tuple(loads[c] for c in sorted(loads))
+    return PartitionMetrics(
+        num_components=len(loads),
+        component_loads=load_values,
+        external_bandwidth=external,
+        internal_bandwidth=internal,
+        bottleneck_flow=max(flows.values()) if flows else 0.0,
+        max_load=max(load_values),
+        mean_load=sum(load_values) / len(load_values),
+    )
+
+
+def pairwise_flows(
+    graph: TaskGraph, assignment: Sequence[int]
+) -> Dict[Tuple[int, int], float]:
+    """Traffic between every pair of components (canonical pair keys)."""
+    flows: Dict[Tuple[int, int], float] = defaultdict(float)
+    for (u, v), w in graph.weighted_edges():
+        cu, cv = assignment[u], assignment[v]
+        if cu != cv:
+            key = (cu, cv) if cu < cv else (cv, cu)
+            flows[key] += w
+    return dict(flows)
+
+
+def compare_assignments(
+    graph: TaskGraph, assignments: Dict[str, Sequence[int]]
+) -> List[Tuple[str, PartitionMetrics]]:
+    """Evaluate several named assignments, sorted by external bandwidth."""
+    rows = [
+        (name, evaluate_assignment(graph, assignment))
+        for name, assignment in assignments.items()
+    ]
+    rows.sort(key=lambda item: item[1].external_bandwidth)
+    return rows

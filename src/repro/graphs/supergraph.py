@@ -1,0 +1,184 @@
+"""Linear supergraph approximation of general task graphs — Section 3.
+
+The paper's distributed-simulation application notes that when the
+simulated system is not linear, "we may first approximate the original
+system by generating a super-graph, which is linear, from the process
+graph, then apply the algorithm to the super-graph".  This module
+provides that construction:
+
+- :func:`bfs_linear_supergraph` — group vertices by BFS layer.  For an
+  undirected connected graph, every edge joins vertices in the same or
+  adjacent layers, so the quotient over layers is *exactly* a chain and
+  the chain's edge weights equal the true inter-layer traffic (no
+  over-counting).
+- :func:`order_linear_supergraph` — group an arbitrary vertex order into
+  given contiguous groups.  Edges spanning non-adjacent groups are
+  charged to every boundary they cross, a conservative (over-)estimate
+  of the traffic a cut at that boundary pays; the resulting chain is an
+  upper-bound model, which keeps the partitioning safe.
+- :func:`ring_to_chain` — specialize cycles ("circular type logic
+  circuit or network"): break the lightest edge and return the resulting
+  exact chain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.graphs.chain import Chain
+from repro.graphs.task_graph import Edge, TaskGraph
+
+
+@dataclass
+class Supergraph:
+    """A linear supergraph: the chain, its groups, and projection helpers."""
+
+    graph: TaskGraph
+    chain: Chain
+    groups: List[List[int]]  # groups[i] = original vertices in chain task i
+    exact: bool  # True when chain edge weights equal true crossing traffic
+
+    def group_of(self) -> List[int]:
+        owner = [0] * self.graph.num_vertices
+        for idx, group in enumerate(self.groups):
+            for v in group:
+                owner[v] = idx
+        return owner
+
+    def project_cut(self, chain_cut: Iterable[int]) -> Set[Edge]:
+        """Original edges crossing the chosen chain boundaries.
+
+        Chain edge ``k`` separates groups ``0..k`` from ``k+1..``; the
+        projected cut contains every original edge whose endpoints fall
+        on opposite sides of *any* chosen boundary.
+        """
+        boundaries = sorted(set(chain_cut))
+        owner = self.group_of()
+        cut: Set[Edge] = set()
+        for (u, v), _w in self.graph.weighted_edges():
+            gu, gv = owner[u], owner[v]
+            lo, hi = (gu, gv) if gu <= gv else (gv, gu)
+            if any(lo <= b < hi for b in boundaries):
+                cut.add((u, v))
+        return cut
+
+    def assignment_from_cut(self, chain_cut: Iterable[int]) -> List[int]:
+        """Map every original vertex to its block index under the cut."""
+        blocks = self.chain.cut_components(chain_cut)
+        owner = self.group_of()
+        block_of_group = [0] * self.chain.num_tasks
+        for b, (lo, hi) in enumerate(blocks):
+            for g in range(lo, hi + 1):
+                block_of_group[g] = b
+        return [block_of_group[owner[v]] for v in range(self.graph.num_vertices)]
+
+
+def bfs_linear_supergraph(graph: TaskGraph, source: int = 0) -> Supergraph:
+    """Exact linear supergraph via BFS layering from ``source``.
+
+    Requires a connected graph.  Layer ``i``'s super-node weight is the
+    sum of its vertex weights; the super-edge between layers ``i`` and
+    ``i+1`` carries the total weight of edges joining them.  Intra-layer
+    edges never cross any chain boundary and are therefore free (they
+    stay on one processor for any contiguous chain partition).
+    """
+    n = graph.num_vertices
+    if n == 0:
+        raise ValueError("empty graph")
+    level = [-1] * n
+    level[source] = 0
+    queue = deque((source,))
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if level[v] == -1:
+                level[v] = level[u] + 1
+                queue.append(v)
+    if any(lv == -1 for lv in level):
+        raise ValueError("graph must be connected for BFS layering")
+    num_layers = max(level) + 1
+    groups: List[List[int]] = [[] for _ in range(num_layers)]
+    for v in range(n):
+        groups[level[v]].append(v)
+    alpha = [
+        sum(graph.vertex_weight(v) for v in group) or 1e-9 for group in groups
+    ]
+    beta = [0.0] * max(num_layers - 1, 0)
+    for (u, v), w in graph.weighted_edges():
+        lu, lv = level[u], level[v]
+        if abs(lu - lv) == 1:
+            beta[min(lu, lv)] += w
+        elif abs(lu - lv) > 1:
+            raise AssertionError("BFS layering violated — non-adjacent edge")
+    return Supergraph(graph, Chain(alpha, beta), groups, exact=True)
+
+
+def order_linear_supergraph(
+    graph: TaskGraph, order: Sequence[int], group_sizes: Sequence[int]
+) -> Supergraph:
+    """Linear supergraph over an arbitrary vertex order.
+
+    ``order`` is a permutation of the vertices; ``group_sizes`` splits it
+    into consecutive groups (must sum to ``n``).  Each boundary's edge
+    weight is the total weight of original edges crossing it, so an edge
+    spanning several groups is charged once per crossed boundary —
+    a conservative traffic estimate (``exact=False``).
+    """
+    n = graph.num_vertices
+    if sorted(order) != list(range(n)):
+        raise ValueError("order must be a permutation of the vertices")
+    if sum(group_sizes) != n or any(s <= 0 for s in group_sizes):
+        raise ValueError("group sizes must be positive and sum to n")
+    groups: List[List[int]] = []
+    pos = 0
+    for size in group_sizes:
+        groups.append(list(order[pos : pos + size]))
+        pos += size
+    owner = [0] * n
+    for idx, group in enumerate(groups):
+        for v in group:
+            owner[v] = idx
+    alpha = [sum(graph.vertex_weight(v) for v in group) for group in groups]
+    beta = [0.0] * (len(groups) - 1)
+    exact = True
+    for (u, v), w in graph.weighted_edges():
+        lo, hi = sorted((owner[u], owner[v]))
+        if hi - lo > 1:
+            exact = False
+        for b in range(lo, hi):
+            beta[b] += w
+    return Supergraph(graph, Chain(alpha, beta), groups, exact=exact)
+
+
+def ring_to_chain(graph: TaskGraph) -> Tuple[Supergraph, Edge]:
+    """Break a cycle graph at its lightest edge, yielding an exact chain.
+
+    Returns the supergraph (groups are singletons along the ring) and
+    the broken edge.  The broken edge's traffic is *not* represented in
+    the chain; callers treat it as permanently local by keeping its two
+    endpoints' blocks on one processor or accounting for it separately.
+    """
+    n = graph.num_vertices
+    if n < 3 or graph.num_edges != n or any(graph.degree(v) != 2 for v in range(n)):
+        raise ValueError("graph is not a simple cycle")
+    broken = min(graph.weighted_edges(), key=lambda item: (item[1], item[0]))[0]
+    start, end = broken
+    # Walk the ring from `start` away from `end`.
+    order = [start]
+    prev = end
+    while len(order) < n:
+        current = order[-1]
+        nxt = [v for v in graph.neighbors(current) if v != prev][0]
+        prev = current
+        order.append(nxt)
+    alpha = [graph.vertex_weight(v) for v in order]
+    beta = [
+        graph.edge_weight(order[i], order[i + 1]) for i in range(n - 1)
+    ]
+    groups = [[v] for v in order]
+    return (
+        Supergraph(graph, Chain(alpha, beta), groups, exact=True),
+        broken,
+    )

@@ -1,0 +1,164 @@
+"""Tree task graphs.
+
+Sections 2.1 and 2.2 of the paper partition *tree* task graphs.  This
+class wraps :class:`~repro.graphs.task_graph.TaskGraph` with a
+tree-structure guarantee and the traversal helpers the tree algorithms
+need (rooting, post-order, subtree weights, leaf/internal queries).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.graphs.task_graph import Edge, TaskGraph, canonical_edge
+
+
+class Tree(TaskGraph):
+    """A connected, acyclic task graph.
+
+    Construction validates the tree property (``m = n - 1`` and connected).
+    All :class:`TaskGraph` operations remain available.
+    """
+
+    def __init__(
+        self,
+        vertex_weights: Sequence[float],
+        edges: Iterable[Edge],
+        edge_weights: Optional[object] = None,
+    ) -> None:
+        super().__init__(vertex_weights, edges, edge_weights)
+        if not self.is_tree():
+            raise ValueError(
+                f"graph with n={self.num_vertices}, m={self.num_edges} "
+                "is not a tree (must be connected and acyclic)"
+            )
+
+    # ------------------------------------------------------------------
+    # Rooted views
+    # ------------------------------------------------------------------
+    def bfs_order(self, root: int = 0) -> Tuple[List[int], List[int]]:
+        """Return ``(order, parent)`` for a BFS from ``root``.
+
+        ``order`` visits every vertex exactly once starting at the root;
+        ``parent[root] == -1``.
+        """
+        parent = [-2] * self.num_vertices
+        parent[root] = -1
+        order = [root]
+        queue = deque((root,))
+        while queue:
+            u = queue.popleft()
+            for v in self.neighbors(u):
+                if parent[v] == -2:
+                    parent[v] = u
+                    order.append(v)
+                    queue.append(v)
+        return order, parent
+
+    def post_order(self, root: int = 0) -> Tuple[List[int], List[int]]:
+        """Return ``(post_order, parent)`` — children always before parents."""
+        order, parent = self.bfs_order(root)
+        return order[::-1], parent
+
+    def subtree_weights(self, root: int = 0) -> List[float]:
+        """``w[v]`` = total vertex weight of the subtree rooted at ``v``
+        (with the tree rooted at ``root``)."""
+        order, parent = self.post_order(root)
+        weights = list(self.vertex_weights)
+        for v in order:
+            if parent[v] >= 0:
+                weights[parent[v]] += weights[v]
+        return weights
+
+    # ------------------------------------------------------------------
+    # Leaf / internal structure (Algorithm 2.2 vocabulary)
+    # ------------------------------------------------------------------
+    def leaves(self) -> List[int]:
+        """All vertices of degree <= 1 (a single-vertex tree has one leaf)."""
+        if self.num_vertices == 1:
+            return [0]
+        return [v for v in range(self.num_vertices) if self.degree(v) == 1]
+
+    def internal_vertices(self) -> List[int]:
+        return [v for v in range(self.num_vertices) if self.degree(v) >= 2]
+
+    def is_star(self) -> bool:
+        """True when some vertex is adjacent to all others."""
+        if self.num_vertices <= 2:
+            return True
+        return any(
+            self.degree(v) == self.num_vertices - 1
+            for v in range(self.num_vertices)
+        )
+
+    # ------------------------------------------------------------------
+    # Contraction (super-node construction of Section 2.2)
+    # ------------------------------------------------------------------
+    def contract_components(
+        self, cut: Set[Edge]
+    ) -> Tuple["Tree", List[List[int]], Dict[Edge, Edge]]:
+        """Lump each component of ``T - cut`` into a super-node.
+
+        Section 2.2: after bottleneck minimization splits the tree into
+        components, merging each component into a single weighted
+        super-node yields a smaller tree whose edges are exactly the cut
+        edges.  Returns ``(super_tree, components, edge_origin)`` where
+        ``components[i]`` lists the original vertices inside super-node
+        ``i`` and ``edge_origin`` maps each super-tree edge back to the
+        original cut edge it came from.
+        """
+        cut = {canonical_edge(*e) for e in cut}
+        known = set(self.edges())
+        missing = cut - known
+        if missing:
+            raise ValueError(f"cut edges not present in tree: {sorted(missing)}")
+        components = self.connected_components(cut)
+        component_of = [0] * self.num_vertices
+        for idx, component in enumerate(components):
+            for v in component:
+                component_of[v] = idx
+        weights = [
+            sum(self.vertex_weight(v) for v in component)
+            for component in components
+        ]
+        super_edges: List[Edge] = []
+        super_edge_weights: List[float] = []
+        edge_origin: Dict[Edge, Edge] = {}
+        for u, v in cut:
+            super_edge = canonical_edge(component_of[u], component_of[v])
+            super_edges.append(super_edge)
+            super_edge_weights.append(self.edge_weight(u, v))
+            edge_origin[super_edge] = (u, v) if u < v else (v, u)
+        super_tree = Tree(weights, super_edges, super_edge_weights)
+        return super_tree, components, edge_origin
+
+    @classmethod
+    def from_task_graph(cls, graph: TaskGraph) -> "Tree":
+        if not graph.is_tree():
+            raise ValueError("task graph is not a tree")
+        return cls(
+            graph.vertex_weights,
+            list(graph.edges()),
+            graph.edge_weight_map(),
+        )
+
+    @classmethod
+    def star(
+        cls,
+        center_weight: float,
+        leaf_weights: Sequence[float],
+        edge_weights: Sequence[float],
+    ) -> "Tree":
+        """A star with vertex 0 as centre and leaves ``1 .. r`` (Theorem 1)."""
+        if len(leaf_weights) != len(edge_weights):
+            raise ValueError("one edge weight per leaf required")
+        weights = [center_weight] + [float(w) for w in leaf_weights]
+        edges = [(0, i + 1) for i in range(len(leaf_weights))]
+        return cls(weights, edges, list(edge_weights))
+
+    def __repr__(self) -> str:
+        return (
+            f"Tree(n={self.num_vertices}, leaves={len(self.leaves())}, "
+            f"W={self.total_vertex_weight():g})"
+        )

@@ -1,0 +1,41 @@
+"""A tiny wall-clock stopwatch for the runtime-comparison experiments."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Stopwatch:
+    """Measure elapsed wall-clock seconds with lap support.
+
+    >>> watch = Stopwatch()
+    >>> watch.start()  # doctest: +SKIP
+    >>> elapsed = watch.stop()  # doctest: +SKIP
+    """
+
+    __slots__ = ("_start", "total")
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.total = 0.0
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch not running")
+        lap = time.perf_counter() - self._start
+        self._start = None
+        self.total += lap
+        return lap
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,49 @@
+"""Shared-memory multiprocessor model — the paper's target architecture.
+
+Section 1 characterizes the architecture: processors of uniform speed
+connected by an interconnection network (crossbar, shared bus or
+multistage) whose link bandwidth ``w(l_i)`` is the same for all links
+and whose latency is symmetric and uniform — which is exactly why the
+mapping of a partitioned task graph onto processors is trivial
+(Section 3).  This package builds that machine:
+
+- :mod:`~repro.machine.processor` / :mod:`~repro.machine.interconnect` —
+  components (bus, crossbar, multistage contention models);
+- :mod:`~repro.machine.machine` — the assembled machine;
+- :mod:`~repro.machine.mapper` — the trivial partition→processor mapping
+  (plus a folding mapper when processors are scarce);
+- :mod:`~repro.machine.executor` — a pipelined execution simulator that
+  turns a chain partition into throughput/makespan/traffic numbers;
+- :mod:`~repro.machine.traffic` — network-demand accounting.
+"""
+
+from repro.machine.executor import PipelineExecution, TraceSpan, simulate_pipeline
+from repro.machine.gantt import render_gantt, utilization_bars
+from repro.machine.interconnect import (
+    Crossbar,
+    Interconnect,
+    MultistageNetwork,
+    SharedBus,
+)
+from repro.machine.machine import SharedMemoryMachine
+from repro.machine.mapper import Mapping, map_partition
+from repro.machine.processor import Processor
+from repro.machine.traffic import TrafficReport, network_demand
+
+__all__ = [
+    "Crossbar",
+    "Interconnect",
+    "Mapping",
+    "MultistageNetwork",
+    "PipelineExecution",
+    "Processor",
+    "SharedBus",
+    "SharedMemoryMachine",
+    "TraceSpan",
+    "TrafficReport",
+    "map_partition",
+    "network_demand",
+    "render_gantt",
+    "simulate_pipeline",
+    "utilization_bars",
+]

@@ -1,0 +1,252 @@
+"""Pipelined execution of a partitioned chain on the machine model.
+
+Section 1 motivates linear task graphs with pipelined computations: "a
+sequence of such problems (possibly with different input parameters) can
+be 'fed' to the pipeline and keep all stages busy".  This simulator does
+exactly that: each block of a chain partition becomes a pipeline stage
+on its own processor; a stream of items flows through; stage-to-stage
+transfers pay the interconnect (with its contention model).
+
+The simulation is event-driven and exact for the model: a stage
+processes items in order when (a) the item has arrived and (b) the stage
+is idle; a finished item's data is handed to the interconnect, which
+grants transfers in request order subject to its contention rules
+(bus: full serialization; crossbar: per-port serialization; multistage:
+crossbar plus a load-dependent slowdown).
+
+The headline outputs — steady-state throughput, makespan, end-to-end
+latency and total network traffic — are the quantities the paper's three
+objectives trade off, so the machine benchmarks compare partitions
+produced by each algorithm through this single lens.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs.chain import Chain
+from repro.machine.interconnect import Crossbar, MultistageNetwork, SharedBus
+from repro.machine.machine import SharedMemoryMachine
+
+
+@dataclass
+class TraceSpan:
+    """One recorded activity interval (compute or transfer)."""
+
+    kind: str  # "compute" | "transfer"
+    stage: int
+    item: int
+    start: float
+    end: float
+
+
+@dataclass
+class PipelineExecution:
+    """Results of one pipelined run."""
+
+    num_stages: int
+    num_items: int
+    makespan: float
+    first_item_latency: float
+    stage_compute_times: List[float]
+    stage_busy_time: List[float]
+    total_traffic: float
+    transfer_volumes: List[float]
+    trace: Optional[List[TraceSpan]] = field(default=None, repr=False)
+
+    @property
+    def throughput(self) -> float:
+        return self.num_items / self.makespan if self.makespan > 0 else float("inf")
+
+    @property
+    def utilization(self) -> List[float]:
+        if self.makespan <= 0:
+            return [1.0] * self.num_stages
+        return [busy / self.makespan for busy in self.stage_busy_time]
+
+    @property
+    def bottleneck_stage(self) -> int:
+        return max(
+            range(self.num_stages), key=lambda s: self.stage_busy_time[s]
+        )
+
+
+class _LinkScheduler:
+    """Grants transfers on the machine's interconnect in request order."""
+
+    def __init__(self, machine: SharedMemoryMachine) -> None:
+        self.net = machine.interconnect
+        self._bus_free = 0.0
+        self._port_free: Dict[int, float] = {}
+        self._in_flight: List[float] = []  # done times, for multistage load
+
+    def grant(self, now: float, src: int, dst: int, volume: float) -> float:
+        """Return the completion time of a transfer requested at ``now``."""
+        if volume <= 0:
+            return now
+        net = self.net
+        if isinstance(net, SharedBus):
+            start = max(now, self._bus_free)
+            done = start + net.transfer_time(volume)
+            self._bus_free = done
+            return done
+        if isinstance(net, MultistageNetwork):
+            start = max(
+                now,
+                self._port_free.get(src, 0.0),
+                self._port_free.get(dst, 0.0),
+            )
+            self._in_flight = [d for d in self._in_flight if d > start]
+            contention = 1.0 + len(self._in_flight) / net.ports
+            done = start + net.stages * net.latency + contention * volume / net.bandwidth
+            self._port_free[src] = done
+            self._port_free[dst] = done
+            self._in_flight.append(done)
+            return done
+        # Crossbar (and the generic default): per-port serialization.
+        start = max(
+            now, self._port_free.get(src, 0.0), self._port_free.get(dst, 0.0)
+        )
+        done = start + net.transfer_time(volume)
+        self._port_free[src] = done
+        self._port_free[dst] = done
+        return done
+
+
+def simulate_pipeline(
+    chain: Chain,
+    cut_indices: Sequence[int],
+    machine: SharedMemoryMachine,
+    num_items: int,
+    allow_folding: bool = False,
+    stage_speed_factors: Optional[Sequence[float]] = None,
+    record_trace: bool = False,
+) -> PipelineExecution:
+    """Run ``num_items`` through the pipeline induced by a chain cut.
+
+    Each block of the cut becomes one stage; stage ``s`` runs on
+    processor ``s`` (the trivial shared-memory mapping).  Raises
+    ``ValueError`` when blocks outnumber processors and folding is off
+    (with folding, each stage is treated as its own logical processor —
+    time multiplexing is not modelled).
+
+    ``stage_speed_factors`` injects per-stage slowdowns/speedups (e.g.
+    ``[1.0, 0.5, 1.0]`` halves stage 1's speed) — used to study how a
+    degraded processor moves the pipeline bottleneck.
+
+    ``record_trace=True`` attaches per-(stage, item) compute and
+    transfer spans (:class:`TraceSpan`) to the result — render them
+    with :func:`repro.machine.gantt.render_gantt`.
+    """
+    if num_items < 1:
+        raise ValueError("need at least one item")
+    blocks = chain.cut_components(cut_indices)
+    k = len(blocks)
+    if k > machine.num_processors and not allow_folding:
+        raise ValueError(
+            f"{k} stages exceed {machine.num_processors} processors"
+        )
+    if stage_speed_factors is None:
+        factors = [1.0] * k
+    else:
+        factors = [float(f) for f in stage_speed_factors]
+        if len(factors) != k:
+            raise ValueError(
+                f"{len(factors)} speed factors for {k} stages"
+            )
+        if any(f <= 0 for f in factors):
+            raise ValueError("speed factors must be positive")
+    speed = machine.speed
+    compute = [
+        chain.segment_weight(lo, hi) / (speed * factors[s])
+        for s, (lo, hi) in enumerate(blocks)
+    ]
+    boundaries = sorted(set(cut_indices))
+    volumes = [chain.edge_weight(b) for b in boundaries]
+
+    scheduler = _LinkScheduler(machine)
+    busy = [False] * k
+    next_item = [0] * k
+    arrived = [0] * k
+    arrived[0] = num_items  # the input stream is fully available
+    busy_time = [0.0] * k
+    completions: List[float] = [0.0] * num_items
+    # Bounded output buffering: each stage keeps one transfer in flight
+    # and queues finished items behind it.  Without this, a fast early
+    # stage's prefetched transfers monopolize shared ports/bus slots
+    # (a convoy no real pipeline with finite buffers exhibits).
+    out_queue: List[List[int]] = [[] for _ in range(k)]
+    sending = [False] * k
+
+    heap: List[Tuple[float, int, int, int, int]] = []
+    seq = 0
+
+    def push(time: float, kind: int, stage: int, item: int) -> None:
+        nonlocal seq
+        heapq.heappush(heap, (time, seq, kind, stage, item))
+        seq += 1
+
+    _COMPUTE_DONE, _ARRIVE, _SEND_DONE = 0, 1, 2
+
+    trace: Optional[List[TraceSpan]] = [] if record_trace else None
+
+    def try_start(stage: int, now: float) -> None:
+        if busy[stage]:
+            return
+        t = next_item[stage]
+        if t >= num_items or arrived[stage] <= t:
+            return
+        busy[stage] = True
+        next_item[stage] += 1
+        busy_time[stage] += compute[stage]
+        if trace is not None:
+            trace.append(
+                TraceSpan("compute", stage, t, now, now + compute[stage])
+            )
+        push(now + compute[stage], _COMPUTE_DONE, stage, t)
+
+    def pump_sender(stage: int, now: float) -> None:
+        if sending[stage] or not out_queue[stage]:
+            return
+        item = out_queue[stage].pop(0)
+        sending[stage] = True
+        done = scheduler.grant(
+            now, src=stage, dst=stage + 1, volume=volumes[stage]
+        )
+        if trace is not None and done > now:
+            trace.append(TraceSpan("transfer", stage, item, now, done))
+        push(done, _ARRIVE, stage + 1, item)
+        push(done, _SEND_DONE, stage, item)
+
+    try_start(0, 0.0)
+    while heap:
+        now, _s, kind, stage, item = heapq.heappop(heap)
+        if kind == _COMPUTE_DONE:
+            busy[stage] = False
+            if stage + 1 < k:
+                out_queue[stage].append(item)
+                pump_sender(stage, now)
+            else:
+                completions[item] = now
+            try_start(stage, now)
+        elif kind == _ARRIVE:
+            arrived[stage] += 1
+            try_start(stage, now)
+        else:  # _SEND_DONE
+            sending[stage] = False
+            pump_sender(stage, now)
+
+    makespan = completions[-1]
+    return PipelineExecution(
+        num_stages=k,
+        num_items=num_items,
+        makespan=makespan,
+        first_item_latency=completions[0],
+        stage_compute_times=compute,
+        stage_busy_time=busy_time,
+        total_traffic=num_items * sum(volumes),
+        transfer_volumes=volumes,
+        trace=trace,
+    )

@@ -1,0 +1,48 @@
+"""The assembled shared-memory multiprocessor."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.machine.interconnect import Interconnect, SharedBus
+from repro.machine.processor import Processor
+
+
+class SharedMemoryMachine:
+    """``num_processors`` homogeneous processors behind one interconnect.
+
+    The architecture graph ``G_arch`` of the paper with uniform
+    ``w(p_i)`` and ``w(l_i)`` — speed and interconnect bandwidth are the
+    two knobs; topology never matters beyond the contention model
+    because latency is uniform.
+    """
+
+    def __init__(
+        self,
+        num_processors: int,
+        speed: float = 1.0,
+        interconnect: Optional[Interconnect] = None,
+    ) -> None:
+        if num_processors < 1:
+            raise ValueError("machine needs at least one processor")
+        self.processors: List[Processor] = [
+            Processor(i, speed) for i in range(num_processors)
+        ]
+        self.interconnect = interconnect or SharedBus()
+
+    @property
+    def num_processors(self) -> int:
+        return len(self.processors)
+
+    @property
+    def speed(self) -> float:
+        return self.processors[0].speed
+
+    def is_homogeneous(self) -> bool:
+        return len({p.speed for p in self.processors}) == 1
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedMemoryMachine(p={self.num_processors}, "
+            f"speed={self.speed:g}, net={self.interconnect!r})"
+        )

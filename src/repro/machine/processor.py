@@ -1,0 +1,28 @@
+"""Processor model.
+
+The paper's architecture graph associates a speed ``w(p_i)``
+(instructions per second) with each processor; the shared-memory
+machines considered are homogeneous, so a single speed is shared by
+default, but heterogeneous speeds are representable for the
+Bokhari-style baselines that support them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Processor:
+    """A processor with an id and a speed in work-units per time-unit."""
+
+    ident: int
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError(f"processor {self.ident} has non-positive speed")
+
+    def compute_time(self, work: float) -> float:
+        """Time to execute ``work`` units of computation."""
+        return work / self.speed

@@ -1,0 +1,54 @@
+"""Network-demand accounting for partitions on the shared-memory machine.
+
+Computes, for a chain partition, the per-boundary and aggregate traffic
+the interconnection network must carry per pipeline item — the static
+counterpart of the executor's dynamic measurements, and directly the
+quantities the paper's objectives minimize:
+
+- ``total_demand``   — the bandwidth objective, ``sum_{e in S} beta(e)``;
+- ``max_link_demand`` — the bottleneck objective, ``max_{e in S} beta(e)``;
+- ``max_processor_demand`` — the real-time study's "highest traffic
+  demand of a single processor on the network" (each stage sends its
+  right boundary and receives its left one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.graphs.chain import Chain
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Static per-item network demand of a chain partition."""
+
+    boundary_volumes: tuple
+    total_demand: float
+    max_link_demand: float
+    processor_demands: tuple
+    max_processor_demand: float
+
+    def saturation(self, bandwidth: float) -> float:
+        """Fraction of one time-unit the network is busy per item on a
+        serializing (bus) network of the given bandwidth."""
+        return self.total_demand / bandwidth
+
+
+def network_demand(chain: Chain, cut_indices: Sequence[int]) -> TrafficReport:
+    """Static traffic report for a chain cut."""
+    boundaries = sorted(set(cut_indices))
+    volumes = [chain.edge_weight(b) for b in boundaries]
+    k = len(boundaries) + 1
+    per_processor: List[float] = [0.0] * k
+    for idx, volume in enumerate(volumes):
+        per_processor[idx] += volume  # stage idx sends
+        per_processor[idx + 1] += volume  # stage idx+1 receives
+    return TrafficReport(
+        boundary_volumes=tuple(volumes),
+        total_demand=sum(volumes),
+        max_link_demand=max(volumes) if volumes else 0.0,
+        processor_demands=tuple(per_processor),
+        max_processor_demand=max(per_processor) if per_processor else 0.0,
+    )

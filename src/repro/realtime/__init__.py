@@ -1,0 +1,22 @@
+"""Real-time computing application — Section 3, Figure 3.
+
+A real-time task ``T`` with deadline ``k`` is maximally divided into a
+linear sequence of subtasks with data dependencies; the partitioning
+must guarantee (1) every component completes within ``k``, (2) total
+network cost/noise impact is minimized, (3) the highest single-processor
+traffic demand is minimized.  These are exactly the execution-time
+bound, bandwidth and bottleneck objectives, so the planner here is a
+thin orchestration of :mod:`repro.core` plus the machine model.
+"""
+
+from repro.realtime.planner import RealTimePlan, plan_realtime_task
+from repro.realtime.schedule import StageSchedule, build_schedule
+from repro.realtime.spec import RealTimeTask
+
+__all__ = [
+    "RealTimePlan",
+    "RealTimeTask",
+    "StageSchedule",
+    "build_schedule",
+    "plan_realtime_task",
+]

@@ -1,0 +1,66 @@
+"""Per-processor schedules for a planned real-time pipeline.
+
+Turns a plan into the steady-state timeline of one pipeline iteration:
+when each stage computes, how long it spends communicating, its idle
+slack against the deadline, and its utilization once the pipeline is
+full.  Used by the example scripts and the real-time benchmark to show
+the partition as a Gantt-style table (the textual analogue of the
+paper's Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.machine.machine import SharedMemoryMachine
+from repro.realtime.planner import RealTimePlan
+
+
+@dataclass(frozen=True)
+class StageSchedule:
+    """One pipeline stage's steady-state accounting."""
+
+    processor: int
+    first_subtask: int
+    last_subtask: int
+    compute_time: float
+    send_volume: float
+    send_time: float
+    slack: float
+
+    @property
+    def stage_period(self) -> float:
+        """Time this stage needs per item (compute + its own send)."""
+        return self.compute_time + self.send_time
+
+
+def build_schedule(
+    plan: RealTimePlan, machine: SharedMemoryMachine
+) -> List[StageSchedule]:
+    """Per-stage schedule of the plan on the machine."""
+    chain = plan.task.to_chain()
+    blocks = chain.cut_components(plan.cut_indices)
+    boundaries = sorted(set(plan.cut_indices))
+    net = machine.interconnect
+    schedules: List[StageSchedule] = []
+    for stage, (lo, hi) in enumerate(blocks):
+        compute = chain.segment_weight(lo, hi) / machine.speed
+        volume = chain.edge_weight(boundaries[stage]) if stage < len(boundaries) else 0.0
+        schedules.append(
+            StageSchedule(
+                processor=plan.mapping.processor_of[stage],
+                first_subtask=lo,
+                last_subtask=hi,
+                compute_time=compute,
+                send_volume=volume,
+                send_time=net.transfer_time(volume),
+                slack=plan.task.deadline - compute,
+            )
+        )
+    return schedules
+
+
+def pipeline_period(schedules: List[StageSchedule]) -> float:
+    """Steady-state initiation interval: the slowest stage's period."""
+    return max(s.stage_period for s in schedules)

@@ -1,0 +1,51 @@
+"""Real-time task specifications.
+
+Mirrors the constraint list of Section 3: a deadline ``k``, subtasks
+``t_1 .. t_n`` with processing times ``w(t_i) <= k`` (computation plus
+communication), and data-dependency weights ``w(dp_i)`` reflecting
+traffic demand and/or sensitivity of the data crossing that dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.graphs.chain import Chain
+
+
+@dataclass
+class RealTimeTask:
+    """A deadline-constrained, maximally-divided linear task."""
+
+    name: str
+    subtask_costs: List[float]
+    dependency_weights: List[float]
+    deadline: float
+
+    def __post_init__(self) -> None:
+        self.subtask_costs = [float(c) for c in self.subtask_costs]
+        self.dependency_weights = [float(w) for w in self.dependency_weights]
+        if len(self.dependency_weights) != max(len(self.subtask_costs) - 1, 0):
+            raise ValueError(
+                "need exactly one dependency weight between consecutive subtasks"
+            )
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        for i, cost in enumerate(self.subtask_costs):
+            if cost > self.deadline:
+                raise ValueError(
+                    f"subtask {i} needs {cost:g} > deadline {self.deadline:g}; "
+                    "the task is not schedulable on any partition"
+                )
+
+    @property
+    def num_subtasks(self) -> int:
+        return len(self.subtask_costs)
+
+    def to_chain(self) -> Chain:
+        return Chain(self.subtask_costs, self.dependency_weights)
+
+    def utilization_bound(self) -> float:
+        """Minimum number of processors by pure work: total / deadline."""
+        return sum(self.subtask_costs) / self.deadline

@@ -1,0 +1,56 @@
+"""Unit tests for :mod:`repro.analysis.ascii_plot`."""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        text = ascii_plot({"a": [(0, 0), (1, 1), (2, 4)]}, width=20, height=8)
+        lines = text.splitlines()
+        assert len(lines) == 8 + 2  # canvas + x line + legend
+        assert "o=a" in lines[-1]
+        assert "o" in text
+
+    def test_title(self):
+        text = ascii_plot({"s": [(1, 1)]}, title="My Plot")
+        assert text.splitlines()[0] == "My Plot"
+
+    def test_two_series_distinct_markers(self):
+        text = ascii_plot(
+            {"up": [(0, 0), (1, 1)], "down": [(0, 1), (1, 0)]},
+            width=10, height=5,
+        )
+        assert "o=up" in text
+        assert "x=down" in text
+        assert "x" in text and "o" in text
+
+    def test_log_axes(self):
+        text = ascii_plot(
+            {"s": [(1, 10), (10, 100), (100, 1000)]},
+            log_x=True, log_y=True,
+        )
+        assert "1e+03" in text or "1000" in text
+
+    def test_log_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": [(0, 1)]}, log_x=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"s": []})
+
+    def test_constant_series(self):
+        # Degenerate spans must not divide by zero.
+        text = ascii_plot({"s": [(1, 5), (2, 5)]})
+        assert "o" in text
+
+    def test_extreme_point_placement(self):
+        text = ascii_plot({"s": [(0, 0), (10, 10)]}, width=11, height=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        # Max point top-right, min bottom-left.
+        assert rows[0].rstrip().endswith("o")
+        assert rows[-1].split("|")[1][0] == "o"

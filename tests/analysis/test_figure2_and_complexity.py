@@ -1,0 +1,136 @@
+"""Unit tests for the experiment drivers
+(:mod:`repro.analysis.figure2`, :mod:`repro.analysis.complexity`,
+:mod:`repro.analysis.sweeps`)."""
+
+import math
+
+import pytest
+
+from repro.analysis.complexity import (
+    fit_model,
+    linear_average_case,
+    runtime_comparison,
+    temp_s_length_experiment,
+)
+from repro.analysis.figure2 import (
+    figure2_sweep,
+    figure2_weight_sweep,
+    headline_claims,
+)
+from repro.analysis.sweeps import aggregate, sweep
+
+
+class TestFigure2Sweep:
+    def test_point_fields(self):
+        points = figure2_sweep(ns=[200], ratios=[2.0, 8.0], repetitions=2)
+        assert len(points) == 2
+        for point in points:
+            assert point.n == 200
+            assert point.p > 0
+            assert point.q >= 1.0
+            assert point.n_log_n == pytest.approx(200 * math.log2(200))
+
+    def test_deterministic(self):
+        a = figure2_sweep(ns=[150], ratios=[4.0], repetitions=2)
+        b = figure2_sweep(ns=[150], ratios=[4.0], repetitions=2)
+        assert a[0].p == b[0].p
+        assert a[0].q == b[0].q
+
+    def test_prime_length_tracks_ratio(self):
+        # Section 2.3.2: average prime length ~ 2K/(w1+w2) grows with K.
+        points = figure2_sweep(ns=[500], ratios=[2.0, 16.0], repetitions=2)
+        assert points[1].mean_prime_length > points[0].mean_prime_length
+
+    def test_headline_claims(self):
+        points = figure2_sweep(
+            ns=[400], ratios=[1.2, 4.0, 16.0, 64.0, 190.0], repetitions=2
+        )
+        claims = headline_claims(points)
+        assert 400 in claims
+        assert claims[400]["max_p_log_q"] < claims[400]["n_log_n"]
+
+    def test_weight_sweep(self):
+        points = figure2_weight_sweep(300, [5.0, 50.0], ratio=4.0, repetitions=2)
+        assert len(points) == 2
+        assert points[0].w_max == 5.0
+        assert all(p.p > 0 for p in points)
+
+
+class TestComplexity:
+    def test_fit_model_exact_linear(self):
+        xs = [10, 20, 40, 80]
+        ys = [3 * x + 5 for x in xs]
+        fit = fit_model(xs, ys, "n")
+        assert fit.a == pytest.approx(3.0)
+        assert fit.b == pytest.approx(5.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(100) == pytest.approx(305.0)
+
+    def test_fit_model_nlogn(self):
+        xs = [16, 64, 256]
+        ys = [2 * x * math.log2(x) for x in xs]
+        fit = fit_model(xs, ys, "nlogn")
+        assert fit.a == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_linear_average_case_prefers_linear(self):
+        points, lin, nlogn = linear_average_case(
+            [500, 1000, 2000, 4000], ratio=3.0, repetitions=2,
+            measure_time=False,
+        )
+        assert len(points) == 4
+        assert lin.r_squared > 0.999
+        # q stays roughly constant at fixed ratio.
+        qs = [pt.q for pt in points]
+        assert max(qs) / min(qs) < 1.5
+
+    def test_temp_s_experiment(self):
+        points = temp_s_length_experiment([500], [2.0, 32.0], repetitions=2)
+        assert len(points) == 2
+        low_k, high_k = points
+        # Queue grows with q, but stays near log2(q), not q.
+        assert high_k.mean_temp_s_len > low_k.mean_temp_s_len
+        assert high_k.mean_temp_s_len < high_k.q / 2
+
+    def test_runtime_comparison_checks_agreement(self):
+        from repro.baselines import bandwidth_min_deque
+        from repro.core import bandwidth_min
+
+        rows = runtime_comparison(
+            {"a": bandwidth_min, "b": bandwidth_min_deque},
+            ns=[300],
+            ratio=4.0,
+            repetitions=2,
+        )
+        assert rows[0]["n"] == 300
+        assert rows[0]["a"] > 0
+        assert "optimum" in rows[0]
+
+
+class TestSweeps:
+    def test_sweep_runs_cartesian(self):
+        def measure(rng, x, y):
+            return {"value": x * y + rng.random() * 0}
+
+        rows = sweep(measure, {"x": [1, 2], "y": [3, 4]}, repetitions=2)
+        assert len(rows) == 8
+        assert {row["value"] for row in rows} == {3, 4, 6, 8}
+
+    def test_sweep_deterministic_rng(self):
+        def measure(rng, x):
+            return {"value": rng.random()}
+
+        a = sweep(measure, {"x": [1]}, repetitions=1)
+        b = sweep(measure, {"x": [1]}, repetitions=1)
+        assert a[0]["value"] == b[0]["value"]
+
+    def test_aggregate(self):
+        rows = [
+            {"x": 1, "rep": 0, "v": 2.0},
+            {"x": 1, "rep": 1, "v": 4.0},
+            {"x": 2, "rep": 0, "v": 10.0},
+        ]
+        agg = aggregate(rows, ["x"])
+        by_x = {row["x"]: row for row in agg}
+        assert by_x[1]["v"] == 3.0
+        assert by_x[2]["v"] == 10.0

@@ -1,0 +1,52 @@
+"""Unit tests for :mod:`repro.analysis.partition_view`."""
+
+import pytest
+
+from repro.analysis.partition_view import (
+    render_chain_partition,
+    render_load_bars,
+)
+
+
+class TestChainPartitionView:
+    def test_fixture_rendering(self, small_chain):
+        text = render_chain_partition(small_chain, [1, 3], bound=9)
+        assert "[ 0..1 | w=7 ]" in text
+        assert "--(1)--" in text
+        assert "[ 4 | w=6 ]" in text
+        assert "bound K=9 (ok)" in text
+        assert "bandwidth 3" in text
+
+    def test_violation_flagged(self, small_chain):
+        text = render_chain_partition(small_chain, [], bound=9)
+        assert "VIOLATED" in text
+
+    def test_no_bound(self, small_chain):
+        text = render_chain_partition(small_chain, [1, 3])
+        assert "bound" not in text
+        assert "3 blocks" in text
+
+    def test_wrapping(self):
+        from repro.graphs.generators import uniform_chain
+
+        chain = uniform_chain(40)
+        text = render_chain_partition(
+            chain, list(range(0, 39, 2)), max_width=60
+        )
+        assert all(len(line) <= 80 for line in text.splitlines())
+        assert len(text.splitlines()) > 2
+
+
+class TestLoadBars:
+    def test_bars_scaled_to_bound(self, small_chain):
+        text = render_load_bars(small_chain, [1, 3], bound=9, width=10)
+        lines = text.splitlines()
+        assert len(lines) == 4  # 3 blocks + bound note
+        assert "block  0" in lines[0]
+        # Block of weight 7 on bound 9: 8 of 10 cells filled.
+        assert lines[0].count("#") == 8
+
+    def test_bars_without_bound(self, small_chain):
+        text = render_load_bars(small_chain, [1, 3], width=10)
+        # Heaviest block fills the bar completely.
+        assert "##########" in text

@@ -1,0 +1,26 @@
+"""Unit tests for the one-shot reproduction report."""
+
+from repro.analysis.report import ClaimResult, render_report, run_report
+
+
+class TestReport:
+    def test_all_claims_pass_quick(self):
+        claims = run_report(quick=True)
+        failed = [c.claim for c in claims if not c.passed]
+        assert not failed, f"claims failed: {failed}"
+        assert len(claims) >= 10
+
+    def test_render(self):
+        claims = [
+            ClaimResult("good", True, "ok", 0.1),
+            ClaimResult("bad", False, "boom", 0.2),
+        ]
+        text = render_report(claims)
+        assert "[PASS] good" in text
+        assert "[FAIL] bad" in text
+        assert "1/2 claims reproduced" in text
+        assert "FAILED" in text
+
+    def test_render_all_pass(self):
+        text = render_report([ClaimResult("x", True, "ok", 0.0)])
+        assert text.endswith("1/1 claims reproduced")

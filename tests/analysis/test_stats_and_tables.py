@@ -1,0 +1,82 @@
+"""Unit tests for :mod:`repro.analysis.stats` and
+:mod:`repro.analysis.tables`."""
+
+import pytest
+
+from repro.analysis.stats import (
+    geometric_mean,
+    mean,
+    percentile,
+    stddev,
+    summarize,
+)
+from repro.analysis.tables import render_table
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stddev(self):
+        assert stddev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=1e-3)
+        assert stddev([5]) == 0.0
+        assert stddev([3, 3, 3]) == 0.0
+
+    def test_percentile(self):
+        values = [1, 2, 3, 4, 5]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 50) == 3
+        assert percentile(values, 100) == 5
+        assert percentile(values, 25) == 2.0
+        assert percentile([7], 50) == 7
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+    def test_summarize(self):
+        summary = summarize([1, 2, 3, 4])
+        assert summary["mean"] == 2.5
+        assert summary["min"] == 1
+        assert summary["max"] == 4
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([0, 1])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestRenderTable:
+    def test_basic(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_alignment(self):
+        text = render_table(["col"], [[1], [100]])
+        rows = text.splitlines()[-2:]
+        assert len(rows[0]) == len(rows[1])
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.00001], [12345.6], [1.5], [0]])
+        assert "1e-05" in text
+        assert "1.23e+04" in text or "12345" in text
+        assert "1.50" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])

@@ -1,0 +1,141 @@
+"""Unit tests for the chains-on-chains family (:mod:`repro.baselines.bokhari`)."""
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.baselines.bokhari import (
+    bokhari_pipelined_dp,
+    ccp_dp,
+    ccp_probe,
+    probe,
+)
+from repro.graphs.chain import Chain
+from repro.graphs.generators import random_chain, uniform_chain
+
+
+def brute_force_ccp(chain: Chain, m: int) -> float:
+    best = None
+    n = chain.num_tasks
+    for r in range(min(m, n)):
+        for subset in combinations(range(n - 1), r):
+            w = max(chain.component_weights(subset))
+            if best is None or w < best:
+                best = w
+    return best
+
+
+class TestProbe:
+    def test_feasible(self, small_chain):
+        cuts = probe(small_chain, 3, 9)
+        assert cuts is not None
+        assert small_chain.is_feasible_cut(cuts, 9)
+        assert len(cuts) + 1 <= 3
+
+    def test_infeasible_too_few_processors(self, small_chain):
+        assert probe(small_chain, 1, 9) is None
+
+    def test_infeasible_below_max_weight(self, small_chain):
+        assert probe(small_chain, 5, 5.9) is None
+
+    def test_greedy_is_maximal(self):
+        chain = uniform_chain(10)
+        cuts = probe(chain, 4, 3)
+        # Greedy packs 3 tasks per block: cuts after tasks 2, 5, 8.
+        assert cuts == [2, 5, 8]
+
+
+class TestCcpDp:
+    def test_single_processor(self, small_chain):
+        result = ccp_dp(small_chain, 1)
+        assert result.num_blocks == 1
+        assert result.bottleneck == 20
+
+    def test_enough_processors_for_singletons(self, small_chain):
+        result = ccp_dp(small_chain, 5)
+        assert result.bottleneck == 6  # max single task
+
+    def test_matches_brute_force(self):
+        rng = random.Random(101)
+        for _ in range(40):
+            chain = random_chain(
+                rng.randint(1, 10), rng, vertex_range=(1, 9), integer_weights=True
+            )
+            m = rng.randint(1, chain.num_tasks)
+            assert ccp_dp(chain, m).bottleneck == pytest.approx(
+                brute_force_ccp(chain, m)
+            )
+
+    def test_rejects_zero_processors(self, small_chain):
+        with pytest.raises(ValueError):
+            ccp_dp(small_chain, 0)
+
+    def test_block_count_within_budget(self):
+        rng = random.Random(102)
+        for _ in range(20):
+            chain = random_chain(rng.randint(1, 30), rng)
+            m = rng.randint(1, chain.num_tasks)
+            assert ccp_dp(chain, m).num_blocks <= m
+
+
+class TestCcpProbe:
+    def test_matches_dp_integer(self):
+        rng = random.Random(103)
+        for _ in range(40):
+            chain = random_chain(
+                rng.randint(1, 25), rng, vertex_range=(1, 9), integer_weights=True
+            )
+            m = rng.randint(1, chain.num_tasks)
+            assert ccp_probe(chain, m).bottleneck == pytest.approx(
+                ccp_dp(chain, m).bottleneck
+            )
+
+    def test_matches_dp_float(self):
+        rng = random.Random(104)
+        for _ in range(25):
+            chain = random_chain(rng.randint(1, 25), rng)
+            m = rng.randint(1, chain.num_tasks)
+            assert ccp_probe(chain, m).bottleneck == pytest.approx(
+                ccp_dp(chain, m).bottleneck, rel=1e-9
+            )
+
+
+class TestPipelinedDp:
+    def test_single_block_no_comm(self, small_chain):
+        result = bokhari_pipelined_dp(small_chain, 1)
+        assert result.bottleneck == 20  # no boundary edges
+
+    def test_may_prefer_fewer_blocks(self):
+        # Heavy edges: splitting adds more communication than it saves.
+        chain = Chain([2, 2, 2], [100, 100])
+        result = bokhari_pipelined_dp(chain, 3)
+        assert result.num_blocks == 1
+        assert result.bottleneck == 6
+
+    def test_splits_when_cheap(self):
+        chain = Chain([10, 10, 10], [0.5, 0.5])
+        result = bokhari_pipelined_dp(chain, 3)
+        assert result.num_blocks == 3
+        assert result.bottleneck == pytest.approx(11)
+
+    def test_matches_brute_force(self):
+        rng = random.Random(105)
+        for _ in range(30):
+            n = rng.randint(1, 9)
+            chain = random_chain(n, rng, vertex_range=(1, 9),
+                                 edge_range=(1, 9), integer_weights=True)
+            m = rng.randint(1, n)
+
+            def load(lo, hi):
+                left = chain.beta[lo - 1] if lo > 0 else 0.0
+                right = chain.beta[hi] if hi < n - 1 else 0.0
+                return chain.segment_weight(lo, hi) + left + right
+
+            best = None
+            for r in range(min(m, n)):
+                for subset in combinations(range(n - 1), r):
+                    w = max(load(lo, hi) for lo, hi in chain.cut_components(subset))
+                    if best is None or w < best:
+                        best = w
+            assert bokhari_pipelined_dp(chain, m).bottleneck == pytest.approx(best)

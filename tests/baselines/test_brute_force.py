@@ -1,0 +1,69 @@
+"""Unit tests for the exhaustive oracles (:mod:`repro.baselines.brute_force`)."""
+
+import pytest
+
+from repro.baselines.brute_force import (
+    all_feasible_chain_cuts,
+    chain_min_bandwidth,
+    chain_min_bottleneck,
+    chain_min_components,
+    enumerate_tree_optima,
+)
+from repro.graphs.chain import Chain
+from repro.graphs.generators import random_chain
+
+
+class TestChainOracles:
+    def test_min_bandwidth_fixture(self, small_chain):
+        assert chain_min_bandwidth(small_chain, 9) == 3
+
+    def test_min_components_fixture(self, small_chain):
+        assert chain_min_components(small_chain, 9) == 3
+        assert chain_min_components(small_chain, 20) == 1
+
+    def test_min_bottleneck_fixture(self, small_chain):
+        assert chain_min_bottleneck(small_chain, 9) == 2
+        assert chain_min_bottleneck(small_chain, 20) == 0.0
+
+    def test_infeasible_returns_none(self):
+        chain = Chain([9, 9], [1])
+        assert chain_min_bandwidth(chain, 5) is None
+        assert chain_min_components(chain, 5) is None
+
+    def test_all_feasible_cuts(self, small_chain):
+        cuts = all_feasible_chain_cuts(small_chain, 9)
+        assert (1, 3) in cuts
+        assert () not in cuts
+        assert all(small_chain.is_feasible_cut(c, 9) for c in cuts)
+
+    def test_size_guard(self):
+        chain = random_chain(25, 0)
+        with pytest.raises(ValueError, match="limited"):
+            chain_min_bandwidth(chain, 1000)
+
+
+class TestTreeOracle:
+    def test_fixture_tree(self, small_tree):
+        opt = enumerate_tree_optima(small_tree, 15)
+        assert opt.feasible
+        assert opt.min_bottleneck == 20
+        assert opt.min_components == 2
+
+    def test_no_cut_case(self, small_tree):
+        opt = enumerate_tree_optima(small_tree, 28)
+        assert opt.min_bandwidth == 0.0
+        assert opt.min_bottleneck == 0.0
+        assert opt.min_components == 1
+
+    def test_infeasible(self, small_tree):
+        opt = enumerate_tree_optima(small_tree, 6)
+        assert not opt.feasible
+        assert opt.min_bandwidth is None
+
+    def test_best_cut_reported(self, small_tree):
+        opt = enumerate_tree_optima(small_tree, 15)
+        assert opt.best_bandwidth_cut is not None
+        weight = sum(
+            small_tree.edge_weight(u, v) for u, v in opt.best_bandwidth_cut
+        )
+        assert weight == opt.min_bandwidth

@@ -1,0 +1,64 @@
+"""Unit tests for the quadratic DP oracle (:mod:`repro.baselines.exact_dp`)."""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import chain_min_bandwidth
+from repro.baselines.exact_dp import bandwidth_min_dp
+from repro.core.feasibility import InfeasibleBoundError
+from repro.graphs.chain import Chain
+from repro.graphs.generators import random_chain
+
+
+class TestKnownInstances:
+    def test_fixture(self, small_chain):
+        result = bandwidth_min_dp(small_chain, 9)
+        assert result.weight == 3
+        assert result.cut_indices == [1, 3]
+
+    def test_whole_fits(self, small_chain):
+        assert bandwidth_min_dp(small_chain, 20).cut_indices == []
+
+    def test_single_task(self, single_task_chain):
+        assert bandwidth_min_dp(single_task_chain, 5).weight == 0.0
+
+    def test_infeasible(self, small_chain):
+        with pytest.raises(InfeasibleBoundError):
+            bandwidth_min_dp(small_chain, 4)
+
+    def test_forced_singletons(self):
+        chain = Chain([5, 5, 5], [2, 3])
+        result = bandwidth_min_dp(chain, 5)
+        assert result.cut_indices == [0, 1]
+
+
+class TestAgainstBruteForce:
+    def test_exhaustive_agreement(self):
+        rng = random.Random(61)
+        for _ in range(60):
+            chain = random_chain(
+                rng.randint(1, 12), rng, vertex_range=(1, 6),
+                edge_range=(1, 9), integer_weights=True,
+            )
+            bound = float(
+                rng.randint(
+                    int(chain.max_vertex_weight()),
+                    int(chain.total_weight()) + 1,
+                )
+            )
+            dp = bandwidth_min_dp(chain, bound)
+            oracle = chain_min_bandwidth(chain, bound)
+            assert dp.weight == pytest.approx(oracle)
+            assert dp.is_feasible(bound)
+
+    def test_float_weights_feasible(self):
+        rng = random.Random(62)
+        for _ in range(30):
+            chain = random_chain(rng.randint(1, 40), rng)
+            bound = rng.uniform(chain.max_vertex_weight(), chain.total_weight())
+            result = bandwidth_min_dp(chain, bound)
+            assert result.is_feasible(bound)
+            assert result.weight == pytest.approx(
+                chain.cut_weight(result.cut_indices)
+            )

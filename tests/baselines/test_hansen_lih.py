@@ -1,0 +1,53 @@
+"""Unit tests for :mod:`repro.baselines.hansen_lih`."""
+
+import random
+
+import pytest
+
+from repro.baselines.bokhari import ccp_dp
+from repro.baselines.hansen_lih import ccp_hansen_lih
+from repro.graphs.generators import random_chain, uniform_chain
+
+
+class TestHansenLih:
+    def test_single_processor(self, small_chain):
+        result = ccp_hansen_lih(small_chain, 1)
+        assert result.bottleneck == 20
+        assert result.num_blocks == 1
+
+    def test_uniform_balanced(self):
+        chain = uniform_chain(12)
+        result = ccp_hansen_lih(chain, 4)
+        assert result.bottleneck == 3
+        assert result.num_blocks == 4
+
+    def test_rejects_zero_processors(self, small_chain):
+        with pytest.raises(ValueError):
+            ccp_hansen_lih(small_chain, 0)
+
+    def test_matches_layered_dp(self):
+        rng = random.Random(111)
+        for _ in range(50):
+            chain = random_chain(
+                rng.randint(1, 30), rng, vertex_range=(1, 9), integer_weights=True
+            )
+            m = rng.randint(1, chain.num_tasks)
+            a = ccp_hansen_lih(chain, m)
+            b = ccp_dp(chain, m)
+            assert a.bottleneck == pytest.approx(b.bottleneck)
+            assert a.num_blocks <= m
+
+    def test_matches_on_floats(self):
+        rng = random.Random(112)
+        for _ in range(30):
+            chain = random_chain(rng.randint(1, 40), rng)
+            m = rng.randint(1, chain.num_tasks)
+            assert ccp_hansen_lih(chain, m).bottleneck == pytest.approx(
+                ccp_dp(chain, m).bottleneck
+            )
+
+    def test_more_processors_never_worse(self):
+        rng = random.Random(113)
+        chain = random_chain(30, rng)
+        values = [ccp_hansen_lih(chain, m).bottleneck for m in range(1, 12)]
+        assert all(x >= y - 1e-9 for x, y in zip(values, values[1:]))

@@ -1,0 +1,87 @@
+"""Unit tests for :mod:`repro.baselines.heterogeneous`."""
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.baselines.bokhari import ccp_dp
+from repro.baselines.heterogeneous import ccp_hetero_dp, ccp_hetero_probe
+from repro.graphs.chain import Chain
+from repro.graphs.generators import random_chain
+
+
+def brute_force_hetero(chain: Chain, speeds):
+    """Exhaustive optimum over cuts and in-order block placements."""
+    n = chain.num_tasks
+    m = len(speeds)
+    best = None
+    for r in range(min(m, n)):
+        for subset in combinations(range(n - 1), r):
+            blocks = chain.cut_components(subset)
+            weights = [chain.segment_weight(lo, hi) for lo, hi in blocks]
+            # In-order placement DP (blocks may skip slow processors).
+            INF = float("inf")
+            dp = [0.0] + [INF] * len(weights)
+            for p in range(m):
+                new = list(dp)
+                for b in range(1, len(weights) + 1):
+                    if dp[b - 1] < INF:
+                        cand = max(dp[b - 1], weights[b - 1] / speeds[p])
+                        if cand < new[b]:
+                            new[b] = cand
+                dp = new
+            if dp[-1] < INF and (best is None or dp[-1] < best):
+                best = dp[-1]
+    return best
+
+
+class TestHeteroDp:
+    def test_homogeneous_reduces_to_ccp(self):
+        rng = random.Random(151)
+        for _ in range(20):
+            chain = random_chain(rng.randint(1, 15), rng, integer_weights=True)
+            m = rng.randint(1, chain.num_tasks)
+            hetero = ccp_hetero_dp(chain, [1.0] * m)
+            classic = ccp_dp(chain, m)
+            assert hetero.bottleneck == pytest.approx(classic.bottleneck)
+
+    def test_fast_processor_takes_more(self):
+        chain = Chain([1, 1, 1, 1, 1, 1], [1] * 5)
+        result = ccp_hetero_dp(chain, [1.0, 5.0])
+        # Optimal: give the fast processor 5 tasks (time 1), slow 1.
+        assert result.bottleneck == pytest.approx(1.0)
+
+    def test_matches_brute_force(self):
+        rng = random.Random(152)
+        for _ in range(40):
+            chain = random_chain(rng.randint(1, 9), rng, vertex_range=(1, 9),
+                                 integer_weights=True)
+            m = rng.randint(1, 4)
+            speeds = [float(rng.randint(1, 4)) for _ in range(m)]
+            result = ccp_hetero_dp(chain, speeds)
+            oracle = brute_force_hetero(chain, speeds)
+            assert result.bottleneck == pytest.approx(oracle)
+
+    def test_rejects_bad_speeds(self, small_chain):
+        with pytest.raises(ValueError):
+            ccp_hetero_dp(small_chain, [])
+        with pytest.raises(ValueError):
+            ccp_hetero_dp(small_chain, [1.0, 0.0])
+
+
+class TestHeteroProbe:
+    def test_matches_dp(self):
+        rng = random.Random(153)
+        for _ in range(40):
+            chain = random_chain(rng.randint(1, 20), rng)
+            m = rng.randint(1, 6)
+            speeds = [rng.uniform(0.5, 4.0) for _ in range(m)]
+            probe = ccp_hetero_probe(chain, speeds)
+            dp = ccp_hetero_dp(chain, speeds)
+            assert probe.bottleneck == pytest.approx(dp.bottleneck, rel=1e-6)
+
+    def test_single_processor(self, small_chain):
+        result = ccp_hetero_probe(small_chain, [2.0])
+        assert result.bottleneck == pytest.approx(10.0)  # 20 / 2
+        assert result.num_blocks == 1

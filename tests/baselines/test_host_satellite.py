@@ -1,0 +1,83 @@
+"""Unit tests for :mod:`repro.baselines.host_satellite`."""
+
+import random
+
+import pytest
+
+from repro.baselines.host_satellite import (
+    brute_force_host_satellite,
+    host_satellite_min_bottleneck,
+)
+from repro.graphs.generators import random_tree
+from repro.graphs.tree import Tree
+
+
+class TestKnownInstances:
+    def test_single_vertex(self):
+        plan = host_satellite_min_bottleneck(Tree([5.0], []))
+        assert plan.offloaded == set()
+        assert plan.bottleneck == 5.0
+        assert plan.num_satellites == 0
+
+    def test_never_offload_when_comm_dominates(self):
+        # Offloading the leaf costs edge 100 on both sides — keep it.
+        tree = Tree([5, 5], [(0, 1)], [100])
+        plan = host_satellite_min_bottleneck(tree)
+        assert plan.offloaded == set()
+        assert plan.bottleneck == 10
+
+    def test_offload_cheap_heavy_subtree(self):
+        # Leaf of weight 50 behind an edge of weight 1: offload.
+        tree = Tree([5, 50], [(0, 1)], [1])
+        plan = host_satellite_min_bottleneck(tree)
+        assert plan.offloaded == {(0, 1)}
+        assert plan.host_load == 6  # 5 + edge 1
+        assert plan.satellite_loads == [51]
+        assert plan.bottleneck == 51
+
+    def test_balanced_split(self):
+        # Star: two heavy leaves, light edges -> both offloaded.
+        tree = Tree([2, 30, 30], [(0, 1), (0, 2)], [1, 1])
+        plan = host_satellite_min_bottleneck(tree)
+        assert plan.offloaded == {(0, 1), (0, 2)}
+        assert plan.host_load == 4
+        assert plan.bottleneck == 31
+
+    def test_bottleneck_never_exceeds_total(self):
+        tree = Tree([3, 4, 5], [(0, 1), (1, 2)], [2, 2])
+        plan = host_satellite_min_bottleneck(tree)
+        assert plan.bottleneck <= tree.total_vertex_weight()
+
+
+class TestAgainstBruteForce:
+    def test_randomized(self):
+        rng = random.Random(141)
+        for _ in range(50):
+            tree = random_tree(
+                rng.randint(1, 10), rng, vertex_range=(1, 9),
+                edge_range=(1, 9), integer_weights=True,
+            )
+            fast = host_satellite_min_bottleneck(tree)
+            exact = brute_force_host_satellite(tree)
+            assert fast.bottleneck == pytest.approx(exact.bottleneck, rel=1e-6)
+
+    def test_plan_is_consistent(self):
+        rng = random.Random(142)
+        for _ in range(30):
+            tree = random_tree(rng.randint(2, 20), rng)
+            plan = host_satellite_min_bottleneck(tree)
+            # Host load + offloaded subtree weights - edges = total.
+            subtree = tree.subtree_weights(plan.root)
+            _order, parent = tree.post_order(plan.root)
+            reconstructed = tree.total_vertex_weight()
+            for u, v in plan.offloaded:
+                child = v if parent[v] in (u,) else u
+                reconstructed -= subtree[child]
+                reconstructed += tree.edge_weight(u, v)
+            assert plan.host_load == pytest.approx(reconstructed)
+            assert len(plan.satellite_loads) == len(plan.offloaded)
+
+    def test_brute_force_guard(self):
+        tree = random_tree(30, 3)
+        with pytest.raises(ValueError, match="limited"):
+            brute_force_host_satellite(tree)

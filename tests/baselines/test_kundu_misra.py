@@ -1,0 +1,49 @@
+"""Unit tests for :mod:`repro.baselines.kundu_misra`."""
+
+import random
+
+from repro.baselines.kundu_misra import processor_min_bottom_up
+from repro.baselines.tree_dp import min_cuts_exact
+from repro.core.processor_min import processor_min
+from repro.graphs.generators import random_star, random_tree
+from repro.graphs.tree import Tree
+
+
+class TestBottomUpGreedy:
+    def test_fixture(self, small_tree):
+        result = processor_min_bottom_up(small_tree, 15)
+        assert result.num_components == 2
+        assert result.is_feasible(15)
+
+    def test_single_vertex(self):
+        assert processor_min_bottom_up(Tree([1.0], []), 2).num_components == 1
+
+    def test_matches_algorithm_22(self):
+        rng = random.Random(91)
+        for _ in range(40):
+            tree = random_tree(rng.randint(1, 40), rng)
+            bound = rng.uniform(tree.max_vertex_weight(), tree.total_vertex_weight() + 1)
+            a = processor_min(tree, bound).num_components
+            b = processor_min_bottom_up(tree, bound).num_components
+            assert a == b
+
+    def test_matches_exact_dp(self):
+        rng = random.Random(92)
+        for _ in range(30):
+            tree = random_tree(
+                rng.randint(1, 14), rng, vertex_range=(1, 6), integer_weights=True
+            )
+            bound = float(
+                rng.randint(
+                    int(tree.max_vertex_weight()),
+                    int(tree.total_vertex_weight()) + 1,
+                )
+            )
+            greedy = processor_min_bottom_up(tree, bound)
+            assert len(greedy.cut_edges) == min_cuts_exact(tree, bound)
+
+    def test_star(self):
+        star = random_star(10, 5, leaf_range=(1, 5))
+        bound = 2.0 * star.max_vertex_weight()
+        result = processor_min_bottom_up(star, bound)
+        assert result.is_feasible(bound)

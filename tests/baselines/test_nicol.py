@@ -1,0 +1,60 @@
+"""Unit tests for the O(n log n) baseline (:mod:`repro.baselines.nicol`)."""
+
+import random
+
+import pytest
+
+from repro.baselines.exact_dp import bandwidth_min_dp
+from repro.baselines.nicol import bandwidth_min_nlogn
+from repro.core.bandwidth import bandwidth_min
+from repro.core.feasibility import InfeasibleBoundError
+from repro.graphs.chain import Chain
+from repro.graphs.generators import random_chain, uniform_chain
+
+
+class TestKnownInstances:
+    def test_fixture(self, small_chain):
+        result = bandwidth_min_nlogn(small_chain, 9)
+        assert result.weight == 3
+        assert result.is_feasible(9)
+
+    def test_whole_fits(self, small_chain):
+        assert bandwidth_min_nlogn(small_chain, 25).weight == 0.0
+
+    def test_infeasible(self, small_chain):
+        with pytest.raises(InfeasibleBoundError):
+            bandwidth_min_nlogn(small_chain, 2)
+
+    def test_uniform(self):
+        result = bandwidth_min_nlogn(uniform_chain(9), 3)
+        assert len(result.cut_indices) == 2
+        assert result.weight == 2
+
+
+class TestAgreement:
+    def test_matches_dp_randomized(self):
+        rng = random.Random(71)
+        for _ in range(50):
+            chain = random_chain(rng.randint(1, 60), rng)
+            bound = rng.uniform(chain.max_vertex_weight(), chain.total_weight() + 1)
+            a = bandwidth_min_nlogn(chain, bound)
+            b = bandwidth_min_dp(chain, bound)
+            assert a.weight == pytest.approx(b.weight)
+            assert a.is_feasible(bound)
+
+    def test_matches_paper_algorithm(self):
+        rng = random.Random(72)
+        for _ in range(30):
+            chain = random_chain(rng.randint(2, 100), rng)
+            bound = rng.uniform(chain.max_vertex_weight(), chain.total_weight())
+            assert bandwidth_min_nlogn(chain, bound).weight == pytest.approx(
+                bandwidth_min(chain, bound).weight
+            )
+
+    def test_adversarial_heavy_window_shifts(self):
+        # Long runs where the feasible window empties the heap.
+        chain = Chain([9, 1, 1, 9, 1, 1, 9], [5, 1, 5, 5, 1, 5])
+        for bound in (9, 10, 11, 12, 20, 31):
+            a = bandwidth_min_nlogn(chain, bound)
+            b = bandwidth_min_dp(chain, bound)
+            assert a.weight == pytest.approx(b.weight)

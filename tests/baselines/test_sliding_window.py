@@ -1,0 +1,55 @@
+"""Unit tests for the monotone-deque partitioner
+(:mod:`repro.baselines.sliding_window`)."""
+
+import random
+
+import pytest
+
+from repro.baselines.exact_dp import bandwidth_min_dp
+from repro.baselines.sliding_window import bandwidth_min_deque
+from repro.core.feasibility import InfeasibleBoundError
+from repro.graphs.chain import Chain
+from repro.graphs.generators import random_chain
+
+
+class TestKnownInstances:
+    def test_fixture(self, small_chain):
+        result = bandwidth_min_deque(small_chain, 9)
+        assert result.weight == 3
+        assert result.is_feasible(9)
+
+    def test_whole_fits(self, small_chain):
+        assert bandwidth_min_deque(small_chain, 40).cut_indices == []
+
+    def test_infeasible(self, small_chain):
+        with pytest.raises(InfeasibleBoundError):
+            bandwidth_min_deque(small_chain, 1)
+
+    def test_two_tasks(self):
+        chain = Chain([4, 4], [3])
+        assert bandwidth_min_deque(chain, 4).cut_indices == [0]
+        assert bandwidth_min_deque(chain, 8).cut_indices == []
+
+
+class TestAgreement:
+    def test_matches_dp_randomized(self):
+        rng = random.Random(81)
+        for _ in range(60):
+            chain = random_chain(rng.randint(1, 70), rng)
+            bound = rng.uniform(chain.max_vertex_weight(), chain.total_weight() + 1)
+            a = bandwidth_min_deque(chain, bound)
+            b = bandwidth_min_dp(chain, bound)
+            assert a.weight == pytest.approx(b.weight)
+            assert a.is_feasible(bound)
+
+    def test_monotone_cost_in_bound(self):
+        # A larger execution-time bound never increases the optimal cut
+        # weight.
+        rng = random.Random(82)
+        chain = random_chain(50, rng)
+        bounds = sorted(
+            rng.uniform(chain.max_vertex_weight(), chain.total_weight())
+            for _ in range(8)
+        )
+        costs = [bandwidth_min_deque(chain, b).weight for b in bounds]
+        assert all(x >= y - 1e-9 for x, y in zip(costs, costs[1:]))

@@ -1,0 +1,139 @@
+"""Unit tests for Theorem 1 (:mod:`repro.baselines.star_knapsack`)."""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import enumerate_tree_optima
+from repro.baselines.star_knapsack import (
+    cut_to_knapsack_items,
+    knapsack_01,
+    knapsack_items_to_cut,
+    knapsack_to_star,
+    star_bandwidth_min,
+)
+from repro.graphs.tree import Tree
+
+
+class TestKnapsack01:
+    def test_classic_instance(self):
+        sol = knapsack_01([2, 3, 4, 5], [3, 4, 5, 6], 5)
+        assert sol.profit == 7  # items 0 and 1
+        assert sorted(sol.items) == [0, 1]
+
+    def test_empty(self):
+        sol = knapsack_01([], [], 10)
+        assert sol.items == ()
+        assert sol.profit == 0.0
+
+    def test_nothing_fits(self):
+        sol = knapsack_01([10, 12], [100, 200], 5)
+        assert sol.items == ()
+
+    def test_everything_fits(self):
+        sol = knapsack_01([1, 1, 1], [5, 6, 7], 10)
+        assert sorted(sol.items) == [0, 1, 2]
+        assert sol.profit == 18
+
+    def test_zero_weight_items(self):
+        sol = knapsack_01([0, 4], [9, 1], 3)
+        assert 0 in sol.items
+
+    def test_float_profits(self):
+        sol = knapsack_01([2, 2], [1.5, 2.5], 2)
+        assert sol.items == (1,)
+
+    def test_rejects_fractional_weight(self):
+        with pytest.raises(ValueError, match="integer"):
+            knapsack_01([1.5], [1], 3)
+
+    def test_rejects_fractional_capacity(self):
+        with pytest.raises(ValueError, match="integer"):
+            knapsack_01([1], [1], 2.5)
+
+    def test_exhaustive_small(self):
+        rng = random.Random(131)
+        from itertools import combinations
+
+        for _ in range(30):
+            r = rng.randint(0, 8)
+            weights = [rng.randint(0, 6) for _ in range(r)]
+            profits = [rng.randint(0, 9) for _ in range(r)]
+            cap = rng.randint(0, 12)
+            best = 0.0
+            for size in range(r + 1):
+                for combo in combinations(range(r), size):
+                    if sum(weights[i] for i in combo) <= cap:
+                        best = max(best, float(sum(profits[i] for i in combo)))
+            assert knapsack_01(weights, profits, cap).profit == best
+
+
+class TestStarSolver:
+    def test_fixture(self, star_tree):
+        # Leaves (2,3,4,5,6 weight) with profits (10,20,30,40,50), K=9.
+        cut, weight = star_bandwidth_min(star_tree, 9)
+        oracle = enumerate_tree_optima(star_tree, 9)
+        assert weight == pytest.approx(oracle.min_bandwidth)
+
+    def test_everything_kept(self, star_tree):
+        cut, weight = star_bandwidth_min(star_tree, 20)
+        assert cut == set()
+        assert weight == 0.0
+
+    def test_matches_brute_force_random(self):
+        rng = random.Random(132)
+        for _ in range(30):
+            r = rng.randint(1, 9)
+            star = Tree.star(
+                float(rng.randint(0, 3)),
+                [float(rng.randint(1, 6)) for _ in range(r)],
+                [float(rng.randint(1, 9)) for _ in range(r)],
+            )
+            bound = float(
+                rng.randint(
+                    int(star.max_vertex_weight()),
+                    int(star.total_vertex_weight()) + 2,
+                )
+            )
+            _cut, weight = star_bandwidth_min(star, bound)
+            oracle = enumerate_tree_optima(star, bound)
+            assert weight == pytest.approx(oracle.min_bandwidth)
+
+    def test_rejects_non_star(self, small_tree):
+        with pytest.raises(ValueError, match="not a star"):
+            star_bandwidth_min(small_tree, 20)
+
+
+class TestReduction:
+    def test_construction(self):
+        star = knapsack_to_star([2, 3], [7, 8])
+        assert star.is_star()
+        assert star.vertex_weight(0) == 0.0
+        assert star.vertex_weight(1) == 2
+        assert star.edge_weight(0, 2) == 8
+
+    def test_round_trip(self):
+        star = knapsack_to_star([2, 3, 4], [7, 8, 9])
+        items = {0, 2}
+        cut = knapsack_items_to_cut(star, items)
+        assert cut_to_knapsack_items(star, cut) == items
+
+    def test_theorem_equivalence(self):
+        """A cut of weight sum(p) - P corresponds exactly to a chosen
+        item set of profit P and weight within the capacity."""
+        rng = random.Random(133)
+        for _ in range(20):
+            r = rng.randint(1, 8)
+            weights = [rng.randint(1, 5) for _ in range(r)]
+            profits = [rng.randint(1, 9) for _ in range(r)]
+            # The star problem needs K >= max leaf weight (a cut leaf is
+            # its own component); the equivalence holds on that domain.
+            capacity = rng.randint(max(weights), 15 + max(weights))
+            star = knapsack_to_star(weights, profits)
+            sol = knapsack_01(weights, profits, capacity)
+            cut = knapsack_items_to_cut(star, set(sol.items))
+            cut_weight = sum(star.edge_weight(u, v) for u, v in cut)
+            assert cut_weight == pytest.approx(sum(profits) - sol.profit)
+            # The star solver reaches the same optimum.
+            _best_cut, best_weight = star_bandwidth_min(star, float(capacity))
+            assert best_weight == pytest.approx(cut_weight)

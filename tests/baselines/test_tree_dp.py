@@ -1,0 +1,62 @@
+"""Unit tests for the exact tree DP oracle (:mod:`repro.baselines.tree_dp`)."""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import enumerate_tree_optima
+from repro.baselines.tree_dp import min_components_exact, min_cuts_exact
+from repro.core.feasibility import InfeasibleBoundError
+from repro.graphs.generators import random_tree
+from repro.graphs.tree import Tree
+
+
+class TestExactDP:
+    def test_fixture(self, small_tree):
+        assert min_cuts_exact(small_tree, 15) == 1
+        assert min_components_exact(small_tree, 15) == 2
+
+    def test_no_cut(self, small_tree):
+        assert min_cuts_exact(small_tree, 28) == 0
+
+    def test_all_singletons(self):
+        tree = Tree([5, 5, 5], [(0, 1), (1, 2)])
+        assert min_cuts_exact(tree, 5) == 2
+
+    def test_single_vertex(self):
+        assert min_cuts_exact(Tree([3.0], []), 4) == 0
+
+    def test_infeasible(self, small_tree):
+        with pytest.raises(InfeasibleBoundError):
+            min_cuts_exact(small_tree, 2)
+
+    def test_matches_brute_force(self):
+        rng = random.Random(93)
+        for _ in range(30):
+            tree = random_tree(
+                rng.randint(1, 12), rng, vertex_range=(1, 5), integer_weights=True
+            )
+            bound = float(
+                rng.randint(
+                    int(tree.max_vertex_weight()),
+                    int(tree.total_vertex_weight()) + 1,
+                )
+            )
+            oracle = enumerate_tree_optima(tree, bound)
+            assert min_components_exact(tree, bound) == oracle.min_components
+
+    def test_root_independent(self):
+        rng = random.Random(94)
+        tree = random_tree(10, rng, vertex_range=(1, 4), integer_weights=True)
+        bound = 1.5 * tree.max_vertex_weight()
+        counts = {min_cuts_exact(tree, bound, root=r) for r in range(10)}
+        assert len(counts) == 1
+
+    def test_state_guard(self):
+        # A wide star with continuous weights and a generous bound makes
+        # the reachable component-weight set explode combinatorially.
+        rng = random.Random(95)
+        leaves = [rng.uniform(1.0, 2.0) for _ in range(64)]
+        star = Tree.star(0.0, leaves, [1.0] * len(leaves))
+        with pytest.raises(ValueError, match="too large"):
+            min_cuts_exact(star, 40.0)

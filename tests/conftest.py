@@ -1,0 +1,69 @@
+"""Shared fixtures: canonical instances used across the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.chain import Chain
+from repro.graphs.generators import random_chain, random_tree
+from repro.graphs.tree import Tree
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20260706)
+
+
+@pytest.fixture
+def small_chain() -> Chain:
+    """5 tasks / 4 edges; used throughout with bound K = 9.
+
+    alpha = [4, 3, 5, 2, 6], beta = [7, 1, 9, 2].  Critical subpaths
+    under K=9: (0,1,2)=12, (1,2,3)=10, (2,3,4)=13; primes are all three.
+    Optimal bandwidth cut: edges {1, 3} with weight 3.
+    """
+    return Chain([4, 3, 5, 2, 6], [7, 1, 9, 2])
+
+
+@pytest.fixture
+def single_task_chain() -> Chain:
+    return Chain([5.0], [])
+
+
+@pytest.fixture
+def small_tree() -> Tree:
+    """A 7-vertex tree: 0 is the root of two branches.
+
+          0(3)
+         /    \\
+       1(4)   2(5)
+       /  \\     \\
+     3(2) 4(6)  5(1)
+                  \\
+                  6(7)
+
+    Edge weights chosen distinct for unambiguous bottleneck tests.
+    """
+    return Tree(
+        [3, 4, 5, 2, 6, 1, 7],
+        [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (5, 6)],
+        [10, 20, 30, 40, 50, 60],
+    )
+
+
+@pytest.fixture
+def star_tree() -> Tree:
+    """Star with centre weight 0, five leaves (Theorem 1 shape)."""
+    return Tree.star(0.0, [2, 3, 4, 5, 6], [10, 20, 30, 40, 50])
+
+
+@pytest.fixture
+def medium_chain(rng) -> Chain:
+    return random_chain(200, rng, vertex_range=(1, 10), edge_range=(1, 100))
+
+
+@pytest.fixture
+def medium_tree(rng) -> Tree:
+    return random_tree(150, rng, vertex_range=(1, 10), edge_range=(1, 100))

@@ -1,0 +1,107 @@
+"""Unit tests for :mod:`repro.core.bicriteria`."""
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.core.bicriteria import lexicographic_chain_partition
+from repro.core.feasibility import InfeasibleBoundError
+from repro.graphs.chain import Chain
+from repro.graphs.generators import random_chain
+
+
+def brute_force_lexicographic(chain: Chain, bound: float):
+    """(B*, min bandwidth among cuts with max edge <= B*)."""
+    n = chain.num_tasks
+    feasible = []
+    for r in range(n):
+        for subset in combinations(range(n - 1), r):
+            if chain.is_feasible_cut(subset, bound):
+                feasible.append(subset)
+    assert feasible
+    best_bottleneck = min(
+        max((chain.edge_weight(i) for i in cut), default=0.0)
+        for cut in feasible
+    )
+    best_bandwidth = min(
+        chain.cut_weight(cut)
+        for cut in feasible
+        if max((chain.edge_weight(i) for i in cut), default=0.0)
+        <= best_bottleneck + 1e-12
+    )
+    return best_bottleneck, best_bandwidth
+
+
+class TestLexicographic:
+    def test_fixture(self, small_chain):
+        result = lexicographic_chain_partition(small_chain, 9)
+        # For K=9 the optimal bottleneck is 2 (cut edges 1 and 3), and
+        # that cut is also the bandwidth optimum among max<=2 cuts.
+        assert result.bottleneck == 2
+        assert result.cut_indices == [1, 3]
+        assert result.bandwidth == 3
+
+    def test_no_cut_needed(self, small_chain):
+        result = lexicographic_chain_partition(small_chain, 25)
+        assert result.bottleneck == 0.0
+        assert result.cut_indices == []
+
+    def test_infeasible(self, small_chain):
+        with pytest.raises(InfeasibleBoundError):
+            lexicographic_chain_partition(small_chain, 3)
+
+    def test_bottleneck_can_cost_bandwidth(self):
+        # Cutting once at weight 10 is the bandwidth optimum; the
+        # bottleneck optimum prefers two weight-6 cuts (max 6 < 10).
+        chain = Chain([4, 4, 4], [6, 6])
+        # total 12, K=8: need >= 1 cut; single cuts: edge0 -> blocks
+        # 4, 8 ok (max 6); edge1 -> 8, 4 ok.
+        result = lexicographic_chain_partition(chain, 8)
+        assert result.bottleneck == 6
+        assert result.bandwidth == 6  # one cut suffices
+
+    def test_heavy_edge_avoided_even_at_cost(self):
+        # The bandwidth optimum would cut the single heavy edge (9);
+        # lexicographic forces two lighter cuts (max 5, total 10).
+        chain = Chain([3, 3, 3, 3], [5, 9, 5])
+        # K=6: feasible cuts: {1} (blocks 6,6) max 9 total 9;
+        # {0,1} blocks 3,3,6 max 9; {0,2}: 3,6,3 max 5 total 10; ...
+        result = lexicographic_chain_partition(chain, 6)
+        assert result.bottleneck == 5
+        assert result.cut_indices == [0, 2]
+        assert result.bandwidth == 10
+
+    def test_matches_brute_force(self):
+        rng = random.Random(171)
+        for _ in range(60):
+            chain = random_chain(
+                rng.randint(1, 12), rng, vertex_range=(1, 6),
+                edge_range=(1, 9), integer_weights=True,
+            )
+            bound = float(
+                rng.randint(
+                    int(chain.max_vertex_weight()),
+                    int(chain.total_weight()) + 1,
+                )
+            )
+            result = lexicographic_chain_partition(chain, bound)
+            b_star, bw_star = brute_force_lexicographic(chain, bound)
+            assert result.bottleneck == pytest.approx(b_star)
+            assert result.bandwidth == pytest.approx(bw_star)
+            assert result.cut.is_feasible(bound)
+            if result.cut_indices:
+                assert max(
+                    chain.edge_weight(i) for i in result.cut_indices
+                ) <= b_star + 1e-12
+
+    def test_bandwidth_never_better_than_unrestricted(self):
+        from repro.core.bandwidth import bandwidth_min
+
+        rng = random.Random(172)
+        for _ in range(30):
+            chain = random_chain(rng.randint(2, 40), rng)
+            bound = rng.uniform(chain.max_vertex_weight(), chain.total_weight())
+            lex = lexicographic_chain_partition(chain, bound)
+            free = bandwidth_min(chain, bound)
+            assert lex.bandwidth >= free.weight - 1e-9

@@ -1,0 +1,37 @@
+"""Unit tests for :mod:`repro.core.feasibility`."""
+
+import pytest
+
+from repro.core.feasibility import (
+    InfeasibleBoundError,
+    PartitioningError,
+    validate_bound,
+)
+
+
+class TestValidateBound:
+    def test_returns_max_weight(self):
+        assert validate_bound([1.0, 5.0, 3.0], 10.0) == 5.0
+
+    def test_equal_bound_accepted(self):
+        assert validate_bound([4.0], 4.0) == 4.0
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleBoundError) as exc:
+            validate_bound([1.0, 9.0], 5.0)
+        assert exc.value.bound == 5.0
+        assert exc.value.max_weight == 9.0
+
+    def test_error_message(self):
+        with pytest.raises(InfeasibleBoundError, match="K=5"):
+            validate_bound([9.0], 5.0)
+
+    def test_non_positive_bound(self):
+        with pytest.raises(ValueError, match="positive"):
+            validate_bound([1.0], 0.0)
+        with pytest.raises(ValueError, match="positive"):
+            validate_bound([1.0], -2.0)
+
+    def test_exception_hierarchy(self):
+        assert issubclass(InfeasibleBoundError, PartitioningError)
+        assert issubclass(PartitioningError, Exception)

@@ -1,0 +1,74 @@
+"""The Figure-1 worked example (reconstructed).
+
+The paper demonstrates Algorithm 2.2 "by an example in figure 1"; the
+printed figure's numbers are not machine-readable in the source text, so
+this reconstruction exercises the same walk-through on an equivalent
+two-level tree whose greedy trace is fully hand-checkable:
+
+       0 (w=2)
+     / | | \\
+    2  3 4  1 (w=3)          leaves 2,3,4 weigh 3,4,5
+            / \\
+           5   6             leaves 5,6 weigh 6,2
+
+With K = 10:
+
+* pre-leaf 1: W = 3+6+2 = 11 > 10 -> prune heaviest leaf 5, cut (1,5),
+  residual 5;
+* (now pre-leaf) 0: W = 2+5+3+4+5 = 19 > 10 -> prune leaf 4 (w=5,
+  still 14 > 10), then merged node 1 (w=5, 9 <= 10): cuts (0,4), (0,1).
+
+Final: 3 cuts, 4 components {0,2,3}=9, {1,6}=5, {4}=5, {5}=6 — optimal,
+as the exact DP oracle confirms.
+"""
+
+import pytest
+
+from repro.baselines.kundu_misra import processor_min_bottom_up
+from repro.baselines.tree_dp import min_cuts_exact
+from repro.core.pipeline import partition_tree
+from repro.core.processor_min import processor_min
+from repro.graphs.tree import Tree
+
+
+@pytest.fixture
+def figure1_tree() -> Tree:
+    return Tree(
+        [2, 3, 3, 4, 5, 6, 2],
+        [(0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (1, 6)],
+        [1, 1, 1, 1, 1, 1],
+    )
+
+
+class TestFigure1Walkthrough:
+    def test_greedy_trace(self, figure1_tree):
+        result = processor_min(figure1_tree, 10)
+        assert result.cut_edges == {(1, 5), (0, 4), (0, 1)}
+        assert result.num_components == 4
+
+    def test_component_weights(self, figure1_tree):
+        result = processor_min(figure1_tree, 10)
+        weights = sorted(figure1_tree.component_weights(result.cut_edges))
+        assert weights == [5, 5, 6, 9]
+
+    def test_optimality_vs_oracle(self, figure1_tree):
+        assert min_cuts_exact(figure1_tree, 10) == 3
+
+    def test_independent_greedy_agrees(self, figure1_tree):
+        assert processor_min_bottom_up(figure1_tree, 10).num_components == 4
+
+    def test_one_cut_insufficient(self, figure1_tree):
+        # No single edge removal yields two components both <= 10.
+        for edge in figure1_tree.edges():
+            weights = figure1_tree.component_weights({edge})
+            assert max(weights) > 10
+
+    def test_larger_bound_merges(self, figure1_tree):
+        result = processor_min(figure1_tree, 14)
+        assert result.num_components == 2
+
+    def test_full_pipeline_on_example(self, figure1_tree):
+        plan = partition_tree(figure1_tree, 10)
+        weights = figure1_tree.component_weights(plan.final_cut)
+        assert all(w <= 10 for w in weights)
+        assert plan.num_processors >= 2

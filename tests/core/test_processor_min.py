@@ -1,0 +1,118 @@
+"""Unit tests for Algorithm 2.2 (:mod:`repro.core.processor_min`)."""
+
+import random
+
+import pytest
+
+from repro.core.feasibility import InfeasibleBoundError
+from repro.core.processor_min import (
+    min_processors,
+    processor_min,
+    processors_lower_bound,
+)
+from repro.graphs.generators import caterpillar_tree, random_star, random_tree
+from repro.graphs.tree import Tree
+
+
+class TestKnownInstances:
+    def test_whole_tree_fits(self, small_tree):
+        result = processor_min(small_tree, 28)
+        assert result.cut_edges == set()
+        assert result.num_components == 1
+
+    def test_fixture_bound_15(self, small_tree):
+        result = processor_min(small_tree, 15)
+        assert result.is_feasible(15)
+        # ceil(28/15) = 2 components suffice and are necessary.
+        assert result.num_components == 2
+
+    def test_single_vertex(self):
+        result = processor_min(Tree([3.0], []), 5)
+        assert result.num_components == 1
+
+    def test_two_vertices_fit(self):
+        tree = Tree([3, 4], [(0, 1)])
+        assert processor_min(tree, 7).num_components == 1
+        assert processor_min(tree, 6).num_components == 2
+
+    def test_infeasible(self, small_tree):
+        with pytest.raises(InfeasibleBoundError):
+            processor_min(small_tree, 5)
+
+    def test_star_prunes_heaviest(self, star_tree):
+        # Leaves weigh 2..6, centre 0, total 20.  K=14: cutting the
+        # single heaviest leaf (6) leaves 14 — one cut.
+        result = processor_min(star_tree, 14)
+        assert len(result.cut_edges) == 1
+        assert result.cut_edges == {(0, 5)}  # leaf vertex 5 has weight 6
+
+    def test_star_multiple_prunes(self, star_tree):
+        # K=9: keep <= 9: prune 6, then 5 (20 -> 14 -> 9): two cuts.
+        result = processor_min(star_tree, 9)
+        assert len(result.cut_edges) == 2
+        assert result.is_feasible(9)
+
+    def test_path_tree(self):
+        tree = Tree([4, 4, 4, 4], [(0, 1), (1, 2), (2, 3)])
+        result = processor_min(tree, 8)
+        assert result.num_components == 2
+        assert result.is_feasible(8)
+
+
+class TestOptimality:
+    def test_matches_lower_bound_when_tight(self):
+        # Uniform caterpillar where packing is perfect.
+        tree = Tree([1] * 8, [(i, i + 1) for i in range(7)])
+        assert min_processors(tree, 4) == 2
+        assert min_processors(tree, 2) == 4
+
+    def test_never_below_packing_bound(self):
+        rng = random.Random(21)
+        for _ in range(30):
+            tree = random_tree(rng.randint(1, 40), rng)
+            bound = rng.uniform(tree.max_vertex_weight(), tree.total_vertex_weight() + 1)
+            k = min_processors(tree, bound)
+            assert k >= processors_lower_bound(tree, bound)
+
+    def test_root_invariant_component_count(self):
+        # The minimized |S| must not depend on the processing root.
+        rng = random.Random(22)
+        for _ in range(20):
+            tree = random_tree(rng.randint(2, 25), rng, integer_weights=True)
+            bound = float(
+                rng.randint(
+                    int(tree.max_vertex_weight()),
+                    int(tree.total_vertex_weight()) + 1,
+                )
+            )
+            counts = {
+                processor_min(tree, bound, root=r).num_components
+                for r in range(0, tree.num_vertices, max(1, tree.num_vertices // 4))
+            }
+            assert len(counts) == 1
+
+    def test_caterpillar(self):
+        tree = caterpillar_tree(5, 2, rng=3, vertex_range=(1, 5))
+        bound = 2.5 * tree.max_vertex_weight()
+        result = processor_min(tree, bound)
+        assert result.is_feasible(bound)
+
+    def test_feasibility_random(self):
+        rng = random.Random(23)
+        for _ in range(40):
+            tree = random_tree(rng.randint(1, 60), rng)
+            bound = rng.uniform(tree.max_vertex_weight(), tree.total_vertex_weight())
+            assert processor_min(tree, bound).is_feasible(bound)
+
+
+class TestLowerBoundHelper:
+    def test_exact_division(self):
+        tree = Tree([2, 2, 2], [(0, 1), (1, 2)])
+        assert processors_lower_bound(tree, 3) == 2
+        assert processors_lower_bound(tree, 6) == 1
+        assert processors_lower_bound(tree, 100) == 1
+
+    def test_float_tolerance(self):
+        tree = Tree([1, 1, 1], [(0, 1), (1, 2)])
+        # 3 / 1.5 = exactly 2 — no spurious ceil to 3.
+        assert processors_lower_bound(tree, 1.5) == 2

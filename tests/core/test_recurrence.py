@@ -1,0 +1,55 @@
+"""Unit tests for the naive recurrence (:mod:`repro.core.recurrence`)."""
+
+import random
+
+import pytest
+
+from repro.core.bandwidth import bandwidth_min
+from repro.core.feasibility import InfeasibleBoundError
+from repro.core.recurrence import bandwidth_min_naive, hitting_set_cost_naive
+from repro.graphs.chain import Chain
+from repro.graphs.generators import random_chain
+
+
+class TestNaiveRecurrence:
+    def test_fixture_optimum(self, small_chain):
+        result = bandwidth_min_naive(small_chain, 9)
+        assert result.weight == 3
+        assert result.is_feasible(9)
+
+    def test_no_primes(self, small_chain):
+        result = bandwidth_min_naive(small_chain, 25)
+        assert result.cut_indices == []
+        assert result.weight == 0.0
+
+    def test_infeasible(self, small_chain):
+        with pytest.raises(InfeasibleBoundError):
+            bandwidth_min_naive(small_chain, 1)
+
+    def test_single_prime(self):
+        chain = Chain([6, 6], [4])
+        result = bandwidth_min_naive(chain, 7)
+        assert result.cut_indices == [0]
+        assert result.weight == 4
+
+    def test_hitting_set_cost_helper(self, small_chain):
+        assert hitting_set_cost_naive(small_chain, 9) == 3
+
+    def test_agrees_with_temp_s_version(self):
+        rng = random.Random(31)
+        for _ in range(40):
+            chain = random_chain(rng.randint(2, 80), rng)
+            bound = rng.uniform(chain.max_vertex_weight(), chain.total_weight())
+            naive = bandwidth_min_naive(chain, bound)
+            fast = bandwidth_min(chain, bound)
+            assert naive.weight == pytest.approx(fast.weight)
+            assert naive.is_feasible(bound)
+
+    def test_agrees_without_reduction(self):
+        rng = random.Random(32)
+        for _ in range(15):
+            chain = random_chain(rng.randint(2, 40), rng)
+            bound = rng.uniform(chain.max_vertex_weight(), chain.total_weight())
+            a = bandwidth_min_naive(chain, bound, apply_reduction=False).weight
+            b = bandwidth_min_naive(chain, bound, apply_reduction=True).weight
+            assert a == pytest.approx(b)

@@ -1,0 +1,99 @@
+"""Unit tests for :mod:`repro.desim.circuit`."""
+
+import pytest
+
+from repro.desim.circuit import Circuit
+
+
+@pytest.fixture
+def tiny_circuit():
+    """in0, in1 -> AND -> NOT."""
+    c = Circuit()
+    c.add_gate("INPUT", name="in0")
+    c.add_gate("INPUT", name="in1")
+    c.add_gate("AND", [0, 1])
+    c.add_gate("NOT", [2])
+    return c
+
+
+class TestConstruction:
+    def test_add_gates(self, tiny_circuit):
+        assert tiny_circuit.num_gates == 4
+        assert tiny_circuit.gates[2].inputs == [0, 1]
+        assert tiny_circuit.fanout[0] == [2]
+        assert tiny_circuit.fanout[2] == [3]
+
+    def test_rejects_unknown_source(self):
+        c = Circuit()
+        with pytest.raises(ValueError, match="unknown gate"):
+            c.add_gate("NOT", [5])
+
+    def test_rejects_unknown_type(self):
+        c = Circuit()
+        with pytest.raises(ValueError, match="unknown gate type"):
+            c.add_gate("MUX")
+
+    def test_connect_input_allows_cycles(self):
+        c = Circuit()
+        a = c.add_gate("NOT")
+        b = c.add_gate("NOT", [a])
+        c.connect_input(a, b)  # feedback
+        assert c.gates[a].inputs == [b]
+        assert b in c.fanout[a] or a in c.fanout[b]
+
+    def test_connect_input_validates(self, tiny_circuit):
+        with pytest.raises(ValueError):
+            tiny_circuit.connect_input(99, 0)
+        with pytest.raises(ValueError):
+            tiny_circuit.connect_input(0, 99)
+
+    def test_default_names(self, tiny_circuit):
+        assert tiny_circuit.gates[2].name == "g2"
+
+
+class TestQueries:
+    def test_primary_inputs(self, tiny_circuit):
+        assert tiny_circuit.primary_inputs() == [0, 1]
+
+    def test_flip_flops(self):
+        c = Circuit()
+        c.add_gate("INPUT")
+        c.add_gate("DFF", [0])
+        assert c.flip_flops() == [1]
+
+    def test_wire_pairs(self, tiny_circuit):
+        pairs = tiny_circuit.wire_pairs()
+        assert pairs == {(0, 2): 1, (1, 2): 1, (2, 3): 1}
+
+    def test_wire_pairs_multiplicity(self):
+        c = Circuit()
+        a = c.add_gate("INPUT")
+        b = c.add_gate("XOR", [a, a])
+        assert c.wire_pairs() == {(a, b): 2}
+
+
+class TestTaskGraphExport:
+    def test_static_weights(self, tiny_circuit):
+        graph = tiny_circuit.to_task_graph()
+        assert graph.num_vertices == 4
+        assert graph.vertex_weight(2) == 2.0  # AND cost
+        assert graph.edge_weight(0, 2) == 1.0
+
+    def test_activity_scaling(self, tiny_circuit):
+        graph = tiny_circuit.to_task_graph(activity=[2, 1, 4, 1])
+        assert graph.vertex_weight(2) == 8.0  # cost 2 * activity 4
+        assert graph.edge_weight(2, 3) == 4.0  # driver's activity
+
+    def test_activity_length_checked(self, tiny_circuit):
+        with pytest.raises(ValueError):
+            tiny_circuit.to_task_graph(activity=[1.0])
+
+    def test_self_loop_skipped(self):
+        c = Circuit()
+        a = c.add_gate("NOT")
+        c.connect_input(a, a)  # pathological self-feedback
+        graph = c.to_task_graph()
+        assert graph.num_edges == 0
+
+    def test_repr(self, tiny_circuit):
+        assert "4 gates" in repr(tiny_circuit)

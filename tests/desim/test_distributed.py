@@ -1,0 +1,84 @@
+"""Unit tests for :mod:`repro.desim.distributed`."""
+
+import pytest
+
+from repro.desim.distributed import simulate_partitioned
+from repro.desim.netlists import ring_counter, shift_register
+from repro.desim.simulator import LogicSimulator
+from repro.machine.interconnect import SharedBus
+from repro.machine.machine import SharedMemoryMachine
+
+
+class TestPartitionedRun:
+    def test_single_processor_no_cross(self):
+        c = ring_counter(6)
+        run = simulate_partitioned(c, [0] * c.num_gates, 300.0)
+        assert run.cross_messages == 0
+        assert run.local_messages > 0
+        assert run.num_processors == 1
+
+    def test_message_conservation(self):
+        c = ring_counter(6)
+        assignment = [g % 2 for g in range(c.num_gates)]
+        run = simulate_partitioned(c, assignment, 300.0)
+        reference = LogicSimulator(c, clock_period=10.0).run(300.0)
+        assert run.local_messages + run.cross_messages == reference.total_messages
+
+    def test_alternating_worst_case(self):
+        c = shift_register(8)
+        stim = [(float(t), 0, (t // 20) % 2 == 0) for t in range(0, 200, 20)]
+        together = simulate_partitioned(c, [0] * c.num_gates, 250.0, stimuli=stim)
+        alternating = simulate_partitioned(
+            c, [g % 2 for g in range(c.num_gates)], 250.0, stimuli=stim
+        )
+        # Alternating placement turns every wire into a cross wire.
+        assert together.cross_messages == 0
+        assert alternating.local_messages == 0
+        assert alternating.cross_messages > 0
+
+    def test_contiguous_beats_alternating(self):
+        c = shift_register(8)
+        stim = [(float(t), 0, (t // 20) % 2 == 0) for t in range(0, 200, 20)]
+        half = c.num_gates // 2
+        contiguous = simulate_partitioned(
+            c,
+            [0 if g < half else 1 for g in range(c.num_gates)],
+            250.0,
+            stimuli=stim,
+        )
+        alternating = simulate_partitioned(
+            c, [g % 2 for g in range(c.num_gates)], 250.0, stimuli=stim
+        )
+        assert contiguous.cross_messages < alternating.cross_messages
+
+    def test_loads_positive(self):
+        c = ring_counter(6)
+        run = simulate_partitioned(c, [g % 3 for g in range(c.num_gates)], 300.0)
+        assert len(run.processor_loads) == 3
+        assert all(load >= 0 for load in run.processor_loads)
+        assert run.max_load > 0
+
+    def test_pair_messages_sum(self):
+        c = ring_counter(6)
+        run = simulate_partitioned(c, [g % 3 for g in range(c.num_gates)], 300.0)
+        assert sum(run.pair_messages.values()) == run.cross_messages
+
+    def test_cross_fraction(self):
+        c = ring_counter(6)
+        run = simulate_partitioned(c, [0] * c.num_gates, 300.0)
+        assert run.cross_fraction == 0.0
+
+    def test_estimated_parallel_time(self):
+        c = ring_counter(6)
+        run = simulate_partitioned(c, [g % 2 for g in range(c.num_gates)], 300.0)
+        machine = SharedMemoryMachine(2, interconnect=SharedBus(bandwidth=10))
+        estimate = run.estimated_parallel_time(machine)
+        assert estimate > 0
+        # More bandwidth -> never slower.
+        faster = SharedMemoryMachine(2, interconnect=SharedBus(bandwidth=100))
+        assert run.estimated_parallel_time(faster) <= estimate
+
+    def test_rejects_short_assignment(self):
+        c = ring_counter(4)
+        with pytest.raises(ValueError):
+            simulate_partitioned(c, [0], 100.0)

@@ -1,0 +1,63 @@
+"""Unit tests for the gate models (:mod:`repro.desim.gates`)."""
+
+import pytest
+
+from repro.desim.gates import GATE_TYPES, evaluate_gate, gate_cost, gate_delay
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "gate,inputs,expected",
+        [
+            ("AND", [True, True], True),
+            ("AND", [True, False], False),
+            ("OR", [False, False], False),
+            ("OR", [False, True], True),
+            ("NAND", [True, True], False),
+            ("NOR", [False, False], True),
+            ("XOR", [True, False], True),
+            ("XOR", [True, True], False),
+            ("XNOR", [True, True], True),
+            ("XNOR", [True, False], False),
+            ("NOT", [True], False),
+            ("NOT", [False], True),
+            ("BUF", [True], True),
+        ],
+    )
+    def test_truth_tables(self, gate, inputs, expected):
+        assert evaluate_gate(gate, inputs) is expected
+
+    def test_multi_input_and(self):
+        assert evaluate_gate("AND", [True, True, True])
+        assert not evaluate_gate("AND", [True, True, False])
+
+    def test_three_input_xor_parity(self):
+        assert evaluate_gate("XOR", [True, True, True]) is True
+        assert evaluate_gate("XOR", [True, True, False]) is False
+
+    def test_input_gate(self):
+        assert evaluate_gate("INPUT", []) is False
+        assert evaluate_gate("INPUT", [True]) is True
+
+    def test_dff_transparent_here(self):
+        assert evaluate_gate("DFF", [True]) is True
+
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError, match="unknown"):
+            evaluate_gate("MUX", [True])
+
+
+class TestCostsAndDelays:
+    def test_all_types_have_both(self):
+        for gate_type in GATE_TYPES:
+            assert gate_cost(gate_type) > 0 or gate_type == "INPUT"
+            assert gate_delay(gate_type) >= 0
+
+    def test_xor_costs_more_than_not(self):
+        assert gate_cost("XOR") > gate_cost("NOT")
+
+    def test_unknown_cost(self):
+        with pytest.raises(ValueError):
+            gate_cost("MUX")
+        with pytest.raises(ValueError):
+            gate_delay("MUX")

@@ -1,0 +1,63 @@
+"""Unit tests for the event kernel (:mod:`repro.desim.events`,
+:mod:`repro.desim.event_queue`)."""
+
+import pytest
+
+from repro.desim.event_queue import EventQueue
+from repro.desim.events import Event
+
+
+class TestEvent:
+    def test_fields(self):
+        e = Event(3.0, 7, True)
+        assert e.time == 3.0
+        assert e.source == 7
+        assert e.value is True
+
+    def test_frozen(self):
+        e = Event(1.0, 0, False)
+        with pytest.raises(Exception):
+            e.time = 2.0
+
+    def test_repr(self):
+        assert "t=3" in repr(Event(3.0, 1, True))
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(Event(5.0, 0, True))
+        q.push(Event(1.0, 1, True))
+        q.push(Event(3.0, 2, True))
+        assert [q.pop().time for _ in range(3)] == [1.0, 3.0, 5.0]
+
+    def test_stable_on_ties(self):
+        q = EventQueue()
+        for source in range(5):
+            q.push(Event(2.0, source, True))
+        assert [q.pop().source for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(Event(4.0, 0, True))
+        assert q.peek_time() == 4.0
+        assert len(q) == 1  # peek does not pop
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_counters(self):
+        q = EventQueue()
+        q.push(Event(1.0, 0, True))
+        q.push(Event(2.0, 0, False))
+        q.pop()
+        assert q.pushed == 2
+        assert q.popped == 1
+
+    def test_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(Event(1.0, 0, True))
+        assert q

@@ -1,0 +1,56 @@
+"""Unit tests for :mod:`repro.desim.linearize`."""
+
+import pytest
+
+from repro.desim.linearize import circuit_supergraph
+from repro.desim.netlists import (
+    adder_pipeline,
+    inverter_ring,
+    ring_counter,
+    shift_register,
+)
+from repro.desim.simulator import LogicSimulator
+
+
+class TestCircuitSupergraph:
+    def test_path_circuit_passthrough(self):
+        c = shift_register(6)
+        sg = circuit_supergraph(c)
+        assert sg.exact
+        assert sg.chain.num_tasks == c.num_gates
+        assert all(len(g) == 1 for g in sg.groups)
+
+    def test_ring_broken_to_chain(self):
+        c = inverter_ring(7)
+        sg = circuit_supergraph(c)
+        assert sg.exact
+        assert sg.chain.num_tasks == 7
+
+    def test_ring_counter_is_cycle(self):
+        c = ring_counter(5)
+        sg = circuit_supergraph(c)
+        assert sg.chain.num_tasks == c.num_gates
+
+    def test_general_circuit_bfs_layers(self):
+        c, stage_of = adder_pipeline(4, bits=3)
+        sg = circuit_supergraph(c)
+        assert sg.exact  # BFS layering is always exact
+        assert sg.chain.num_tasks < c.num_gates  # grouped
+        assert sum(len(g) for g in sg.groups) == c.num_gates
+
+    def test_activity_weighting_changes_chain(self):
+        c, _ = adder_pipeline(3, bits=2)
+        stim = [(float(t), g, (t + g) % 3 == 0)
+                for t in range(0, 100, 20) for g in c.primary_inputs()]
+        profile = LogicSimulator(c).run(150.0, stimuli=stim)
+        static = circuit_supergraph(c)
+        dynamic = circuit_supergraph(c, activity=profile.activity())
+        assert static.chain.num_tasks == dynamic.chain.num_tasks
+        assert static.chain.alpha != dynamic.chain.alpha
+
+    def test_assignment_covers_all_gates(self):
+        c, _ = adder_pipeline(3, bits=2)
+        sg = circuit_supergraph(c)
+        assignment = sg.assignment_from_cut([0])
+        assert len(assignment) == c.num_gates
+        assert set(assignment) == {0, 1}

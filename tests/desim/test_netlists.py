@@ -1,0 +1,102 @@
+"""Unit tests for the circuit generators (:mod:`repro.desim.netlists`)."""
+
+import random
+
+import pytest
+
+from repro.desim.netlists import (
+    adder_pipeline,
+    inverter_ring,
+    random_glue_circuit,
+    ring_counter,
+    shift_register,
+)
+
+
+class TestRingCounter:
+    def test_structure(self):
+        c = ring_counter(6)
+        assert c.num_gates == 7  # 6 DFFs + twist inverter
+        assert len(c.flip_flops()) == 6
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            ring_counter(1)
+
+    def test_is_circular(self):
+        c = ring_counter(5)
+        graph = c.to_task_graph()
+        assert graph.is_connected()
+        assert graph.num_edges == graph.num_vertices  # one cycle
+
+
+class TestInverterRing:
+    def test_structure(self):
+        c = inverter_ring(5)
+        assert c.num_gates == 5
+        graph = c.to_task_graph()
+        assert all(graph.degree(v) == 2 for v in range(5))
+
+    def test_rejects_even(self):
+        with pytest.raises(ValueError):
+            inverter_ring(4)
+        with pytest.raises(ValueError):
+            inverter_ring(1)
+
+
+class TestShiftRegister:
+    def test_structure(self):
+        c = shift_register(8)
+        assert c.num_gates == 9
+        assert len(c.flip_flops()) == 8
+        assert c.to_task_graph().is_path()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            shift_register(0)
+
+
+class TestAdderPipeline:
+    def test_structure(self):
+        c, stage_of = adder_pipeline(3, bits=2)
+        assert len(stage_of) == c.num_gates
+        assert max(stage_of) == 3
+        assert c.primary_inputs()  # stage 0
+        assert c.flip_flops()
+
+    def test_stages_monotone(self):
+        _c, stage_of = adder_pipeline(4, bits=3)
+        assert stage_of == sorted(stage_of)
+
+    def test_connected(self):
+        c, _ = adder_pipeline(3, bits=4)
+        assert c.to_task_graph().is_connected()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            adder_pipeline(0)
+        with pytest.raises(ValueError):
+            adder_pipeline(2, bits=0)
+
+
+class TestRandomGlue:
+    def test_size(self):
+        c = random_glue_circuit(60, random.Random(1))
+        assert c.num_gates == 60
+
+    def test_deterministic(self):
+        a = random_glue_circuit(40, random.Random(2))
+        b = random_glue_circuit(40, random.Random(2))
+        assert [g.gate_type for g in a.gates] == [g.gate_type for g in b.gates]
+        assert [g.inputs for g in a.gates] == [g.inputs for g in b.gates]
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValueError):
+            random_glue_circuit(3)
+
+    def test_locality_zero_allows_long_wires(self):
+        c = random_glue_circuit(80, random.Random(3), locality=0.0)
+        spans = [
+            g.ident - src for g in c.gates for src in g.inputs
+        ]
+        assert max(spans) > 8

@@ -1,0 +1,184 @@
+"""Unit tests for the conservative parallel simulator
+(:mod:`repro.desim.parallel`)."""
+
+import random
+
+import pytest
+
+from repro.desim.netlists import (
+    adder_pipeline,
+    inverter_ring,
+    random_glue_circuit,
+    ring_counter,
+    shift_register,
+)
+from repro.desim.parallel import ParallelLogicSimulator
+from repro.desim.simulator import LogicSimulator
+from repro.machine.interconnect import SharedBus
+from repro.machine.machine import SharedMemoryMachine
+
+
+def round_robin(circuit, k):
+    return [g % k for g in range(circuit.num_gates)]
+
+
+class TestConstruction:
+    def test_lookahead_is_min_gate_delay(self):
+        circuit = ring_counter(4)  # DFF delay 1, NOT delay 1
+        sim = ParallelLogicSimulator(circuit, round_robin(circuit, 2))
+        assert sim.lookahead == 1.0
+
+    def test_validation(self):
+        circuit = ring_counter(4)
+        with pytest.raises(ValueError, match="cover"):
+            ParallelLogicSimulator(circuit, [0])
+        with pytest.raises(ValueError, match="clock"):
+            ParallelLogicSimulator(
+                circuit, round_robin(circuit, 2), clock_period=0
+            )
+        with pytest.raises(ValueError, match="non-negative"):
+            ParallelLogicSimulator(circuit, [-1] * circuit.num_gates)
+
+    def test_num_lps(self):
+        circuit = ring_counter(4)
+        sim = ParallelLogicSimulator(circuit, round_robin(circuit, 3))
+        assert sim.num_lps == 3
+
+
+class TestEquivalenceWithSequential:
+    """Final values always match the original event-driven simulator;
+    1-LP runs match it exactly (same tie order on these circuits)."""
+
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_ring_counter(self, k):
+        circuit = ring_counter(12)
+        seq = LogicSimulator(circuit).run(400.0)
+        par = ParallelLogicSimulator(circuit, round_robin(circuit, k)).run(400.0)
+        assert par.final_values == seq.final_values
+
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_shift_register_with_stimuli(self, k):
+        circuit = shift_register(10)
+        stim = [(float(t), 0, (t // 20) % 2 == 0) for t in range(0, 300, 20)]
+        seq = LogicSimulator(circuit).run(400.0, stimuli=stim)
+        par = ParallelLogicSimulator(circuit, round_robin(circuit, k)).run(
+            400.0, stimuli=stim
+        )
+        assert par.final_values == seq.final_values
+        assert par.evaluations == seq.evaluations
+        assert par.deliveries == seq.deliveries
+
+    def test_inverter_ring(self):
+        circuit = inverter_ring(9)
+        seq = LogicSimulator(circuit).run(150.0)
+        par = ParallelLogicSimulator(circuit, round_robin(circuit, 3)).run(150.0)
+        assert par.final_values == seq.final_values
+
+
+class TestPartitionInvariance:
+    """The engine's headline guarantee: any partition produces the
+    identical simulation (values, evaluations, deliveries)."""
+
+    def test_adder_many_partitions(self):
+        circuit, _ = adder_pipeline(4, bits=3)
+        stim = [
+            (float(t), g, (t // 40 + g) % 2 == 0)
+            for t in range(0, 400, 40)
+            for g in circuit.primary_inputs()
+        ]
+        reference = ParallelLogicSimulator(
+            circuit, round_robin(circuit, 1)
+        ).run(500.0, stimuli=stim)
+        rng = random.Random(1)
+        for k in (2, 3, 7):
+            for _ in range(2):
+                assignment = [rng.randrange(k) for _ in range(circuit.num_gates)]
+                run = ParallelLogicSimulator(circuit, assignment).run(
+                    500.0, stimuli=stim
+                )
+                assert run.final_values == reference.final_values
+                assert run.evaluations == reference.evaluations
+                assert run.deliveries == reference.deliveries
+
+    def test_message_counts_depend_on_partition_only(self):
+        circuit = ring_counter(12)
+        contiguous = [min(g // 4, 2) for g in range(circuit.num_gates)]
+        scattered = round_robin(circuit, 3)
+        a = ParallelLogicSimulator(circuit, contiguous).run(400.0)
+        b = ParallelLogicSimulator(circuit, scattered).run(400.0)
+        assert a.total_messages == b.total_messages
+        assert a.cross_messages < b.cross_messages
+
+
+class TestStimuliHandling:
+    def test_glitchless_stimuli_prefilter(self):
+        circuit = shift_register(3)
+        # Repeated values must be dropped exactly like the sequential
+        # engine's owner-side skip.
+        stim = [(1.0, 0, True), (2.0, 0, True), (3.0, 0, False),
+                (4.0, 0, False)]
+        seq = LogicSimulator(circuit).run(100.0, stimuli=stim)
+        par = ParallelLogicSimulator(circuit, round_robin(circuit, 2)).run(
+            100.0, stimuli=stim
+        )
+        assert par.final_values == seq.final_values
+        assert sum(par.deliveries.values()) == seq.total_messages
+
+    def test_rejects_non_input_stimuli(self):
+        circuit = shift_register(3)
+        sim = ParallelLogicSimulator(circuit, round_robin(circuit, 2))
+        with pytest.raises(ValueError, match="primary input"):
+            sim.run(10.0, stimuli=[(1.0, 2, True)])
+
+    def test_runaway_guard(self):
+        circuit = inverter_ring(3)
+        sim = ParallelLogicSimulator(circuit, round_robin(circuit, 2))
+        with pytest.raises(RuntimeError, match="runaway"):
+            sim.run(1e7, max_events=300)
+
+
+class TestCostAccounting:
+    def test_work_conservation(self):
+        circuit = ring_counter(12)
+        run = ParallelLogicSimulator(circuit, round_robin(circuit, 3)).run(400.0)
+        total = sum(
+            run.evaluations[g.ident] * g.cost for g in circuit.gates
+        )
+        assert run.sequential_work == pytest.approx(total)
+
+    def test_critical_path_between_bounds(self):
+        circuit = ring_counter(24)
+        run = ParallelLogicSimulator(circuit, round_robin(circuit, 4)).run(600.0)
+        assert run.critical_path_work <= run.sequential_work + 1e-9
+        assert run.critical_path_work >= run.sequential_work / run.num_lps - 1e-9
+
+    def test_single_lp_critical_equals_sequential(self):
+        circuit = ring_counter(8)
+        run = ParallelLogicSimulator(circuit, round_robin(circuit, 1)).run(300.0)
+        assert run.critical_path_work == pytest.approx(run.sequential_work)
+        assert run.cross_messages == 0
+
+    def test_estimated_speedup_improves_with_lps(self):
+        circuit = ring_counter(32)
+        machine = SharedMemoryMachine(8, interconnect=SharedBus(bandwidth=1e6))
+        one = ParallelLogicSimulator(circuit, round_robin(circuit, 1)).run(800.0)
+        four = ParallelLogicSimulator(
+            circuit, [min(g // 9, 3) for g in range(circuit.num_gates)]
+        ).run(800.0)
+        assert four.estimated_speedup(machine) > one.estimated_speedup(machine)
+
+    def test_estimated_times_structure(self):
+        circuit = ring_counter(8)
+        machine = SharedMemoryMachine(4, interconnect=SharedBus(bandwidth=10))
+        run = ParallelLogicSimulator(circuit, round_robin(circuit, 2)).run(300.0)
+        sequential, parallel = run.estimated_times(
+            machine, barrier_time=0.1
+        )
+        assert sequential > 0
+        assert parallel >= run.windows * 0.1
+
+    def test_windows_positive(self):
+        circuit = ring_counter(8)
+        run = ParallelLogicSimulator(circuit, round_robin(circuit, 2)).run(300.0)
+        assert run.windows > 0
+        assert len(run.window_lp_work) == run.windows

@@ -1,0 +1,135 @@
+"""Unit tests for the logic simulator (:mod:`repro.desim.simulator`)."""
+
+import pytest
+
+from repro.desim.circuit import Circuit
+from repro.desim.netlists import inverter_ring, ring_counter, shift_register
+from repro.desim.simulator import LogicSimulator
+
+
+class TestCombinational:
+    def test_and_gate_responds_to_inputs(self):
+        c = Circuit()
+        c.add_gate("INPUT")
+        c.add_gate("INPUT")
+        c.add_gate("AND", [0, 1])
+        sim = LogicSimulator(c)
+        result = sim.run(50.0, stimuli=[(1.0, 0, True), (2.0, 1, True)])
+        assert result.final_values[2] is True
+
+    def test_and_gate_stays_low(self):
+        c = Circuit()
+        c.add_gate("INPUT")
+        c.add_gate("INPUT")
+        c.add_gate("AND", [0, 1])
+        result = LogicSimulator(c).run(50.0, stimuli=[(1.0, 0, True)])
+        assert result.final_values[2] is False
+
+    def test_initial_settling_of_not(self):
+        c = Circuit()
+        c.add_gate("INPUT")
+        c.add_gate("NOT", [0])
+        result = LogicSimulator(c).run(50.0)
+        # NOT of the initial False must settle to True without stimulus.
+        assert result.final_values[1] is True
+
+    def test_glitch_absorbed(self):
+        c = Circuit()
+        c.add_gate("INPUT")
+        c.add_gate("BUF", [0])
+        # Pulse shorter than nothing: set True then back False at same
+        # effective value — only real changes propagate.
+        result = LogicSimulator(c).run(
+            50.0, stimuli=[(1.0, 0, True), (2.0, 0, True)]
+        )
+        deliveries = result.deliveries.get((0, 1), 0)
+        assert deliveries == 1  # second event carried no change
+
+    def test_stimuli_only_on_inputs(self):
+        c = Circuit()
+        c.add_gate("INPUT")
+        c.add_gate("NOT", [0])
+        with pytest.raises(ValueError, match="primary input"):
+            LogicSimulator(c).run(10.0, stimuli=[(1.0, 1, True)])
+
+
+class TestSequential:
+    def test_shift_register_shifts(self):
+        c = shift_register(4)
+        sim = LogicSimulator(c, clock_period=10.0)
+        # Drive input high at t=1; each tick shifts one stage.
+        result = sim.run(65.0, stimuli=[(1.0, 0, True)])
+        # After 5-6 ticks every DFF holds True.
+        assert all(result.final_values[1:])
+
+    def test_shift_register_propagation_order(self):
+        c = shift_register(4)
+        sim = LogicSimulator(c, clock_period=10.0)
+        result = sim.run(25.0, stimuli=[(1.0, 0, True)])
+        values = result.final_values
+        # After 2 ticks only the first two DFFs are high.
+        assert values[1] is True and values[2] is True
+        assert values[3] is False and values[4] is False
+
+    def test_ring_counter_oscillates(self):
+        c = ring_counter(4)
+        result = LogicSimulator(c, clock_period=10.0).run(400.0)
+        assert result.events_processed > 0
+        assert result.total_messages > 0
+
+    def test_inverter_ring_oscillates(self):
+        c = inverter_ring(5)
+        result = LogicSimulator(c).run(100.0)
+        assert result.events_processed > 10
+
+    def test_dff_samples_on_clock_only(self):
+        c = Circuit()
+        c.add_gate("INPUT")
+        c.add_gate("DFF", [0])
+        sim = LogicSimulator(c, clock_period=10.0)
+        # Input rises at t=12, after the first tick: DFF must still be
+        # low at t=15 and high after the second tick.
+        early = sim.run(15.0, stimuli=[(12.0, 0, True)])
+        assert early.final_values[1] is False
+        late = sim.run(25.0, stimuli=[(12.0, 0, True)])
+        assert late.final_values[1] is True
+
+
+class TestGuards:
+    def test_runaway_guard(self):
+        c = inverter_ring(3)
+        sim = LogicSimulator(c)
+        with pytest.raises(RuntimeError, match="runaway"):
+            sim.run(1e7, max_events=500)
+
+    def test_bad_clock_period(self):
+        with pytest.raises(ValueError):
+            LogicSimulator(Circuit(), clock_period=0.0)
+
+    def test_bad_initial_values(self):
+        c = shift_register(2)
+        with pytest.raises(ValueError, match="every gate"):
+            LogicSimulator(c).run(10.0, initial_values=[True])
+
+
+class TestAccounting:
+    def test_activity_floor(self):
+        c = shift_register(2)
+        result = LogicSimulator(c).run(5.0)
+        assert all(a >= 1.0 for a in result.activity())
+
+    def test_deliveries_attributed_to_wires(self):
+        c = ring_counter(4)
+        result = LogicSimulator(c, clock_period=10.0).run(200.0)
+        wires = set(c.wire_pairs())
+        for (src, dst), count in result.deliveries.items():
+            key = (src, dst) if src < dst else (dst, src)
+            assert key in wires
+            assert count > 0
+
+    def test_deterministic(self):
+        c = ring_counter(5)
+        a = LogicSimulator(c, clock_period=10.0).run(300.0)
+        b = LogicSimulator(c, clock_period=10.0).run(300.0)
+        assert a.final_values == b.final_values
+        assert a.deliveries == b.deliveries

@@ -1,0 +1,102 @@
+"""Unit tests for :mod:`repro.desim.waveform`."""
+
+import pytest
+
+from repro.desim.netlists import ring_counter, shift_register
+from repro.desim.waveform import WaveformRecorder
+
+
+class TestRecorder:
+    def test_records_changes(self):
+        circuit = ring_counter(4)
+        recorder = WaveformRecorder(circuit)
+        result = recorder.run(300.0)
+        assert result.events_processed > 0
+        assert recorder.changes  # something toggled
+        for series in recorder.changes.values():
+            times = [t for t, _v in series]
+            assert times == sorted(times)
+            # Consecutive committed values alternate.
+            values = [v for _t, v in series]
+            assert all(a != b for a, b in zip(values, values[1:]))
+
+    def test_watch_subset(self):
+        circuit = ring_counter(6)
+        recorder = WaveformRecorder(circuit, watch=[0, 1])
+        recorder.run(300.0)
+        assert set(recorder.changes) <= {0, 1}
+
+    def test_watch_validation(self):
+        circuit = ring_counter(4)
+        with pytest.raises(ValueError, match="unknown gate"):
+            WaveformRecorder(circuit, watch=[99])
+
+    def test_changes_match_final_values(self):
+        circuit = shift_register(6)
+        stim = [(float(t), 0, (t // 20) % 2 == 0) for t in range(0, 200, 20)]
+        recorder = WaveformRecorder(circuit)
+        result = recorder.run(300.0, stimuli=stim)
+        for gate, series in recorder.changes.items():
+            assert series[-1][1] == result.final_values[gate]
+
+
+class TestVcd:
+    def test_structure(self):
+        circuit = ring_counter(4)
+        recorder = WaveformRecorder(circuit, watch=[0, 1, 2])
+        recorder.run(200.0)
+        vcd = recorder.to_vcd()
+        assert vcd.startswith("$date")
+        assert "$enddefinitions $end" in vcd
+        assert vcd.count("$var wire 1 ") == 3
+        assert "$dumpvars" in vcd
+        # Timestamps present and increasing.
+        stamps = [
+            int(line[1:])
+            for line in vcd.splitlines()
+            if line.startswith("#")
+        ]
+        assert stamps == sorted(stamps)
+
+    def test_names_in_header(self):
+        circuit = ring_counter(4)
+        recorder = WaveformRecorder(circuit, watch=[0])
+        recorder.run(100.0)
+        assert "ff0" in recorder.to_vcd()
+
+    def test_vcd_ids_unique(self):
+        ids = [WaveformRecorder._vcd_id(i) for i in range(200)]
+        assert len(set(ids)) == 200
+        assert all(all(33 <= ord(c) <= 126 for c in i) for i in ids)
+
+    def test_fractional_times_scaled(self):
+        circuit = ring_counter(4)
+        recorder = WaveformRecorder(circuit)
+        recorder.run(50.0)
+        vcd = recorder.to_vcd()
+        assert f"#{50 * 1000}" in vcd  # end marker in milli-units
+
+
+class TestAsciiWaves:
+    def test_renders_rows(self):
+        circuit = ring_counter(5)
+        recorder = WaveformRecorder(circuit, watch=[0, 1, 2])
+        recorder.run(400.0)
+        text = recorder.ascii_waves(width=40)
+        rows = text.splitlines()
+        assert len(rows) == 3
+        assert all(("#" in row or "_" in row) for row in rows)
+
+    def test_requires_run(self):
+        circuit = ring_counter(4)
+        recorder = WaveformRecorder(circuit)
+        with pytest.raises(ValueError, match="record a run"):
+            recorder.ascii_waves()
+
+    def test_oscillation_visible(self):
+        circuit = ring_counter(4)
+        recorder = WaveformRecorder(circuit, watch=[0])
+        recorder.run(800.0)
+        row = recorder.ascii_waves(width=80)
+        # A ring counter stage spends time both high and low.
+        assert "#" in row and "_" in row

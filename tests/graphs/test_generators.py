@@ -1,0 +1,124 @@
+"""Unit tests for :mod:`repro.graphs.generators`."""
+
+import random
+
+import pytest
+
+from repro.graphs.generators import (
+    balanced_binary_tree,
+    bound_for_ratio,
+    caterpillar_tree,
+    figure2_chain,
+    pipeline_chain,
+    random_chain,
+    random_star,
+    random_tree,
+    uniform_chain,
+)
+
+
+class TestRandomChain:
+    def test_size_and_ranges(self):
+        chain = random_chain(50, 1, vertex_range=(2, 5), edge_range=(1, 3))
+        assert chain.num_tasks == 50
+        assert all(2 <= a <= 5 for a in chain.alpha)
+        assert all(1 <= b <= 3 for b in chain.beta)
+
+    def test_deterministic_by_seed(self):
+        a = random_chain(30, 42)
+        b = random_chain(30, 42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert random_chain(30, 1) != random_chain(30, 2)
+
+    def test_integer_weights(self):
+        chain = random_chain(40, 3, integer_weights=True)
+        assert all(a == int(a) for a in chain.alpha)
+        assert all(b == int(b) for b in chain.beta)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            random_chain(0)
+
+    def test_accepts_random_instance(self):
+        rng = random.Random(9)
+        chain = random_chain(10, rng)
+        assert chain.num_tasks == 10
+
+    def test_single_task(self):
+        chain = random_chain(1, 0)
+        assert chain.num_edges == 0
+
+
+class TestUniformAndPipeline:
+    def test_uniform_chain(self):
+        chain = uniform_chain(5, vertex_weight=2.0, edge_weight=3.0)
+        assert chain.alpha == [2.0] * 5
+        assert chain.beta == [3.0] * 4
+
+    def test_pipeline_chain(self):
+        chain = pipeline_chain([1, 2, 3], [10, 20])
+        assert chain.alpha == [1, 2, 3]
+        assert chain.beta == [10, 20]
+
+
+class TestRandomTree:
+    @pytest.mark.parametrize("attachment", ["uniform", "preferential", "path"])
+    def test_valid_tree(self, attachment):
+        tree = random_tree(40, 5, attachment=attachment)
+        assert tree.is_tree()
+        assert tree.num_vertices == 40
+
+    def test_path_attachment_is_path(self):
+        tree = random_tree(20, 5, attachment="path")
+        assert max(tree.degree(v) for v in range(20)) <= 2
+
+    def test_unknown_attachment(self):
+        with pytest.raises(ValueError, match="attachment"):
+            random_tree(10, 0, attachment="bogus")
+
+    def test_single_vertex(self):
+        assert random_tree(1, 0).num_vertices == 1
+
+    def test_deterministic(self):
+        assert random_tree(25, 7) == random_tree(25, 7)
+
+
+class TestSpecialTrees:
+    def test_random_star(self):
+        star = random_star(8, 1)
+        assert star.is_star()
+        assert star.num_vertices == 9
+
+    def test_balanced_binary(self):
+        tree = balanced_binary_tree(3, 1)
+        assert tree.num_vertices == 15
+        assert tree.is_tree()
+        assert tree.degree(0) == 2
+
+    def test_caterpillar(self):
+        tree = caterpillar_tree(4, 3, 1)
+        assert tree.num_vertices == 16
+        assert tree.is_tree()
+        assert len(tree.leaves()) >= 12
+
+    def test_caterpillar_rejects_empty_spine(self):
+        with pytest.raises(ValueError):
+            caterpillar_tree(0, 3)
+
+
+class TestFigure2Family:
+    def test_weight_range(self):
+        chain = figure2_chain(100, w_max=50.0, rng=4)
+        assert all(1.0 <= a <= 50.0 for a in chain.alpha)
+
+    def test_bound_for_ratio(self):
+        chain = figure2_chain(100, 10.0, rng=4)
+        bound = bound_for_ratio(chain, 3.0)
+        assert bound == pytest.approx(3.0 * chain.max_vertex_weight())
+
+    def test_bound_for_ratio_rejects_small(self):
+        chain = figure2_chain(10, 10.0, rng=4)
+        with pytest.raises(ValueError, match="exceed"):
+            bound_for_ratio(chain, 1.0)

@@ -1,0 +1,75 @@
+"""Unit tests for :mod:`repro.graphs.metrics`."""
+
+import pytest
+
+from repro.graphs.metrics import (
+    compare_assignments,
+    evaluate_assignment,
+    pairwise_flows,
+)
+from repro.graphs.task_graph import TaskGraph
+
+
+@pytest.fixture
+def graph():
+    return TaskGraph(
+        [4, 3, 5, 2],
+        [(0, 1), (1, 2), (2, 3), (0, 3)],
+        [10, 20, 30, 40],
+    )
+
+
+class TestEvaluateAssignment:
+    def test_single_component(self, graph):
+        m = evaluate_assignment(graph, [0, 0, 0, 0])
+        assert m.num_components == 1
+        assert m.external_bandwidth == 0
+        assert m.internal_bandwidth == 100
+        assert m.max_load == 14
+
+    def test_split(self, graph):
+        m = evaluate_assignment(graph, [0, 0, 1, 1])
+        assert m.num_components == 2
+        assert m.component_loads == (7, 7)
+        assert m.external_bandwidth == 20 + 40
+        assert m.internal_bandwidth == 10 + 30
+        assert m.bottleneck_flow == 60  # single pair (0,1)
+
+    def test_three_way_bottleneck(self, graph):
+        m = evaluate_assignment(graph, [0, 1, 1, 2])
+        assert m.num_components == 3
+        assert m.bottleneck_flow == 40  # pair (0,2) via edge (0,3)
+
+    def test_imbalance(self, graph):
+        m = evaluate_assignment(graph, [0, 0, 0, 1])
+        assert m.load_imbalance == pytest.approx(12 / 7)
+
+    def test_communication_fraction(self, graph):
+        m = evaluate_assignment(graph, [0, 0, 1, 1])
+        assert m.communication_fraction == pytest.approx(0.6)
+
+    def test_rejects_short_assignment(self, graph):
+        with pytest.raises(ValueError):
+            evaluate_assignment(graph, [0, 0, 1])
+
+
+class TestPairwiseFlows:
+    def test_flows(self, graph):
+        flows = pairwise_flows(graph, [0, 1, 1, 0])
+        assert flows == {(0, 1): 10 + 30}
+
+    def test_no_cross_edges(self, graph):
+        assert pairwise_flows(graph, [0, 0, 0, 0]) == {}
+
+
+class TestCompare:
+    def test_sorted_by_external(self, graph):
+        rows = compare_assignments(
+            graph,
+            {
+                "all-one": [0, 0, 0, 0],
+                "halves": [0, 0, 1, 1],
+            },
+        )
+        assert rows[0][0] == "all-one"
+        assert rows[1][1].external_bandwidth == 60

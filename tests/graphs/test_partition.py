@@ -1,0 +1,99 @@
+"""Unit tests for :mod:`repro.graphs.partition`."""
+
+import pytest
+
+from repro.graphs.partition import (
+    Cut,
+    Partition,
+    blocks_as_ranges,
+    chain_blocks_to_assignment,
+    cut_from_chain_indices,
+)
+from repro.graphs.task_graph import TaskGraph
+
+
+@pytest.fixture
+def path_graph():
+    return TaskGraph([4, 3, 5, 2, 6], [(0, 1), (1, 2), (2, 3), (3, 4)], [7, 1, 9, 2])
+
+
+class TestCut:
+    def test_empty_cut(self, path_graph):
+        cut = Cut(path_graph, [])
+        assert len(cut) == 0
+        assert cut.bottleneck() == 0.0
+        assert cut.bandwidth() == 0.0
+
+    def test_objectives(self, path_graph):
+        cut = Cut(path_graph, [(1, 2), (3, 4)])
+        assert cut.bandwidth() == 3
+        assert cut.bottleneck() == 2
+        assert (1, 2) in cut
+        assert (2, 1) in cut
+        assert (0, 1) not in cut
+
+    def test_canonicalizes(self, path_graph):
+        assert Cut(path_graph, [(2, 1)]) == Cut(path_graph, [(1, 2)])
+
+    def test_rejects_foreign_edges(self, path_graph):
+        with pytest.raises(ValueError, match="not in the graph"):
+            Cut(path_graph, [(0, 4)])
+
+    def test_feasibility(self, path_graph):
+        assert Cut(path_graph, [(1, 2), (3, 4)]).is_feasible(9)
+        assert not Cut(path_graph, []).is_feasible(9)
+
+    def test_iteration_sorted(self, path_graph):
+        cut = Cut(path_graph, [(3, 4), (0, 1)])
+        assert list(cut) == [(0, 1), (3, 4)]
+
+    def test_hashable(self, path_graph):
+        assert {Cut(path_graph, [(0, 1)])}
+
+
+class TestPartition:
+    def test_components_and_weights(self, path_graph):
+        partition = Cut(path_graph, [(1, 2), (3, 4)]).partition()
+        assert partition.num_processors == 3
+        assert sorted(partition.component_weights) == [6, 7, 7]
+        assert partition.max_component_weight() == 7
+
+    def test_single_component(self, path_graph):
+        partition = Cut(path_graph, []).partition()
+        assert partition.num_processors == 1
+        assert partition.component_weights == [20]
+
+    def test_satisfies_bound(self, path_graph):
+        partition = Cut(path_graph, [(1, 2), (3, 4)]).partition()
+        assert partition.satisfies_bound(7)
+        assert not partition.satisfies_bound(6.9)
+
+    def test_load_imbalance(self, path_graph):
+        partition = Cut(path_graph, [(1, 2), (3, 4)]).partition()
+        assert partition.load_imbalance() == pytest.approx(7 / (20 / 3))
+
+    def test_component_of(self, path_graph):
+        partition = Cut(path_graph, [(1, 2)]).partition()
+        owner = partition.component_of()
+        assert owner[0] == owner[1]
+        assert owner[2] == owner[3] == owner[4]
+        assert owner[0] != owner[2]
+
+    def test_mismatched_graph_rejected(self, path_graph):
+        other = TaskGraph([1, 1], [(0, 1)])
+        cut = Cut(other, [(0, 1)])
+        with pytest.raises(ValueError, match="different graph"):
+            Partition(path_graph, cut)
+
+
+class TestHelpers:
+    def test_cut_from_chain_indices(self, path_graph):
+        cut = cut_from_chain_indices(path_graph, [1, 3])
+        assert cut.edges == frozenset({(1, 2), (3, 4)})
+
+    def test_chain_blocks_to_assignment(self, small_chain):
+        assignment = chain_blocks_to_assignment(small_chain, [1, 3])
+        assert assignment == [0, 0, 1, 1, 2]
+
+    def test_blocks_as_ranges(self):
+        assert blocks_as_ranges([(0, 1), (2, 4)]) == "[0..1 | 2..4]"

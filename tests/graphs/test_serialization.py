@@ -1,0 +1,52 @@
+"""Unit tests for :mod:`repro.graphs.serialization`."""
+
+import json
+
+import pytest
+
+from repro.graphs.generators import random_chain, random_tree
+from repro.graphs.serialization import (
+    chain_from_dict,
+    chain_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+)
+from repro.graphs.task_graph import TaskGraph
+from repro.graphs.tree import Tree
+
+
+class TestChainRoundTrip:
+    def test_round_trip(self, small_chain):
+        assert chain_from_dict(chain_to_dict(small_chain)) == small_chain
+
+    def test_json_round_trip(self):
+        chain = random_chain(50, 3)
+        payload = json.dumps(chain_to_dict(chain))
+        assert chain_from_dict(json.loads(payload)) == chain
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValueError, match="not a chain"):
+            chain_from_dict({"type": "tree"})
+
+
+class TestGraphRoundTrip:
+    def test_graph_round_trip(self):
+        graph = TaskGraph([1, 2, 3], [(0, 1), (1, 2)], [5, 6])
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert restored == graph
+        assert not isinstance(restored, Tree)
+
+    def test_tree_round_trip_preserves_type(self):
+        tree = random_tree(20, 3)
+        restored = graph_from_dict(graph_to_dict(tree))
+        assert isinstance(restored, Tree)
+        assert restored == tree
+
+    def test_json_safe(self):
+        tree = random_tree(10, 1)
+        payload = json.dumps(graph_to_dict(tree))
+        assert graph_from_dict(json.loads(payload)) == tree
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown"):
+            graph_from_dict({"type": "hypergraph", "edges": []})

@@ -1,0 +1,112 @@
+"""Unit tests for :mod:`repro.graphs.supergraph`."""
+
+import pytest
+
+from repro.graphs.supergraph import (
+    bfs_linear_supergraph,
+    order_linear_supergraph,
+    ring_to_chain,
+)
+from repro.graphs.task_graph import TaskGraph
+
+
+def grid_2x3():
+    """A 2x3 grid graph:  0-1-2 / 3-4-5 with vertical rungs."""
+    return TaskGraph(
+        [1, 2, 3, 4, 5, 6],
+        [(0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)],
+        [10, 20, 30, 40, 50, 60, 70],
+    )
+
+
+class TestBfsSupergraph:
+    def test_layers_from_corner(self):
+        sg = bfs_linear_supergraph(grid_2x3(), source=0)
+        # Layers: {0}, {1,3}, {2,4}, {5}
+        assert [sorted(g) for g in sg.groups] == [[0], [1, 3], [2, 4], [5]]
+        assert sg.exact
+
+    def test_chain_weights(self):
+        sg = bfs_linear_supergraph(grid_2x3(), source=0)
+        assert sg.chain.alpha == [1, 6, 8, 6]
+        # Boundary 0: edges (0,1)=10, (0,3)=50 -> 60.
+        # Boundary 1: (1,2)=20, (1,4)=60, (3,4)=30 -> 110.
+        # Boundary 2: (4,5)=40, (2,5)=70 -> 110.
+        assert sg.chain.beta == [60, 110, 110]
+
+    def test_total_weight_preserved(self):
+        graph = grid_2x3()
+        sg = bfs_linear_supergraph(graph)
+        assert sg.chain.total_weight() == graph.total_vertex_weight()
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError, match="connected"):
+            bfs_linear_supergraph(TaskGraph([1, 1], []))
+
+    def test_project_cut(self):
+        sg = bfs_linear_supergraph(grid_2x3(), source=0)
+        projected = sg.project_cut([1])
+        assert projected == {(1, 2), (1, 4), (3, 4)}
+
+    def test_assignment_from_cut(self):
+        sg = bfs_linear_supergraph(grid_2x3(), source=0)
+        assignment = sg.assignment_from_cut([1])
+        assert assignment[0] == assignment[1] == assignment[3] == 0
+        assert assignment[2] == assignment[4] == assignment[5] == 1
+
+    def test_group_of(self):
+        sg = bfs_linear_supergraph(grid_2x3(), source=0)
+        owner = sg.group_of()
+        assert owner[0] == 0
+        assert owner[5] == 3
+
+
+class TestOrderSupergraph:
+    def test_exact_when_local(self):
+        graph = TaskGraph([1, 1, 1, 1], [(0, 1), (1, 2), (2, 3)], [5, 6, 7])
+        sg = order_linear_supergraph(graph, [0, 1, 2, 3], [2, 2])
+        assert sg.exact
+        assert sg.chain.alpha == [2, 2]
+        assert sg.chain.beta == [6]
+
+    def test_spanning_edge_marks_inexact(self):
+        graph = TaskGraph([1, 1, 1], [(0, 2)], [9])
+        sg = order_linear_supergraph(graph, [0, 1, 2], [1, 1, 1])
+        assert not sg.exact
+        # The spanning edge is charged to both boundaries.
+        assert sg.chain.beta == [9, 9]
+
+    def test_rejects_bad_order(self):
+        graph = TaskGraph([1, 1], [(0, 1)])
+        with pytest.raises(ValueError, match="permutation"):
+            order_linear_supergraph(graph, [0, 0], [2])
+
+    def test_rejects_bad_sizes(self):
+        graph = TaskGraph([1, 1], [(0, 1)])
+        with pytest.raises(ValueError, match="sum to n"):
+            order_linear_supergraph(graph, [0, 1], [1])
+
+
+class TestRingToChain:
+    def ring(self):
+        return TaskGraph(
+            [1, 2, 3, 4],
+            [(0, 1), (1, 2), (2, 3), (0, 3)],
+            [10, 5, 20, 30],
+        )
+
+    def test_breaks_lightest_edge(self):
+        sg, broken = ring_to_chain(self.ring())
+        assert broken == (1, 2)
+        assert sg.exact
+
+    def test_chain_follows_ring(self):
+        sg, _broken = ring_to_chain(self.ring())
+        # Walk starts at vertex 1 away from 2: 1, 0, 3, 2.
+        assert sg.chain.alpha == [2, 1, 4, 3]
+        assert sg.chain.beta == [10, 30, 20]
+
+    def test_rejects_non_cycle(self):
+        path = TaskGraph([1, 1, 1], [(0, 1), (1, 2)])
+        with pytest.raises(ValueError, match="cycle"):
+            ring_to_chain(path)

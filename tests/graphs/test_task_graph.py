@@ -1,0 +1,154 @@
+"""Unit tests for :mod:`repro.graphs.task_graph`."""
+
+import pytest
+
+from repro.graphs.task_graph import TaskGraph, canonical_edge
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(3, 1) == (1, 3)
+        assert canonical_edge(1, 3) == (1, 3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            canonical_edge(2, 2)
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = TaskGraph([])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_vertices_only(self):
+        g = TaskGraph([1.0, 2.0, 3.0])
+        assert g.num_vertices == 3
+        assert g.vertex_weight(1) == 2.0
+        assert g.total_vertex_weight() == 6.0
+
+    def test_edges_with_sequence_weights(self):
+        g = TaskGraph([1, 1, 1], [(0, 1), (1, 2)], [5.0, 7.0])
+        assert g.edge_weight(0, 1) == 5.0
+        assert g.edge_weight(2, 1) == 7.0
+
+    def test_edges_with_dict_weights(self):
+        g = TaskGraph([1, 1], [(1, 0)], {(0, 1): 4.0})
+        assert g.edge_weight(0, 1) == 4.0
+
+    def test_default_edge_weight_is_one(self):
+        g = TaskGraph([1, 1], [(0, 1)])
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_rejects_negative_vertex_weight(self):
+        with pytest.raises(ValueError, match="negative weight"):
+            TaskGraph([1.0, -2.0])
+
+    def test_rejects_negative_edge_weight(self):
+        with pytest.raises(ValueError, match="negative weight"):
+            TaskGraph([1, 1], [(0, 1)], [-3.0])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TaskGraph([1, 1], [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError, match="out of range"):
+            TaskGraph([1, 1], [(0, 5)])
+
+    def test_mismatched_weight_count(self):
+        with pytest.raises(ValueError, match="edge weights"):
+            TaskGraph([1, 1, 1], [(0, 1), (1, 2)], [1.0])
+
+
+class TestAccessors:
+    def test_neighbors_and_degree(self):
+        g = TaskGraph([1] * 4, [(0, 1), (0, 2), (0, 3)])
+        assert sorted(g.neighbors(0)) == [1, 2, 3]
+        assert g.degree(0) == 3
+        assert g.degree(2) == 1
+
+    def test_has_edge_both_orders(self):
+        g = TaskGraph([1, 1], [(0, 1)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_edges_iteration_canonical(self):
+        g = TaskGraph([1] * 3, [(2, 1), (1, 0)])
+        assert list(g.edges()) == [(1, 2), (0, 1)]
+
+    def test_max_vertex_weight(self):
+        assert TaskGraph([1, 9, 4]).max_vertex_weight() == 9
+        assert TaskGraph([]).max_vertex_weight() == 0.0
+
+    def test_total_edge_weight(self):
+        g = TaskGraph([1, 1, 1], [(0, 1), (1, 2)], [2.5, 3.5])
+        assert g.total_edge_weight() == 6.0
+
+
+class TestComponents:
+    def test_connected_whole(self):
+        g = TaskGraph([1] * 4, [(0, 1), (1, 2), (2, 3)])
+        assert g.is_connected()
+        assert len(g.connected_components()) == 1
+
+    def test_disconnected(self):
+        g = TaskGraph([1] * 4, [(0, 1), (2, 3)])
+        comps = g.connected_components()
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [2, 3]]
+
+    def test_removed_edges_split(self):
+        g = TaskGraph([1, 2, 3], [(0, 1), (1, 2)])
+        comps = g.connected_components({(1, 2)})
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [2]]
+
+    def test_component_weights(self):
+        g = TaskGraph([1, 2, 3], [(0, 1), (1, 2)])
+        assert sorted(g.component_weights({(0, 1)})) == [1, 5]
+
+    def test_empty_removed_set(self):
+        g = TaskGraph([1, 2], [(0, 1)])
+        assert g.component_weights(set()) == [3]
+
+
+class TestShapePredicates:
+    def test_is_tree(self):
+        assert TaskGraph([1] * 3, [(0, 1), (1, 2)]).is_tree()
+        assert not TaskGraph([1] * 3, [(0, 1)]).is_tree()  # disconnected
+        assert TaskGraph([1]).is_tree()  # single vertex
+
+    def test_cycle_is_not_tree(self):
+        g = TaskGraph([1] * 3, [(0, 1), (1, 2), (0, 2)])
+        assert not g.is_tree()
+
+    def test_is_path(self):
+        assert TaskGraph([1] * 4, [(0, 1), (1, 2), (2, 3)]).is_path()
+        assert TaskGraph([1]).is_path()
+        star = TaskGraph([1] * 4, [(0, 1), (0, 2), (0, 3)])
+        assert not star.is_path()
+
+    def test_empty_graph_is_not_path(self):
+        assert not TaskGraph([]).is_path()
+
+
+class TestMisc:
+    def test_copy_is_independent(self):
+        g = TaskGraph([1, 1], [(0, 1)], [2.0])
+        clone = g.copy()
+        clone.add_edge
+        assert clone == g
+        assert clone is not g
+
+    def test_equality(self):
+        a = TaskGraph([1, 2], [(0, 1)], [3.0])
+        b = TaskGraph([1, 2], [(0, 1)], [3.0])
+        c = TaskGraph([1, 2], [(0, 1)], [4.0])
+        assert a == b
+        assert a != c
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(TaskGraph([1]))
+
+    def test_repr(self):
+        assert "n=2" in repr(TaskGraph([1, 2], [(0, 1)]))

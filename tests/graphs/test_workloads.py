@@ -1,0 +1,97 @@
+"""Unit tests for :mod:`repro.graphs.workloads`."""
+
+import random
+
+import pytest
+
+from repro.core.bandwidth import bandwidth_min
+from repro.core.ring import ring_bandwidth_min
+from repro.baselines.greedy import first_fit_cut
+from repro.graphs.workloads import (
+    image_pipeline_chain,
+    iterative_solver_ring,
+    pde_strip_chain,
+    signal_chain,
+)
+
+
+class TestPdeStrips:
+    def test_shape(self):
+        chain = pde_strip_chain(20, 50, random.Random(1))
+        assert chain.num_tasks == 20
+        assert all(a > 0 for a in chain.alpha)
+
+    def test_hotspot_concentrates_weight(self):
+        flat = pde_strip_chain(40, 50, random.Random(2))
+        hot = pde_strip_chain(40, 50, random.Random(2), hotspot=0.5)
+        mid = slice(15, 25)
+        assert sum(hot.alpha[mid]) > 1.5 * sum(flat.alpha[mid])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pde_strip_chain(0, 10)
+
+    def test_partitionable(self):
+        chain = pde_strip_chain(64, 100, random.Random(3), hotspot=0.3)
+        bound = 2.0 * chain.max_vertex_weight()
+        result = bandwidth_min(chain, bound)
+        assert result.is_feasible(bound)
+
+
+class TestImagePipeline:
+    def test_default_pipeline(self):
+        chain = image_pipeline_chain()
+        assert chain.num_tasks == 9
+        # Volumes shrink towards the end of the default pipeline.
+        assert chain.beta[0] > chain.beta[-1]
+
+    def test_custom_stages(self):
+        chain = image_pipeline_chain([("a", 1.0, 5.0), ("b", 2.0, 0.0)])
+        assert chain.alpha == [1.0, 2.0]
+        assert chain.beta == [5.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            image_pipeline_chain([])
+
+    def test_cuts_prefer_cheap_late_edges(self):
+        chain = image_pipeline_chain()
+        bound = 0.6 * chain.total_weight()
+        result = bandwidth_min(chain, bound)
+        # With shrinking volumes, the optimal single cut sits late.
+        assert result.cut_indices
+        assert min(result.cut_indices) >= 3
+
+
+class TestSignalChain:
+    def test_decimation_profile(self):
+        chain = signal_chain(33, decimation_every=8, rng=random.Random(4))
+        # The last edge has seen 3 halvings: ~8x below the start.
+        assert chain.beta[0] > 5 * chain.beta[-1]
+
+    def test_bandwidth_beats_first_fit_strongly(self):
+        chain = signal_chain(64, decimation_every=8, rng=random.Random(5))
+        bound = 10.0 * chain.max_vertex_weight()
+        smart = bandwidth_min(chain, bound)
+        naive = first_fit_cut(chain, bound)
+        assert smart.weight < naive.weight
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            signal_chain(0)
+
+
+class TestSolverRing:
+    def test_shape(self):
+        ring = iterative_solver_ring(16, random.Random(6))
+        assert ring.num_tasks == 16
+
+    def test_partitionable(self):
+        ring = iterative_solver_ring(32, random.Random(7))
+        bound = 3.0 * ring.max_vertex_weight()
+        result = ring_bandwidth_min(ring, bound)
+        assert result.is_feasible(bound)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            iterative_solver_ring(2)

@@ -1,0 +1,112 @@
+"""End-to-end integration of the two Section-3 application studies."""
+
+import pytest
+
+from repro.baselines.greedy import equal_blocks_cut
+from repro.core import bandwidth_min, partition_chain
+from repro.desim.distributed import simulate_partitioned
+from repro.desim.linearize import circuit_supergraph
+from repro.desim.netlists import adder_pipeline, ring_counter
+from repro.desim.simulator import LogicSimulator
+from repro.graphs.generators import random_chain
+from repro.machine.executor import simulate_pipeline
+from repro.machine.interconnect import SharedBus
+from repro.machine.machine import SharedMemoryMachine
+from repro.realtime.planner import plan_realtime_task
+from repro.realtime.schedule import build_schedule, pipeline_period
+from repro.realtime.spec import RealTimeTask
+
+
+class TestRealTimeEndToEnd:
+    def make_task(self, seed: int = 3) -> RealTimeTask:
+        chain = random_chain(
+            80, seed, vertex_range=(1, 10), edge_range=(1, 100)
+        )
+        return RealTimeTask(
+            "workload", chain.alpha, chain.beta,
+            deadline=3.5 * max(chain.alpha),
+        )
+
+    def test_plan_verify_schedule(self):
+        task = self.make_task()
+        machine = SharedMemoryMachine(64, interconnect=SharedBus(bandwidth=20.0))
+        plan = plan_realtime_task(task, machine)
+        assert plan.meets_deadline
+        schedules = build_schedule(plan, machine)
+        assert pipeline_period(schedules) > 0
+        # The machine simulator agrees the deadline holds per stage.
+        ex = simulate_pipeline(task.to_chain(), plan.cut_indices, machine, 5)
+        assert max(ex.stage_compute_times) <= task.deadline + 1e-9
+
+    def test_bandwidth_plan_reduces_bus_pressure(self):
+        task = self.make_task()
+        machine = SharedMemoryMachine(64, interconnect=SharedBus(bandwidth=20.0))
+        smart = plan_realtime_task(task, machine, "bandwidth")
+        naive = partition_chain(
+            task.to_chain(), task.deadline, "processors"
+        )
+        from repro.machine.traffic import network_demand
+
+        naive_traffic = network_demand(task.to_chain(), naive.cut_indices)
+        assert smart.traffic.total_demand <= naive_traffic.total_demand
+
+    def test_executed_throughput_ranks_partitions(self):
+        """On a slow bus, the bandwidth-minimal partition sustains at
+        least the throughput of an equal-blocks partition with the same
+        number of stages."""
+        task = self.make_task(seed=11)
+        chain = task.to_chain()
+        machine = SharedMemoryMachine(64, interconnect=SharedBus(bandwidth=3.0))
+        smart = bandwidth_min(chain, task.deadline)
+        naive = equal_blocks_cut(chain, smart.num_components)
+        ex_smart = simulate_pipeline(chain, smart.cut_indices, machine, 40)
+        ex_naive = simulate_pipeline(chain, naive.cut_indices, machine, 40)
+        assert ex_smart.total_traffic <= ex_naive.total_traffic
+        assert ex_smart.throughput >= 0.85 * ex_naive.throughput
+
+
+class TestSimulationEndToEnd:
+    def test_ring_counter_study(self):
+        circuit = ring_counter(48)
+        profile = LogicSimulator(circuit).run(1500.0)
+        supergraph = circuit_supergraph(circuit, activity=profile.activity())
+        bound = 6.0 * supergraph.chain.max_vertex_weight()
+        cut = bandwidth_min(supergraph.chain, bound)
+        assignment = supergraph.assignment_from_cut(cut.cut_indices)
+        run = simulate_partitioned(circuit, assignment, 1500.0)
+        assert run.num_processors == cut.num_components
+        assert run.cross_messages > 0
+        assert run.cross_fraction < 0.5  # most traffic stays local
+
+    def test_partitioned_beats_round_robin(self):
+        circuit = ring_counter(48)
+        profile = LogicSimulator(circuit).run(1500.0)
+        supergraph = circuit_supergraph(circuit, activity=profile.activity())
+        bound = 6.0 * supergraph.chain.max_vertex_weight()
+        cut = bandwidth_min(supergraph.chain, bound)
+        smart = supergraph.assignment_from_cut(cut.cut_indices)
+        k = cut.num_components
+        round_robin = [g % k for g in range(circuit.num_gates)]
+        smart_run = simulate_partitioned(circuit, smart, 1500.0)
+        rr_run = simulate_partitioned(circuit, round_robin, 1500.0)
+        assert smart_run.cross_messages < rr_run.cross_messages
+
+    def test_adder_pipeline_study(self):
+        circuit, _stages = adder_pipeline(8, bits=4)
+        stim = [
+            (float(t), g, (t // 40 + g) % 2 == 0)
+            for t in range(0, 600, 40)
+            for g in circuit.primary_inputs()
+        ]
+        profile = LogicSimulator(circuit).run(800.0, stimuli=stim)
+        supergraph = circuit_supergraph(circuit, activity=profile.activity())
+        assert supergraph.exact
+        bound = supergraph.chain.total_weight() / 3
+        bound = max(bound, supergraph.chain.max_vertex_weight())
+        cut = bandwidth_min(supergraph.chain, bound)
+        assignment = supergraph.assignment_from_cut(cut.cut_indices)
+        run = simulate_partitioned(circuit, assignment, 800.0, stimuli=stim)
+        # Load respects the execution-time bound proportionally: the
+        # partition was computed on activity-weighted gates.
+        assert run.num_processors == cut.num_components
+        assert run.max_load <= sum(run.processor_loads)

@@ -1,0 +1,87 @@
+"""CLI smoke tests (argument wiring, not output values)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in (
+            ["fig2"],
+            ["fig2w"],
+            ["compare"],
+            ["linear"],
+            ["temps"],
+            ["tree"],
+            ["realtime"],
+            ["circuit"],
+        ):
+            args = parser.parse_args(command)
+            assert callable(args.func)
+
+
+class TestExecution:
+    def test_tree_command(self, capsys):
+        assert main(["tree", "--n", "60", "--k-ratio", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "processors" in out
+
+    def test_fig2_small(self, capsys):
+        assert main(["fig2", "--n", "200", "--ratio", "2", "8", "--reps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "p log q" in out
+        assert "max p log q" in out
+
+    def test_fig2w_small(self, capsys):
+        assert main(["fig2w", "--n", "200", "--wmax", "5", "20", "--reps", "1"]) == 0
+        assert "w_max" in capsys.readouterr().out
+
+    def test_temps_small(self, capsys):
+        assert main(["temps", "--n", "300", "--ratio", "4", "--reps", "1"]) == 0
+        assert "TEMP_S" in capsys.readouterr().out
+
+    def test_linear_small(self, capsys):
+        assert main(["linear", "--n", "300", "600", "--reps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "linear fit" in out
+
+    def test_compare_small(self, capsys):
+        assert main(["compare", "--n", "300", "--reps", "1"]) == 0
+        assert "paper" in capsys.readouterr().out
+
+    def test_realtime_command(self, capsys):
+        assert main(["realtime", "--n", "40"]) == 0
+        assert "deadline" in capsys.readouterr().out
+
+    def test_circuit_command(self, capsys):
+        assert main(["circuit", "--n", "24", "--end-time", "500"]) == 0
+        assert "processors" in capsys.readouterr().out
+
+    def test_ring_command(self, capsys):
+        assert main(["ring", "--n", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "exact circular partition" in out
+        assert "heuristic/exact ratio" in out
+
+    def test_pareto_command(self, capsys):
+        assert main(["pareto", "--n", "40", "--max-processors", "4"]) == 0
+        assert "Pareto" in capsys.readouterr().out
+
+    def test_sync_command(self, capsys):
+        assert main(["sync", "--n", "24", "--end-time", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "TW rollbacks" in out
+        assert "identical committed results" in out
+
+    def test_fig2plot_command(self, capsys):
+        assert main(["fig2plot", "--n", "300", "--ratio", "2", "16",
+                     "--reps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "p log q" in out
+        assert "|" in out  # the canvas rendered

@@ -1,0 +1,137 @@
+"""Cross-module integration: the paper's algorithms against each other
+and against every baseline, on shared medium-size instances."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    bandwidth_min_deque,
+    bandwidth_min_dp,
+    bandwidth_min_nlogn,
+    ccp_dp,
+    ccp_hansen_lih,
+    ccp_probe,
+    first_fit_cut,
+)
+from repro.core import (
+    bandwidth_min,
+    bandwidth_min_naive,
+    bottleneck_min,
+    partition_chain,
+    partition_tree,
+    processor_min,
+)
+from repro.graphs.generators import random_chain, random_tree
+
+
+class TestBandwidthFamily:
+    @pytest.mark.parametrize("ratio", [1.1, 2.0, 5.0, 20.0])
+    def test_five_implementations_agree_medium(self, medium_chain, ratio):
+        bound = ratio * medium_chain.max_vertex_weight()
+        weights = {
+            round(algo(medium_chain, bound).weight, 6)
+            for algo in (
+                bandwidth_min,
+                bandwidth_min_naive,
+                bandwidth_min_dp,
+                bandwidth_min_nlogn,
+                bandwidth_min_deque,
+            )
+        }
+        assert len(weights) == 1
+
+    def test_optimal_beats_first_fit(self, medium_chain):
+        bound = 3.0 * medium_chain.max_vertex_weight()
+        optimal = bandwidth_min(medium_chain, bound).weight
+        greedy = first_fit_cut(medium_chain, bound).weight
+        assert optimal <= greedy
+        # On random instances the gap is essentially always strict.
+        assert optimal < greedy
+
+    def test_large_instance_smoke(self):
+        chain = random_chain(20_000, 5, vertex_range=(1, 10), edge_range=(1, 100))
+        bound = 4.0 * chain.max_vertex_weight()
+        a = bandwidth_min(chain, bound)
+        b = bandwidth_min_deque(chain, bound)
+        assert a.weight == pytest.approx(b.weight)
+        assert a.is_feasible(bound)
+
+
+class TestObjectiveRelations:
+    def test_three_objectives_ordering(self, medium_chain):
+        bound = 3.0 * medium_chain.max_vertex_weight()
+        bandwidth = partition_chain(medium_chain, bound, "bandwidth")
+        bottleneck = partition_chain(medium_chain, bound, "bottleneck")
+        processors = partition_chain(medium_chain, bound, "processors")
+        # All feasible.
+        for result in (bandwidth, bottleneck, processors):
+            assert result.is_feasible(bound)
+        # Bandwidth objective dominates on total cut weight.
+        assert bandwidth.weight <= bottleneck.weight + 1e-9
+        assert bandwidth.weight <= processors.weight + 1e-9
+        # Processor objective dominates on component count.
+        assert processors.num_components <= bandwidth.num_components
+        assert processors.num_components <= bottleneck.num_components
+        # Bottleneck objective dominates on heaviest cut edge.
+        def max_edge(result):
+            return max(
+                (medium_chain.edge_weight(i) for i in result.cut_indices),
+                default=0.0,
+            )
+
+        assert max_edge(bottleneck) <= max_edge(bandwidth) + 1e-9
+        assert max_edge(bottleneck) <= max_edge(processors) + 1e-9
+
+    def test_tree_pipeline_on_medium(self, medium_tree):
+        bound = 3.0 * medium_tree.max_vertex_weight()
+        plan = partition_tree(medium_tree, bound)
+        raw_bottleneck = bottleneck_min(medium_tree, bound)
+        raw_processors = processor_min(medium_tree, bound)
+        assert plan.bottleneck <= raw_bottleneck.bottleneck + 1e-9
+        # The plan respects the optimal bottleneck, so it may need more
+        # processors than the unconstrained minimum — never fewer.
+        assert plan.num_processors >= raw_processors.num_components
+
+
+class TestChainsOnChains:
+    def test_three_ccp_algorithms_agree(self, medium_chain):
+        for m in (1, 2, 7, 20):
+            a = ccp_dp(medium_chain, m).bottleneck
+            b = ccp_probe(medium_chain, m).bottleneck
+            c = ccp_hansen_lih(medium_chain, m).bottleneck
+            assert a == pytest.approx(b)
+            assert a == pytest.approx(c)
+
+    def test_ccp_vs_load_bounded_duality(self, medium_chain):
+        """The two problem styles are dual: partitioning with bound K
+        uses k* blocks iff chains-on-chains with k* blocks achieves
+        bottleneck <= K."""
+        bound = 2.5 * medium_chain.max_vertex_weight()
+        k_star = partition_chain(medium_chain, bound, "processors").num_components
+        assert ccp_dp(medium_chain, k_star).bottleneck <= bound
+        if k_star > 1:
+            assert ccp_dp(medium_chain, k_star - 1).bottleneck > bound
+
+
+class TestScalingConsistency:
+    def test_many_random_instances(self):
+        rng = random.Random(55)
+        for _ in range(10):
+            n = rng.randint(100, 800)
+            chain = random_chain(n, rng)
+            bound = rng.uniform(1.5, 20) * chain.max_vertex_weight()
+            fast = bandwidth_min(chain, bound)
+            reference = bandwidth_min_deque(chain, bound)
+            assert fast.weight == pytest.approx(reference.weight)
+
+    def test_trees_of_every_shape(self):
+        rng = random.Random(56)
+        for attachment in ("uniform", "preferential", "path"):
+            tree = random_tree(300, rng, attachment=attachment)
+            bound = 4.0 * tree.max_vertex_weight()
+            plan = partition_tree(tree, bound)
+            assert all(
+                w <= bound + 1e-9
+                for w in tree.component_weights(plan.final_cut)
+            )

@@ -1,0 +1,35 @@
+"""Every example script must run cleanly end to end.
+
+Examples are user-facing documentation; this test keeps them green as
+the library evolves (sizes are whatever the scripts ship with — they
+are designed to finish in seconds).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_examples_exist():
+    assert len(SCRIPTS) >= 3, "the repository promises at least 3 examples"
+    names = {p.name for p in SCRIPTS}
+    assert "quickstart.py" in names

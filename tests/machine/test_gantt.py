@@ -1,0 +1,96 @@
+"""Unit tests for trace recording and Gantt rendering."""
+
+import pytest
+
+from repro.graphs.chain import Chain
+from repro.machine.executor import simulate_pipeline
+from repro.machine.gantt import render_gantt, utilization_bars
+from repro.machine.interconnect import SharedBus
+from repro.machine.machine import SharedMemoryMachine
+
+
+@pytest.fixture
+def machine():
+    return SharedMemoryMachine(8, interconnect=SharedBus(bandwidth=2.0))
+
+
+@pytest.fixture
+def traced(machine):
+    chain = Chain([3, 5, 2], [4, 1])
+    return simulate_pipeline(
+        chain, [0, 1], machine, num_items=4, record_trace=True
+    )
+
+
+class TestTraceRecording:
+    def test_no_trace_by_default(self, machine):
+        chain = Chain([3, 5], [4])
+        ex = simulate_pipeline(chain, [0], machine, 3)
+        assert ex.trace is None
+
+    def test_compute_spans_complete(self, traced):
+        computes = [s for s in traced.trace if s.kind == "compute"]
+        # 3 stages x 4 items.
+        assert len(computes) == 12
+        by_pair = {(s.stage, s.item) for s in computes}
+        assert len(by_pair) == 12
+
+    def test_span_durations(self, traced):
+        for span in traced.trace:
+            assert span.end > span.start
+            if span.kind == "compute":
+                assert span.end - span.start == pytest.approx(
+                    traced.stage_compute_times[span.stage]
+                )
+
+    def test_transfers_recorded(self, traced):
+        transfers = [s for s in traced.trace if s.kind == "transfer"]
+        # 2 boundaries x 4 items.
+        assert len(transfers) == 8
+
+    def test_spans_within_makespan(self, traced):
+        assert all(s.end <= traced.makespan + 1e-9 for s in traced.trace)
+
+    def test_per_stage_order(self, traced):
+        for stage in range(traced.num_stages):
+            spans = [
+                s for s in traced.trace
+                if s.kind == "compute" and s.stage == stage
+            ]
+            starts = [s.start for s in spans]
+            assert starts == sorted(starts)
+
+    def test_trace_unaffected_by_recording(self, machine):
+        chain = Chain([3, 5, 2], [4, 1])
+        plain = simulate_pipeline(chain, [0, 1], machine, 4)
+        traced = simulate_pipeline(
+            chain, [0, 1], machine, 4, record_trace=True
+        )
+        assert plain.makespan == traced.makespan
+        assert plain.stage_busy_time == traced.stage_busy_time
+
+
+class TestRendering:
+    def test_gantt_shape(self, traced):
+        text = render_gantt(traced, width=60)
+        lines = text.splitlines()
+        assert len(lines) == traced.num_stages + 1
+        assert lines[0].startswith("stage 0")
+        assert "t=0" in lines[-1]
+
+    def test_gantt_contains_marks(self, traced):
+        text = render_gantt(traced, width=60)
+        assert any(d in text for d in "0123")
+        assert ">" in text
+
+    def test_gantt_requires_trace(self, machine):
+        chain = Chain([3, 5], [4])
+        ex = simulate_pipeline(chain, [0], machine, 3)
+        with pytest.raises(ValueError, match="no trace"):
+            render_gantt(ex)
+
+    def test_utilization_bars(self, traced):
+        text = utilization_bars(traced, width=20)
+        lines = text.splitlines()
+        assert len(lines) == traced.num_stages
+        assert all("%" in line for line in lines)

@@ -1,0 +1,89 @@
+"""Unit tests for :mod:`repro.machine.interconnect`."""
+
+import pytest
+
+from repro.machine.interconnect import (
+    Crossbar,
+    Interconnect,
+    MultistageNetwork,
+    SharedBus,
+)
+
+
+class TestBase:
+    def test_transfer_time(self):
+        net = SharedBus(bandwidth=2.0, latency=1.0)
+        assert net.transfer_time(4.0) == 3.0
+        assert net.transfer_time(0.0) == 0.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SharedBus(bandwidth=0)
+        with pytest.raises(ValueError):
+            SharedBus(latency=-1)
+
+    def test_base_round_time_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Interconnect().round_time({})
+
+
+class TestSharedBus:
+    def test_serializes_everything(self):
+        bus = SharedBus(bandwidth=1.0)
+        transfers = {(0, 1): 3.0, (2, 3): 5.0}
+        assert bus.round_time(transfers) == 8.0
+
+    def test_latency_per_transfer(self):
+        bus = SharedBus(bandwidth=1.0, latency=2.0)
+        assert bus.round_time({(0, 1): 1.0, (2, 3): 1.0}) == 6.0
+
+    def test_empty(self):
+        assert SharedBus().round_time({}) == 0.0
+        assert SharedBus().round_time({(0, 1): 0.0}) == 0.0
+
+
+class TestCrossbar:
+    def test_disjoint_transfers_parallel(self):
+        xbar = Crossbar(bandwidth=1.0)
+        transfers = {(0, 1): 3.0, (2, 3): 5.0}
+        assert xbar.round_time(transfers) == 5.0
+
+    def test_shared_port_serializes(self):
+        xbar = Crossbar(bandwidth=1.0)
+        transfers = {(0, 1): 3.0, (1, 2): 5.0}
+        assert xbar.round_time(transfers) == 8.0  # port 1 carries both
+
+    def test_empty(self):
+        assert Crossbar().round_time({}) == 0.0
+
+
+class TestMultistage:
+    def test_stage_count(self):
+        assert MultistageNetwork(ports=8).stages == 3
+        assert MultistageNetwork(ports=9).stages == 4
+        assert MultistageNetwork(ports=2).stages == 1
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            MultistageNetwork(ports=1)
+
+    def test_single_transfer_no_contention(self):
+        net = MultistageNetwork(ports=8, bandwidth=2.0)
+        assert net.round_time({(0, 1): 4.0}) == pytest.approx(2.0)
+
+    def test_contention_slows_down(self):
+        net = MultistageNetwork(ports=4, bandwidth=1.0)
+        single = net.round_time({(0, 1): 4.0})
+        loaded = net.round_time({(0, 1): 4.0, (2, 3): 4.0})
+        assert loaded > single
+
+    def test_between_bus_and_crossbar(self):
+        transfers = {(0, 1): 4.0, (2, 3): 4.0, (4, 5): 4.0}
+        bus = SharedBus(bandwidth=1.0).round_time(transfers)
+        xbar = Crossbar(bandwidth=1.0).round_time(transfers)
+        multi = MultistageNetwork(ports=8, bandwidth=1.0).round_time(transfers)
+        assert xbar <= multi <= bus
+
+    def test_transfer_time_includes_stage_latency(self):
+        net = MultistageNetwork(ports=8, bandwidth=1.0, latency=0.5)
+        assert net.transfer_time(2.0) == pytest.approx(3.5)  # 3 stages

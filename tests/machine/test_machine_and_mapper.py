@@ -1,0 +1,78 @@
+"""Unit tests for :mod:`repro.machine.machine` / :mod:`repro.machine.mapper`
+and :mod:`repro.machine.processor`."""
+
+import pytest
+
+from repro.machine.interconnect import Crossbar, SharedBus
+from repro.machine.machine import SharedMemoryMachine
+from repro.machine.mapper import map_partition
+from repro.machine.processor import Processor
+
+
+class TestProcessor:
+    def test_compute_time(self):
+        assert Processor(0, speed=2.0).compute_time(10.0) == 5.0
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(ValueError):
+            Processor(0, speed=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Processor(0).speed = 2.0
+
+
+class TestMachine:
+    def test_defaults(self):
+        machine = SharedMemoryMachine(4)
+        assert machine.num_processors == 4
+        assert machine.speed == 1.0
+        assert isinstance(machine.interconnect, SharedBus)
+        assert machine.is_homogeneous()
+
+    def test_custom_interconnect(self):
+        machine = SharedMemoryMachine(2, speed=3.0, interconnect=Crossbar())
+        assert machine.speed == 3.0
+        assert isinstance(machine.interconnect, Crossbar)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SharedMemoryMachine(0)
+
+
+class TestMapper:
+    def test_identity_mapping(self):
+        machine = SharedMemoryMachine(4)
+        mapping = map_partition([5.0, 3.0, 2.0], machine)
+        assert mapping.processor_of == [0, 1, 2]
+        assert not mapping.folded
+        assert mapping.loads == [5.0, 3.0, 2.0, 0.0]
+        assert mapping.max_load == 5.0
+
+    def test_exact_fit(self):
+        machine = SharedMemoryMachine(2)
+        mapping = map_partition([1.0, 2.0], machine)
+        assert mapping.processor_of == [0, 1]
+
+    def test_too_many_components_raises(self):
+        machine = SharedMemoryMachine(2)
+        with pytest.raises(ValueError, match="exceed"):
+            map_partition([1.0, 2.0, 3.0], machine)
+
+    def test_folding_balances(self):
+        machine = SharedMemoryMachine(2)
+        mapping = map_partition([5.0, 4.0, 3.0, 2.0], machine, allow_folding=True)
+        assert mapping.folded
+        assert sorted(mapping.loads) == [7.0, 7.0]  # LPT: 5+2 / 4+3
+
+    def test_components_on(self):
+        machine = SharedMemoryMachine(2)
+        mapping = map_partition([5.0, 4.0, 3.0], machine, allow_folding=True)
+        all_components = sorted(
+            c for p in range(2) for c in mapping.components_on(p)
+        )
+        assert all_components == [0, 1, 2]
+
+    def test_rejects_empty_components(self):
+        with pytest.raises(ValueError, match="no components"):
+            map_partition([], SharedMemoryMachine(2))

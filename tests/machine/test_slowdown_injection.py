@@ -1,0 +1,77 @@
+"""Slowdown-injection tests for the pipelined executor."""
+
+import pytest
+
+from repro.graphs.chain import Chain
+from repro.machine.executor import simulate_pipeline
+from repro.machine.interconnect import SharedBus
+from repro.machine.machine import SharedMemoryMachine
+
+
+@pytest.fixture
+def machine():
+    return SharedMemoryMachine(8, interconnect=SharedBus(bandwidth=1e9))
+
+
+@pytest.fixture
+def balanced_chain():
+    return Chain([4, 4, 4], [0.001, 0.001])
+
+
+class TestSpeedFactors:
+    def test_default_is_uniform(self, balanced_chain, machine):
+        a = simulate_pipeline(balanced_chain, [0, 1], machine, 20)
+        b = simulate_pipeline(
+            balanced_chain, [0, 1], machine, 20,
+            stage_speed_factors=[1.0, 1.0, 1.0],
+        )
+        assert a.makespan == b.makespan
+
+    def test_slow_stage_becomes_bottleneck(self, balanced_chain, machine):
+        ex = simulate_pipeline(
+            balanced_chain, [0, 1], machine, 50,
+            stage_speed_factors=[1.0, 0.5, 1.0],
+        )
+        assert ex.bottleneck_stage == 1
+        # Period ~ 8 (stage 1 at half speed) instead of 4.
+        assert ex.makespan >= 50 * 8 * 0.95
+
+    def test_speedup_factor_helps(self, balanced_chain, machine):
+        base = simulate_pipeline(balanced_chain, [0, 1], machine, 30)
+        boosted = simulate_pipeline(
+            balanced_chain, [0, 1], machine, 30,
+            stage_speed_factors=[2.0, 2.0, 2.0],
+        )
+        assert boosted.makespan == pytest.approx(base.makespan / 2)
+
+    def test_slowdown_monotone(self, balanced_chain, machine):
+        makespans = [
+            simulate_pipeline(
+                balanced_chain, [0, 1], machine, 30,
+                stage_speed_factors=[1.0, f, 1.0],
+            ).makespan
+            for f in (1.0, 0.8, 0.5, 0.25)
+        ]
+        assert makespans == sorted(makespans)
+
+    def test_validation(self, balanced_chain, machine):
+        with pytest.raises(ValueError, match="speed factors"):
+            simulate_pipeline(
+                balanced_chain, [0, 1], machine, 5,
+                stage_speed_factors=[1.0],
+            )
+        with pytest.raises(ValueError, match="positive"):
+            simulate_pipeline(
+                balanced_chain, [0, 1], machine, 5,
+                stage_speed_factors=[1.0, 0.0, 1.0],
+            )
+
+    def test_folding_flag_runs(self, machine):
+        # More stages than processors, explicitly allowed (each stage
+        # modelled as its own logical processor).
+        chain = Chain([1.0] * 12, [0.1] * 11)
+        tiny = SharedMemoryMachine(2, interconnect=SharedBus(bandwidth=1e9))
+        ex = simulate_pipeline(
+            chain, list(range(11)), tiny, 5, allow_folding=True
+        )
+        assert ex.num_stages == 12

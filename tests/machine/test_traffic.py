@@ -1,0 +1,39 @@
+"""Unit tests for :mod:`repro.machine.traffic`."""
+
+import pytest
+
+from repro.machine.traffic import network_demand
+
+
+class TestNetworkDemand:
+    def test_no_cut(self, small_chain):
+        report = network_demand(small_chain, [])
+        assert report.total_demand == 0.0
+        assert report.max_link_demand == 0.0
+        assert report.processor_demands == (0.0,)
+
+    def test_fixture_cut(self, small_chain):
+        report = network_demand(small_chain, [1, 3])
+        assert report.boundary_volumes == (1, 2)
+        assert report.total_demand == 3
+        assert report.max_link_demand == 2
+        # Stage 0 sends 1; stage 1 receives 1 and sends 2; stage 2
+        # receives 2.
+        assert report.processor_demands == (1, 3, 2)
+        assert report.max_processor_demand == 3
+
+    def test_saturation(self, small_chain):
+        report = network_demand(small_chain, [1, 3])
+        assert report.saturation(bandwidth=6.0) == pytest.approx(0.5)
+
+    def test_duplicate_indices_collapsed(self, small_chain):
+        a = network_demand(small_chain, [1, 1, 3])
+        b = network_demand(small_chain, [1, 3])
+        assert a == b
+
+    def test_matches_bandwidth_objective(self, small_chain):
+        from repro.core import bandwidth_min
+
+        result = bandwidth_min(small_chain, 9)
+        report = network_demand(small_chain, result.cut_indices)
+        assert report.total_demand == pytest.approx(result.weight)

@@ -1,0 +1,70 @@
+"""Property-based tests for the Theorem-1 machinery."""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.star_knapsack import (
+    cut_to_knapsack_items,
+    knapsack_01,
+    knapsack_items_to_cut,
+    knapsack_to_star,
+    star_bandwidth_min,
+)
+
+items = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=8),  # weight
+        st.integers(min_value=0, max_value=9),  # profit
+    ),
+    min_size=0,
+    max_size=9,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(items, st.integers(min_value=0, max_value=20))
+def test_knapsack_optimal(item_list, capacity):
+    weights = [w for w, _p in item_list]
+    profits = [p for _w, p in item_list]
+    solution = knapsack_01(weights, profits, capacity)
+    # Solution is valid.
+    assert sum(weights[i] for i in solution.items) <= capacity
+    assert solution.profit == sum(profits[i] for i in solution.items)
+    # Solution is optimal (exhaustive check).
+    best = 0.0
+    for size in range(len(item_list) + 1):
+        for combo in combinations(range(len(item_list)), size):
+            if sum(weights[i] for i in combo) <= capacity:
+                best = max(best, float(sum(profits[i] for i in combo)))
+    assert solution.profit == best
+
+
+@settings(max_examples=100, deadline=None)
+@given(items.filter(lambda lst: len(lst) >= 1))
+def test_reduction_round_trip(item_list):
+    weights = [max(w, 1) for w, _p in item_list]
+    profits = [p for _w, p in item_list]
+    star = knapsack_to_star(weights, profits)
+    for size in range(len(item_list) + 1):
+        chosen = set(range(size))
+        cut = knapsack_items_to_cut(star, chosen)
+        assert cut_to_knapsack_items(star, cut) == chosen
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    items.filter(lambda lst: len(lst) >= 1),
+    st.integers(min_value=0, max_value=15),
+)
+def test_star_solver_equals_knapsack_complement(item_list, extra_capacity):
+    """Theorem 1: minimum cut weight = total profit - maximum kept
+    profit, under capacity = K - centre weight."""
+    weights = [max(w, 1) for w, _p in item_list]
+    profits = [p for _w, p in item_list]
+    capacity = max(weights) + extra_capacity  # K >= max leaf weight
+    star = knapsack_to_star(weights, profits)
+    _cut, cut_weight = star_bandwidth_min(star, float(capacity))
+    kept = knapsack_01(weights, profits, capacity)
+    assert abs(cut_weight - (sum(profits) - kept.profit)) < 1e-9

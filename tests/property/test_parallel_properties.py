@@ -1,0 +1,69 @@
+"""Property-based tests for the conservative parallel simulator.
+
+The central theorem of the windowed-conservative design: the simulation
+outcome is invariant under the gate→LP partition.  Hypothesis drives
+random circuits, random stimuli and random partitions and asserts exact
+equality of values, evaluation counts and per-wire deliveries against
+the 1-LP reference run.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.desim.netlists import random_glue_circuit, ring_counter
+from repro.desim.parallel import ParallelLogicSimulator
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=10, max_value=50),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_partition_invariance_random_circuits(num_gates, k, seed):
+    rng = random.Random(seed)
+    circuit = random_glue_circuit(num_gates, rng)
+    stim = [
+        (float(t), g, rng.random() < 0.5)
+        for t in range(0, 200, 25)
+        for g in circuit.primary_inputs()
+    ]
+    reference = ParallelLogicSimulator(
+        circuit, [0] * circuit.num_gates
+    ).run(300.0, stimuli=stim)
+    assignment = [rng.randrange(k) for _ in range(circuit.num_gates)]
+    run = ParallelLogicSimulator(circuit, assignment).run(300.0, stimuli=stim)
+    assert run.final_values == reference.final_values
+    assert run.evaluations == reference.evaluations
+    assert run.deliveries == reference.deliveries
+    assert run.total_messages == reference.total_messages
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=24),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_work_and_messages_conserved(stages, k, seed):
+    circuit = ring_counter(stages)
+    rng = random.Random(seed)
+    assignment = [rng.randrange(k) for _ in range(circuit.num_gates)]
+    run = ParallelLogicSimulator(circuit, assignment).run(400.0)
+    # Work conservation.
+    total = sum(run.evaluations[g.ident] * g.cost for g in circuit.gates)
+    assert abs(run.sequential_work - total) < 1e-9
+    # Message split is consistent with the assignment.
+    cross = sum(
+        count
+        for (src, dst), count in run.deliveries.items()
+        if assignment[src] != assignment[dst]
+    )
+    assert run.cross_messages == cross
+    assert run.local_messages == run.total_messages - cross
+    # Critical path bounds.
+    assert run.critical_path_work <= run.sequential_work + 1e-9
+    lower = run.sequential_work / max(run.num_lps, 1)
+    assert run.critical_path_work >= lower - 1e-9

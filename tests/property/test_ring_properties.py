@@ -1,0 +1,84 @@
+"""Property-based tests for circular task-graph partitioning."""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bandwidth import bandwidth_min
+from repro.core.ring import ring_bandwidth_min
+from repro.graphs.ring import Ring
+
+weight = st.integers(min_value=1, max_value=9).map(float)
+
+
+@st.composite
+def ring_and_bound(draw, max_tasks: int = 10):
+    n = draw(st.integers(min_value=3, max_value=max_tasks))
+    alpha = draw(st.lists(weight, min_size=n, max_size=n))
+    beta = draw(st.lists(weight, min_size=n, max_size=n))
+    slack = draw(st.integers(min_value=0, max_value=30))
+    return Ring(alpha, beta), max(alpha) + float(slack)
+
+
+def brute_force(ring: Ring, bound: float) -> float:
+    best = None
+    n = ring.num_edges
+    for r in range(n + 1):
+        for subset in combinations(range(n), r):
+            if ring.is_feasible_cut(subset, bound):
+                w = ring.cut_weight(subset)
+                if best is None or w < best:
+                    best = w
+    return best
+
+
+@settings(max_examples=100, deadline=None)
+@given(ring_and_bound())
+def test_ring_optimum_matches_brute_force(data):
+    ring, bound = data
+    result = ring_bandwidth_min(ring, bound)
+    assert result.is_feasible(bound)
+    assert abs(result.weight - brute_force(ring, bound)) < 1e-9
+    assert abs(result.weight - ring.cut_weight(result.cut_indices)) < 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(ring_and_bound())
+def test_ring_cut_structure(data):
+    ring, bound = data
+    result = ring_bandwidth_min(ring, bound)
+    if ring.total_weight() <= bound:
+        assert result.cut_indices == []
+    else:
+        # A cycle heavier than the bound needs at least two cuts.
+        assert len(result.cut_indices) >= 2
+        assert result.cut_indices == sorted(set(result.cut_indices))
+
+
+@settings(max_examples=60, deadline=None)
+@given(ring_and_bound())
+def test_ring_never_beats_its_openings(data):
+    """The ring optimum equals the best over all single-edge openings
+    (the exhaustive form of the candidate-arc argument)."""
+    ring, bound = data
+    if ring.total_weight() <= bound:
+        return
+    result = ring_bandwidth_min(ring, bound)
+    best_opening = min(
+        ring.edge_weight(e) + bandwidth_min(ring.open_at(e), bound).weight
+        for e in range(ring.num_edges)
+    )
+    assert abs(result.weight - best_opening) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(ring_and_bound())
+def test_arc_weights_consistent(data):
+    ring, _bound = data
+    n = ring.num_tasks
+    # Arcs from every cut reconstruct the full ring weight.
+    for cut in ([0], [0, n // 2], list(range(n))):
+        assert abs(
+            sum(ring.component_weights(cut)) - ring.total_weight()
+        ) < 1e-9

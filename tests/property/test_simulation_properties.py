@@ -1,0 +1,86 @@
+"""Property-based tests for the machine executor and the logic simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.desim.distributed import simulate_partitioned
+from repro.desim.netlists import ring_counter
+from repro.desim.simulator import LogicSimulator
+from repro.graphs.chain import Chain
+from repro.machine.executor import simulate_pipeline
+from repro.machine.interconnect import Crossbar, SharedBus
+from repro.machine.machine import SharedMemoryMachine
+
+weight = st.integers(min_value=1, max_value=9).map(float)
+
+
+@st.composite
+def chain_and_cut(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    alpha = draw(st.lists(weight, min_size=n, max_size=n))
+    beta = draw(st.lists(weight, min_size=n - 1, max_size=n - 1))
+    chain = Chain(alpha, beta)
+    cut = sorted(
+        draw(
+            st.sets(
+                st.integers(min_value=0, max_value=max(n - 2, 0)),
+                max_size=min(n - 1, 6),
+            )
+        )
+    ) if n > 1 else []
+    return chain, list(cut)
+
+
+@settings(max_examples=80, deadline=None)
+@given(chain_and_cut(), st.integers(min_value=1, max_value=20))
+def test_makespan_lower_bounds(data, num_items):
+    chain, cut = data
+    machine = SharedMemoryMachine(16, interconnect=SharedBus(bandwidth=5.0))
+    ex = simulate_pipeline(chain, cut, machine, num_items)
+    # The bottleneck stage must process every item sequentially.
+    slowest = max(ex.stage_compute_times)
+    assert ex.makespan >= num_items * slowest - 1e-6
+    # The whole chain must pass through at least once.
+    assert ex.first_item_latency >= sum(ex.stage_compute_times) - 1e-6
+    assert ex.makespan >= ex.first_item_latency - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(chain_and_cut(), st.integers(min_value=2, max_value=10))
+def test_busy_time_consistent(data, num_items):
+    chain, cut = data
+    machine = SharedMemoryMachine(16, interconnect=Crossbar(bandwidth=10.0))
+    ex = simulate_pipeline(chain, cut, machine, num_items)
+    for stage, busy in enumerate(ex.stage_busy_time):
+        expected = num_items * ex.stage_compute_times[stage]
+        assert abs(busy - expected) < 1e-6
+        assert busy <= ex.makespan + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=1, max_value=4),
+)
+def test_message_conservation_any_partition(stages, processors):
+    circuit = ring_counter(stages)
+    assignment = [g % processors for g in range(circuit.num_gates)]
+    run = simulate_partitioned(circuit, assignment, 300.0)
+    reference = LogicSimulator(circuit, clock_period=10.0).run(300.0)
+    assert run.local_messages + run.cross_messages == reference.total_messages
+    # Evaluation work is conserved too.
+    total_load = sum(run.processor_loads)
+    expected = sum(
+        reference.evaluations[g.ident] * g.cost for g in circuit.gates
+    )
+    assert abs(total_load - expected) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=12))
+def test_simulation_deterministic(stages):
+    circuit = ring_counter(stages)
+    a = LogicSimulator(circuit, clock_period=10.0).run(200.0)
+    b = LogicSimulator(circuit, clock_period=10.0).run(200.0)
+    assert a.final_values == b.final_values
+    assert a.evaluations == b.evaluations

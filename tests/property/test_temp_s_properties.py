@@ -1,0 +1,104 @@
+"""Property-based tests for the TEMP_S queue invariants (Appendix A).
+
+Replays Algorithm 4.1's main loop on arbitrary chains, asserting after
+every processed edge that the queue upholds its structural invariants:
+contiguous coverage, strictly increasing W column, and coverage exactly
+matching the open prime subpaths.  Also checks the Appendix-B bound that
+the queue never holds more rows than open subpaths.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prime_subpaths import PrimeStructure
+from repro.core.temp_s import SolutionNode, TempSQueue, solution_weight
+from repro.graphs.chain import Chain
+
+weight = st.integers(min_value=1, max_value=15).map(float)
+
+
+@st.composite
+def chain_and_bound(draw, max_tasks: int = 40):
+    n = draw(st.integers(min_value=2, max_value=max_tasks))
+    alpha = draw(st.lists(weight, min_size=n, max_size=n))
+    beta = draw(st.lists(weight, min_size=n - 1, max_size=n - 1))
+    chain = Chain(alpha, beta)
+    slack = draw(st.integers(min_value=0, max_value=30))
+    return chain, max(alpha) + float(slack)
+
+
+def replay_with_checks(chain: Chain, bound: float, search: str) -> None:
+    structure = PrimeStructure.compute(chain, bound)
+    if structure.p == 0:
+        return
+    queue = TempSQueue(search=search)
+    gamma_sol = None
+    for edge in structure.edges:
+        completed = queue.pop_completed(edge.first_prime)
+        if completed is not None:
+            gamma_sol = completed.sol
+        prev = gamma_sol if edge.first_prime > 0 else None
+        w_value = edge.weight + solution_weight(prev)
+        node = SolutionNode(edge.index, edge.weight, prev)
+        queue.update(w_value, node, edge.first_prime, edge.last_prime)
+
+        queue.check_invariants()
+        # Coverage equals exactly the open prime range.
+        lo, hi = queue.covered_range()
+        assert lo == edge.first_prime
+        assert hi == edge.last_prime
+        # Appendix B: row count never exceeds open subpaths (q_i).
+        assert len(queue) <= hi - lo + 1
+    # Final solution present at the BOTTOM row and feasible.
+    final = queue.bottom.sol
+    assert final is not None
+    cut = final.edge_indices()
+    assert chain.is_feasible_cut(cut, bound)
+    assert abs(queue.bottom.w - chain.cut_weight(cut)) < 1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(chain_and_bound())
+def test_invariants_binary_search(data):
+    replay_with_checks(*data, search="binary")
+
+
+@settings(max_examples=120, deadline=None)
+@given(chain_and_bound())
+def test_invariants_linear_search(data):
+    replay_with_checks(*data, search="linear")
+
+
+@settings(max_examples=80, deadline=None)
+@given(chain_and_bound())
+def test_w_column_equals_suffix_minima(data):
+    """Each row's W equals the minimum W-value among processed edges
+    belonging to every subpath in the row's range — the semantic
+    invariant behind the binary search."""
+    chain, bound = data
+    structure = PrimeStructure.compute(chain, bound)
+    if structure.p == 0:
+        return
+    queue = TempSQueue()
+    gamma_sol = None
+    w_values = {}  # edge index -> W value
+    for edge in structure.edges:
+        completed = queue.pop_completed(edge.first_prime)
+        if completed is not None:
+            gamma_sol = completed.sol
+        prev = gamma_sol if edge.first_prime > 0 else None
+        w_value = edge.weight + solution_weight(prev)
+        w_values[edge.index] = w_value
+        node = SolutionNode(edge.index, edge.weight, prev)
+        queue.update(w_value, node, edge.first_prime, edge.last_prime)
+
+        processed = [e for e in structure.edges if e.index <= edge.index]
+        for row in queue.rows():
+            for prime_idx in range(row.lo, row.hi + 1):
+                members = [
+                    w_values[e.index]
+                    for e in processed
+                    if e.first_prime <= prime_idx <= e.last_prime
+                ]
+                assert members, "open subpath with no processed edge"
+                assert abs(min(members) - row.w) < 1e-9

@@ -1,0 +1,67 @@
+"""Property-based tests for the Time Warp engine.
+
+The optimistic engine must commit *exactly* the sequential simulation
+for any circuit, any partition and any batch quantum — rollback repairs
+whatever optimism broke.  Hypothesis drives all three dimensions.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.desim.netlists import random_glue_circuit, ring_counter
+from repro.desim.parallel import ParallelLogicSimulator
+from repro.desim.timewarp import TimeWarpSimulator
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=12, max_value=40),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_commit_equivalence_random(num_gates, k, batch, seed):
+    rng = random.Random(seed)
+    circuit = random_glue_circuit(num_gates, rng)
+    stim = [
+        (float(t), g, rng.random() < 0.5)
+        for t in range(0, 150, 25)
+        for g in circuit.primary_inputs()
+    ]
+    reference = ParallelLogicSimulator(
+        circuit, [0] * circuit.num_gates
+    ).run(250.0, stimuli=stim)
+    assignment = [rng.randrange(k) for _ in range(circuit.num_gates)]
+    tw = TimeWarpSimulator(circuit, assignment, batch=batch).run(
+        250.0, stimuli=stim
+    )
+    assert tw.final_values == reference.final_values
+    assert tw.evaluations == reference.evaluations
+    assert tw.deliveries == reference.deliveries
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=20),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=10),
+)
+def test_cost_counters_consistent(stages, k, batch):
+    circuit = ring_counter(stages)
+    assignment = [g % k for g in range(circuit.num_gates)]
+    tw = TimeWarpSimulator(circuit, assignment, batch=batch).run(400.0)
+    assert tw.committed_events == tw.events_executed - tw.events_rolled_back
+    assert tw.committed_events >= 0
+    assert 0.0 <= tw.wasted_fraction <= 1.0
+    if k == 1:
+        assert tw.rollbacks == 0
+        assert tw.cross_messages == 0
+    # Committed message split matches the assignment.
+    cross = sum(
+        count
+        for (src, dst), count in tw.deliveries.items()
+        if assignment[src] != assignment[dst]
+    )
+    assert tw.cross_messages == cross

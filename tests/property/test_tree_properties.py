@@ -1,0 +1,94 @@
+"""Property-based tests for the tree algorithms (2.1 and 2.2)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute_force import enumerate_tree_optima
+from repro.baselines.kundu_misra import processor_min_bottom_up
+from repro.baselines.tree_dp import min_components_exact
+from repro.core.bottleneck import bottleneck_min, bottleneck_min_naive
+from repro.core.pipeline import partition_tree
+from repro.core.processor_min import processor_min
+from repro.graphs.tree import Tree
+
+weight = st.integers(min_value=1, max_value=9).map(float)
+
+
+@st.composite
+def tree_and_bound(draw, max_vertices: int = 12):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    weights = draw(st.lists(weight, min_size=n, max_size=n))
+    # Random parent attachment encoded as parent[i] < i.
+    parents = [
+        draw(st.integers(min_value=0, max_value=i - 1)) for i in range(1, n)
+    ]
+    edge_weights = draw(
+        st.lists(weight, min_size=max(n - 1, 0), max_size=max(n - 1, 0))
+    )
+    tree = Tree(weights, [(p, i + 1) for i, p in enumerate(parents)], edge_weights)
+    slack = draw(st.integers(min_value=0, max_value=30))
+    return tree, max(weights) + float(slack)
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree_and_bound())
+def test_bottleneck_optimal_vs_brute_force(data):
+    tree, bound = data
+    result = bottleneck_min(tree, bound)
+    oracle = enumerate_tree_optima(tree, bound)
+    assert oracle.feasible
+    assert abs(result.bottleneck - oracle.min_bottleneck) < 1e-9
+    assert result.is_feasible(bound)
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree_and_bound())
+def test_bottleneck_naive_and_fast_identical(data):
+    tree, bound = data
+    assert (
+        bottleneck_min(tree, bound).cut_edges
+        == bottleneck_min_naive(tree, bound).cut_edges
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree_and_bound())
+def test_processor_min_optimal(data):
+    tree, bound = data
+    greedy = processor_min(tree, bound)
+    assert greedy.is_feasible(bound)
+    assert greedy.num_components == min_components_exact(tree, bound)
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree_and_bound())
+def test_two_greedy_formulations_agree(data):
+    tree, bound = data
+    assert (
+        processor_min(tree, bound).num_components
+        == processor_min_bottom_up(tree, bound).num_components
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree_and_bound())
+def test_processor_count_at_least_packing_bound(data):
+    tree, bound = data
+    k = processor_min(tree, bound).num_components
+    assert k >= math.ceil(tree.total_vertex_weight() / bound - 1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree_and_bound())
+def test_pipeline_preserves_bottleneck_and_reduces_count(data):
+    tree, bound = data
+    plan = partition_tree(tree, bound)
+    raw = bottleneck_min(tree, bound)
+    assert plan.final_cut <= plan.bottleneck_cut
+    assert plan.bottleneck <= raw.bottleneck + 1e-12
+    assert plan.num_processors <= raw.num_components
+    assert all(
+        w <= bound + 1e-9 for w in tree.component_weights(plan.final_cut)
+    )

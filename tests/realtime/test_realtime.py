@@ -1,0 +1,125 @@
+"""Unit tests for :mod:`repro.realtime` (spec, planner, schedule)."""
+
+import pytest
+
+from repro.machine.interconnect import SharedBus
+from repro.machine.machine import SharedMemoryMachine
+from repro.realtime.planner import compare_objectives, plan_realtime_task
+from repro.realtime.schedule import build_schedule, pipeline_period
+from repro.realtime.spec import RealTimeTask
+
+
+@pytest.fixture
+def task():
+    return RealTimeTask("t", [4, 3, 5, 2, 6], [7, 1, 9, 2], deadline=9.0)
+
+
+@pytest.fixture
+def machine():
+    return SharedMemoryMachine(16, interconnect=SharedBus(bandwidth=10.0))
+
+
+class TestSpec:
+    def test_valid(self, task):
+        assert task.num_subtasks == 5
+        assert task.utilization_bound() == pytest.approx(20 / 9)
+
+    def test_to_chain(self, task, small_chain):
+        assert task.to_chain() == small_chain
+
+    def test_rejects_oversized_subtask(self):
+        with pytest.raises(ValueError, match="not schedulable"):
+            RealTimeTask("t", [4, 12], [1], deadline=9.0)
+
+    def test_rejects_bad_dependency_count(self):
+        with pytest.raises(ValueError, match="dependency"):
+            RealTimeTask("t", [4, 3], [1, 2], deadline=9.0)
+
+    def test_rejects_bad_deadline(self):
+        with pytest.raises(ValueError, match="deadline"):
+            RealTimeTask("t", [4], [], deadline=0.0)
+
+    def test_single_subtask(self):
+        task = RealTimeTask("t", [4], [], deadline=5.0)
+        assert task.num_subtasks == 1
+
+
+class TestPlanner:
+    def test_meets_deadline(self, task, machine):
+        plan = plan_realtime_task(task, machine)
+        assert plan.meets_deadline
+        assert plan.worst_component_time <= task.deadline
+        assert plan.slack >= 0
+
+    def test_bandwidth_objective_optimal(self, task, machine):
+        plan = plan_realtime_task(task, machine, "bandwidth")
+        assert plan.traffic.total_demand == 3  # known optimum for K=9
+
+    def test_processors_used(self, task, machine):
+        plan = plan_realtime_task(task, machine)
+        assert plan.processors_used == len(plan.component_costs)
+        assert plan.processors_used <= machine.num_processors
+
+    def test_speed_scales_bound(self, task):
+        # A 2x machine can swallow the whole task in one component:
+        # 20 work units / speed 2 = 10 > 9 still misses... use 2.5x.
+        fast = SharedMemoryMachine(4, speed=2.5)
+        plan = plan_realtime_task(task, fast)
+        assert plan.processors_used == 1
+        assert plan.meets_deadline
+
+    def test_too_few_processors(self, task):
+        tiny = SharedMemoryMachine(1)
+        with pytest.raises(ValueError, match="exceed"):
+            plan_realtime_task(task, tiny)
+
+    def test_compare_objectives(self, task, machine):
+        plans = compare_objectives(task, machine)
+        assert len(plans) == 4
+        assert all(p.meets_deadline for p in plans)
+        by_objective = {p.objective: p for p in plans}
+        # Bandwidth plan has the smallest network demand.
+        assert (
+            by_objective["bandwidth"].traffic.total_demand
+            <= by_objective["processors"].traffic.total_demand
+        )
+        # Processor plan uses the fewest processors.
+        assert (
+            by_objective["processors"].processors_used
+            <= by_objective["bandwidth"].processors_used
+        )
+
+    def test_summary(self, task, machine):
+        text = plan_realtime_task(task, machine).summary()
+        assert "MEETS" in text
+        assert "processors" in text
+
+
+class TestSchedule:
+    def test_stage_accounting(self, task, machine):
+        plan = plan_realtime_task(task, machine)
+        schedules = build_schedule(plan, machine)
+        assert len(schedules) == plan.processors_used
+        # Stages partition the subtasks contiguously.
+        assert schedules[0].first_subtask == 0
+        assert schedules[-1].last_subtask == task.num_subtasks - 1
+        for a, b in zip(schedules, schedules[1:]):
+            assert b.first_subtask == a.last_subtask + 1
+
+    def test_last_stage_sends_nothing(self, task, machine):
+        schedules = build_schedule(plan_realtime_task(task, machine), machine)
+        assert schedules[-1].send_volume == 0.0
+        assert schedules[-1].send_time == 0.0
+
+    def test_slack_consistent(self, task, machine):
+        plan = plan_realtime_task(task, machine)
+        for stage in build_schedule(plan, machine):
+            assert stage.slack == pytest.approx(
+                task.deadline - stage.compute_time
+            )
+            assert stage.slack >= 0
+
+    def test_pipeline_period(self, task, machine):
+        schedules = build_schedule(plan_realtime_task(task, machine), machine)
+        period = pipeline_period(schedules)
+        assert period >= max(s.compute_time for s in schedules)
