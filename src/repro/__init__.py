@@ -29,6 +29,7 @@ from repro.core import (
     partition_tree,
     processor_min,
 )
+from repro.engine import PartitionEngine, PartitionQuery
 from repro.graphs import Chain, Cut, Partition, TaskGraph, Tree
 
 __version__ = "1.0.0"
@@ -38,6 +39,8 @@ __all__ = [
     "Cut",
     "InfeasibleBoundError",
     "Partition",
+    "PartitionEngine",
+    "PartitionQuery",
     "TaskGraph",
     "Tree",
     "bandwidth_min",

@@ -11,6 +11,13 @@ an ASCII table (see DESIGN.md's experiment index):
 - ``tree``      — bottleneck + processor minimization demo on a tree;
 - ``realtime``  — the Section-3 real-time planning demo;
 - ``circuit``   — the Section-3 distributed-simulation demo.
+
+Production entry point:
+
+- ``batch``     — solve a JSONL stream of independent ``(chain, bound,
+  objective)`` queries through the cached, vectorized
+  :class:`repro.engine.PartitionEngine`, optionally fanned across a
+  process pool; results come back in input order.
 """
 
 from __future__ import annotations
@@ -302,6 +309,44 @@ def _cmd_sync(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.engine import PartitionEngine
+
+    engine = PartitionEngine(backend=args.backend)
+    try:
+        if args.input == "-":
+            lines = sys.stdin.readlines()
+        else:
+            with open(args.input, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+    except OSError as exc:
+        print(f"batch: cannot read {args.input}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        results = engine.solve_jsonl(
+            lines, max_workers=args.workers, chunksize=args.chunksize
+        )
+    except ValueError as exc:
+        print(f"batch: {exc}", file=sys.stderr)
+        return 2
+    payload = "\n".join(r.to_json() for r in results)
+    if args.output == "-":
+        if payload:
+            print(payload)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            if payload:
+                handle.write(payload + "\n")
+    failed = sum(1 for r in results if not r.ok)
+    if failed:
+        print(
+            f"batch: {failed}/{len(results)} queries failed "
+            "(see 'error' fields)",
+            file=sys.stderr,
+        )
+    return 0 if not failed else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import render_report, run_report
 
@@ -415,6 +460,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k-ratio", type=float, default=6.0)
     p.add_argument("--end-time", type=float, default=1500.0)
     p.set_defaults(func=_cmd_sync)
+
+    p = sub.add_parser(
+        "batch",
+        help="solve a JSONL stream of partitioning queries via the engine",
+        description=(
+            "Each input line is a JSON object with 'alpha' (list), 'beta' "
+            "(list, optional for n=1), 'bound' (number) and optional "
+            "'objective' (default 'bandwidth') and 'tag'.  One JSON result "
+            "per line is emitted in input order; infeasible queries carry "
+            "an 'error' field instead of failing the batch."
+        ),
+    )
+    p.add_argument("--input", default="-", help="query JSONL file, '-' = stdin")
+    p.add_argument("--output", default="-", help="result JSONL file, '-' = stdout")
+    p.add_argument("--workers", type=int, default=0,
+                   help="process-pool width; 0 = serial in-process (default)")
+    p.add_argument("--chunksize", type=int, default=None,
+                   help="queries pickled per pool task (default: balanced)")
+    p.add_argument("--backend", choices=["numpy", "python"], default=None,
+                   help="kernel backend (default: numpy when available)")
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser(
         "report", help="run every experiment and print PASS/FAIL verdicts"

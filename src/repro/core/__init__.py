@@ -25,6 +25,7 @@ from repro.core.bottleneck import (
 )
 from repro.core.inverse import (
     ChainBudgetPlan,
+    chain_pareto_frontier,
     min_bound_for_tree,
     partition_chain_for_processors,
     tree_pareto_frontier,
@@ -39,6 +40,7 @@ from repro.core.prime_subpaths import (
     PrimeStructure,
     PrimeSubpath,
     ReducedEdge,
+    compute_prime_structure,
     find_prime_subpaths,
     reduce_edges,
 )
@@ -50,6 +52,8 @@ from repro.core.temp_s import SolutionNode, TempSQueue
 __all__ = [
     "ChainBudgetPlan",
     "ChainCutResult",
+    "chain_pareto_frontier",
+    "compute_prime_structure",
     "LexicographicResult",
     "lexicographic_chain_partition",
     "RingCutResult",

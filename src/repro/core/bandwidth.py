@@ -26,25 +26,42 @@ The return value reports the cut, its weight and the Figure-2 statistics
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.feasibility import validate_bound
-from repro.core.prime_subpaths import PrimeStructure
+from repro.core.prime_subpaths import compute_prime_structure
 from repro.core.temp_s import SolutionNode, TempSQueue, solution_weight
 from repro.graphs.chain import Chain
 from repro.graphs.partition import Cut, cut_from_chain_indices
 from repro.instrumentation.counters import AlgorithmStats, OpCounter
 
 
-@dataclass
 class ChainCutResult:
-    """A cut on a chain: edge indices, total weight and run statistics."""
+    """A cut on a chain: edge indices, total weight and run statistics.
 
-    chain: Chain
-    cut_indices: List[int]
-    weight: float
-    stats: Optional[AlgorithmStats] = field(default=None, repr=False)
+    Slotted (not a dataclass): results are allocated once per query and
+    the batch engine materializes millions of them.
+    """
+
+    __slots__ = ("chain", "cut_indices", "weight", "stats")
+
+    def __init__(
+        self,
+        chain: Chain,
+        cut_indices: List[int],
+        weight: float,
+        stats: Optional[AlgorithmStats] = None,
+    ) -> None:
+        self.chain = chain
+        self.cut_indices = cut_indices
+        self.weight = weight
+        self.stats = stats
+
+    def __repr__(self) -> str:
+        return (
+            f"ChainCutResult(chain={self.chain!r}, "
+            f"cut_indices={self.cut_indices!r}, weight={self.weight!r})"
+        )
 
     @property
     def num_components(self) -> int:
@@ -72,6 +89,8 @@ def bandwidth_min(
     apply_reduction: bool = True,
     search: str = "binary",
     collect_stats: bool = False,
+    backend: str = "python",
+    structure=None,
 ) -> ChainCutResult:
     """Minimum-bandwidth load-bounded cut of a chain — Algorithm 4.1.
 
@@ -92,9 +111,27 @@ def bandwidth_min(
     collect_stats:
         Attach an :class:`~repro.instrumentation.counters.AlgorithmStats`
         with the Figure-2 quantities to the result (small overhead).
+    backend:
+        ``"python"`` (reference) or ``"numpy"`` — which kernels build the
+        prime structure.  Results are identical; only the constant factor
+        differs (:mod:`repro.engine.kernels`).
+    structure:
+        A precomputed prime structure for ``(chain, bound)`` — the engine
+        cache passes one to skip the ``O(n)`` preprocessing entirely.
+        Must match ``chain``/``bound``/``apply_reduction``.
     """
     validate_bound(chain.alpha, bound)
-    structure = PrimeStructure.compute(chain, bound, apply_reduction=apply_reduction)
+    if structure is None:
+        structure = compute_prime_structure(
+            chain, bound, apply_reduction=apply_reduction, backend=backend
+        )
+    if backend == "numpy" and not collect_stats and search == "binary":
+        # Fast path: flat-column sweep from the engine kernels (identical
+        # output; imported lazily to keep core importable without NumPy).
+        from repro.engine.kernels import bandwidth_sweep
+
+        cut, weight = bandwidth_sweep(structure)
+        return ChainCutResult(chain, cut, weight)
     counter = OpCounter() if collect_stats else None
     queue = TempSQueue(search=search, counter=counter)
 

@@ -39,7 +39,9 @@ class ChainBudgetPlan:
         return self.bandwidth_cut.num_components
 
 
-def partition_chain_for_processors(chain: Chain, processors: int) -> ChainBudgetPlan:
+def partition_chain_for_processors(
+    chain: Chain, processors: int, *, engine=None
+) -> ChainBudgetPlan:
     """Tightest load bound achievable with ``processors`` blocks, plus
     the minimum-bandwidth cut honouring it.
 
@@ -49,6 +51,10 @@ def partition_chain_for_processors(chain: Chain, processors: int) -> ChainBudget
     necessarily: the cheapest cut may use *more*, smaller blocks.  The
     plan keeps the bound so callers can re-partition with the
     ``"processors"`` objective when the block count must be exact.
+
+    Pass a :class:`repro.engine.PartitionEngine` as ``engine`` to solve
+    through its prime-structure cache — worthwhile when many budgets are
+    probed on the same chain (see :func:`chain_pareto_frontier`).
     """
     if processors < 1:
         raise ValueError("need at least one processor")
@@ -56,7 +62,48 @@ def partition_chain_for_processors(chain: Chain, processors: int) -> ChainBudget
     # Prefix-sum arithmetic can land the bottleneck a few ulps below the
     # heaviest single task; K >= max(alpha) always holds semantically.
     bound = max(bound, chain.max_vertex_weight())
+    if engine is not None:
+        return ChainBudgetPlan(bound, engine.solve(chain, bound))
     return ChainBudgetPlan(bound, bandwidth_min(chain, bound))
+
+
+def chain_pareto_frontier(
+    chain: Chain, max_processors: int, *, engine=None
+) -> List[dict]:
+    """The (processors, bound, bandwidth) trade-off curve for a chain.
+
+    One row per budget ``1..max_processors``: the chains-on-chains
+    bottleneck bound at that budget and the minimum-bandwidth cut
+    honouring it.  As with :class:`ChainBudgetPlan`, the ``components``
+    column can exceed the budget — the cheapest cut under the bound may
+    use more, smaller blocks.  This is a min-K search repeated per
+    budget, so it
+    runs through a shared :class:`repro.engine.PartitionEngine` — by
+    default a fresh one — probing budgets from ``max_processors`` down
+    so the bounds arrive sorted ascending and the cache's monotone
+    warm-start can serve neighbouring probes from one prime structure
+    instead of re-deriving primes per probe.
+    """
+    if max_processors < 1:
+        raise ValueError("need at least one processor")
+    if engine is None:
+        from repro.engine import PartitionEngine
+
+        engine = PartitionEngine()
+    rows: List[dict] = []
+    for budget in range(max_processors, 0, -1):
+        plan = partition_chain_for_processors(chain, budget, engine=engine)
+        cut = plan.bandwidth_cut
+        rows.append(
+            {
+                "processors": budget,
+                "bound": plan.bound,
+                "components": cut.num_components,
+                "bandwidth": cut.weight,
+            }
+        )
+    rows.reverse()
+    return rows
 
 
 def min_bound_for_tree(

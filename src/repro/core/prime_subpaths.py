@@ -199,6 +199,8 @@ class PrimeStructure:
     their mean ``q``.
     """
 
+    __slots__ = ("chain", "bound", "primes", "edges")
+
     chain: Chain
     bound: float
     primes: List[PrimeSubpath]
@@ -206,8 +208,22 @@ class PrimeStructure:
 
     @classmethod
     def compute(
-        cls, chain: Chain, bound: float, apply_reduction: bool = True
+        cls,
+        chain: Chain,
+        bound: float,
+        apply_reduction: bool = True,
+        backend: str = "python",
     ) -> "PrimeStructure":
+        """Build the structure with the requested backend.
+
+        ``backend="numpy"`` returns the duck-typed
+        :class:`repro.engine.kernels.ArrayPrimeStructure` (identical
+        rows, array storage); ``"python"`` is the reference path.
+        """
+        if backend != "python":
+            return compute_prime_structure(
+                chain, bound, apply_reduction=apply_reduction, backend=backend
+            )
         primes = find_prime_subpaths(chain, bound)
         edges = reduce_edges(chain, primes, apply_reduction=apply_reduction)
         return cls(chain, bound, primes, edges)
@@ -237,3 +253,41 @@ class PrimeStructure:
         if not self.primes:
             return 0.0
         return sum(sp.num_tasks for sp in self.primes) / len(self.primes)
+
+    def min_prime_weight(self) -> float:
+        """Smallest prime-subpath weight (``inf`` when no primes).
+
+        For any bound ``K'`` with ``bound <= K' < min_prime_weight()``
+        every minimal critical window — and hence this whole structure —
+        is unchanged, which is what the engine cache's monotone
+        warm-start exploits.
+        """
+        if not self.primes:
+            return float("inf")
+        return min(sp.weight for sp in self.primes)
+
+
+def compute_prime_structure(
+    chain: Chain,
+    bound: float,
+    apply_reduction: bool = True,
+    backend: str = "python",
+):
+    """Backend dispatcher for the ``O(n)`` preprocessing.
+
+    ``backend="python"`` returns the reference :class:`PrimeStructure`;
+    ``backend="numpy"`` dispatches to the vectorized kernels in
+    :mod:`repro.engine.kernels` and returns an ``ArrayPrimeStructure``
+    with identical rows.  Both satisfy the same interface, so callers
+    (Algorithm 4.1, the naive recurrence, the Figure-2 sweeps) never
+    need to know which one they hold.
+    """
+    if backend == "python":
+        return PrimeStructure.compute(chain, bound, apply_reduction=apply_reduction)
+    if backend == "numpy":
+        from repro.engine.kernels import compute_prime_structure_numpy
+
+        return compute_prime_structure_numpy(
+            chain, bound, apply_reduction=apply_reduction
+        )
+    raise ValueError(f"unknown backend {backend!r}; use 'python' or 'numpy'")

@@ -1,0 +1,33 @@
+"""The batched partitioning engine — the production front door.
+
+Layers on top of :mod:`repro.core`:
+
+- :mod:`repro.engine.kernels` — NumPy fast-path kernels for the chain
+  pipeline (prefix weights, prime subpaths via ``searchsorted``,
+  membership intervals, the non-redundant-edge reduction), bit-identical
+  to the pure-Python reference;
+- :mod:`repro.engine.cache` — content-fingerprinted prime-structure and
+  result caching with monotone warm-start for sorted-``K`` sweeps;
+- :mod:`repro.engine.batch` — :class:`PartitionEngine` with
+  ``solve``/``solve_many`` (process-pool fan-out, deterministic result
+  ordering) backing the ``repro batch`` CLI subcommand.
+"""
+
+from repro.engine.batch import (
+    OBJECTIVES,
+    PartitionEngine,
+    PartitionQuery,
+    QueryResult,
+)
+from repro.engine.cache import CacheStats, PrimeStructureCache
+from repro.engine.kernels import HAVE_NUMPY
+
+__all__ = [
+    "CacheStats",
+    "HAVE_NUMPY",
+    "OBJECTIVES",
+    "PartitionEngine",
+    "PartitionQuery",
+    "PrimeStructureCache",
+    "QueryResult",
+]

@@ -1,0 +1,279 @@
+"""The batched, cache-aware, optionally parallel partitioning front door.
+
+:class:`PartitionEngine` is the API production callers are expected to
+use: single queries go through :meth:`PartitionEngine.solve` (NumPy
+kernels + the prime-structure cache), and independent query streams go
+through :meth:`PartitionEngine.solve_many`, which fans them across a
+``concurrent.futures`` process pool in chunks while guaranteeing results
+come back **in input order** regardless of pool scheduling.
+
+Queries are plain data (:class:`PartitionQuery`) so they pickle cheaply
+to workers and serialize losslessly to JSONL — the wire format of the
+``repro batch`` CLI subcommand.  Failures are *per query*: an infeasible
+bound yields a :class:`QueryResult` with ``error`` set instead of
+poisoning the whole batch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.feasibility import PartitioningError
+from repro.core.pipeline import partition_chain
+from repro.engine.cache import CacheStats, PrimeStructureCache
+from repro.engine.kernels import HAVE_NUMPY
+from repro.graphs.chain import Chain
+
+#: Objectives accepted by the engine — the same vocabulary as
+#: :func:`repro.core.pipeline.partition_chain`.
+OBJECTIVES = (
+    "bandwidth",
+    "bottleneck",
+    "processors",
+    "bottleneck+processors",
+    "bottleneck+bandwidth",
+)
+
+
+@dataclass(frozen=True)
+class PartitionQuery:
+    """One independent partitioning question: a chain, a bound, an objective.
+
+    ``tag`` is an opaque caller label carried through to the result
+    (request ids, sweep coordinates, ...).
+    """
+
+    alpha: Tuple[float, ...]
+    beta: Tuple[float, ...]
+    bound: float
+    objective: str = "bandwidth"
+    tag: Optional[str] = None
+
+    @classmethod
+    def from_chain(
+        cls,
+        chain: Chain,
+        bound: float,
+        objective: str = "bandwidth",
+        tag: Optional[str] = None,
+    ) -> "PartitionQuery":
+        return cls(tuple(chain.alpha), tuple(chain.beta), bound, objective, tag)
+
+    def chain(self) -> Chain:
+        return Chain(list(self.alpha), list(self.beta))
+
+    @classmethod
+    def from_json(cls, line: str) -> "PartitionQuery":
+        record = json.loads(line)
+        return cls(
+            tuple(float(a) for a in record["alpha"]),
+            tuple(float(b) for b in record.get("beta", [])),
+            float(record["bound"]),
+            record.get("objective", "bandwidth"),
+            record.get("tag"),
+        )
+
+
+@dataclass
+class QueryResult:
+    """The answer to one query, positionally matched to its input.
+
+    ``index`` is the query's position in the submitted batch —
+    ``solve_many`` guarantees ``results[i].index == i``.
+    """
+
+    index: int
+    tag: Optional[str]
+    objective: str
+    bound: float
+    cut_indices: List[int] = field(default_factory=list)
+    weight: float = 0.0
+    num_components: int = 1
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_json(self) -> str:
+        record: Dict = {
+            "index": self.index,
+            "tag": self.tag,
+            "objective": self.objective,
+            "bound": self.bound,
+        }
+        if self.ok:
+            record.update(
+                cut=self.cut_indices,
+                weight=self.weight,
+                components=self.num_components,
+            )
+        else:
+            record["error"] = self.error
+        return json.dumps(record)
+
+
+class PartitionEngine:
+    """Cache-aware partitioning engine with a batched front door.
+
+    Parameters
+    ----------
+    backend:
+        ``"numpy"`` (default when NumPy is importable) or ``"python"``.
+    cache:
+        A :class:`PrimeStructureCache` to share with other engines, or
+        ``None`` to own a private one.
+    max_workers:
+        Default process-pool width for :meth:`solve_many`; ``0``/``1``
+        solves serially in-process (still cached).  ``None`` lets the
+        pool pick ``os.cpu_count()``.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[str] = None,
+        cache: Optional[PrimeStructureCache] = None,
+        max_workers: Optional[int] = 0,
+    ) -> None:
+        if backend is None:
+            backend = "numpy" if HAVE_NUMPY else "python"
+        if backend not in ("python", "numpy"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend = backend
+        self.cache = cache or PrimeStructureCache(backend=backend)
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    # Single queries
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        chain: Chain,
+        bound: float,
+        objective: str = "bandwidth",
+        *,
+        search: str = "binary",
+    ):
+        """Solve one query through the fast path.
+
+        ``"bandwidth"`` (Algorithm 4.1) runs through the prime-structure
+        cache with the configured kernels and ``collect_stats`` off; the
+        other objectives delegate to
+        :func:`repro.core.pipeline.partition_chain` (tree algorithms,
+        uncached).
+        """
+        if objective == "bandwidth":
+            return self.cache.solve(chain, bound, search=search)
+        if objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {objective!r}; expected one of {OBJECTIVES}"
+            )
+        return partition_chain(chain, bound, objective)
+
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats
+
+    # ------------------------------------------------------------------
+    # Batched queries
+    # ------------------------------------------------------------------
+    def solve_many(
+        self,
+        queries: Sequence[PartitionQuery],
+        *,
+        max_workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+    ) -> List[QueryResult]:
+        """Solve independent queries, returning results in input order.
+
+        With ``max_workers`` in ``(0, 1)`` (or at most one query) the
+        batch runs serially through this engine's shared cache — the
+        right mode when many queries hit the same chains.  Otherwise the
+        batch fans out over a process pool: workers are seeded lazily
+        with a per-process engine, ``executor.map`` preserves submission
+        order, and ``chunksize`` (default: balanced across workers)
+        amortizes pickling.
+        """
+        if max_workers is None:
+            max_workers = self.max_workers
+        queries = list(queries)
+        payloads = [
+            (i, q.alpha, q.beta, q.bound, q.objective, q.tag, self.backend)
+            for i, q in enumerate(queries)
+        ]
+        if max_workers in (0, 1) or len(queries) <= 1:
+            return [_solve_payload(p, self) for p in payloads]
+        if max_workers is not None and max_workers < 0:
+            raise ValueError("max_workers must be >= 0")
+        if chunksize is None:
+            width = max_workers or os.cpu_count() or 1
+            chunksize = max(1, len(payloads) // (4 * width))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(
+                pool.map(_solve_payload, payloads, chunksize=chunksize)
+            )
+
+    def solve_jsonl(
+        self,
+        lines: Iterable[str],
+        *,
+        max_workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+    ) -> List[QueryResult]:
+        """Parse JSONL query records and solve them as one batch.
+
+        Raises :class:`ValueError` naming the offending line on a
+        malformed record; solver-level failures (e.g. infeasible
+        bounds) are still captured per-result, not raised.
+        """
+        queries = []
+        for lineno, line in enumerate(lines, 1):
+            if not line.strip():
+                continue
+            try:
+                queries.append(PartitionQuery.from_json(line))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"invalid query record on line {lineno}: {exc!s}"
+                ) from exc
+        return self.solve_many(
+            queries, max_workers=max_workers, chunksize=chunksize
+        )
+
+
+# Per-process engine for pool workers: built on first use so the cache
+# persists across the chunks a worker processes.
+_WORKER_ENGINE: Optional[PartitionEngine] = None
+
+
+def _worker_engine(backend: str) -> PartitionEngine:
+    global _WORKER_ENGINE
+    if _WORKER_ENGINE is None or _WORKER_ENGINE.backend != backend:
+        _WORKER_ENGINE = PartitionEngine(backend=backend, max_workers=0)
+    return _WORKER_ENGINE
+
+
+def _solve_payload(
+    payload: tuple, engine: Optional[PartitionEngine] = None
+) -> QueryResult:
+    """Solve one pickled query; never raises (errors land in the result)."""
+    index, alpha, beta, bound, objective, tag, backend = payload
+    if engine is None:
+        engine = _worker_engine(backend)
+    try:
+        chain = Chain(list(alpha), list(beta))
+        result = engine.solve(chain, bound, objective)
+        return QueryResult(
+            index,
+            tag,
+            objective,
+            bound,
+            list(result.cut_indices),
+            result.weight,
+            result.num_components,
+        )
+    except (PartitioningError, ValueError) as exc:
+        return QueryResult(index, tag, objective, bound, error=str(exc))

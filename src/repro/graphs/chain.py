@@ -15,6 +15,8 @@ stated over.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from itertools import accumulate
 from typing import Iterable, List, Sequence, Tuple
 
@@ -35,7 +37,7 @@ class Chain:
         (or 0 when the chain has a single task).
     """
 
-    __slots__ = ("_alpha", "_beta", "_prefix")
+    __slots__ = ("_alpha", "_beta", "_prefix", "_fingerprint")
 
     def __init__(self, alpha: Sequence[float], beta: Sequence[float]) -> None:
         if not alpha:
@@ -56,6 +58,7 @@ class Chain:
         # prefix[i] = alpha[0] + ... + alpha[i-1]; prefix[0] = 0.
         self._prefix: List[float] = [0.0]
         self._prefix.extend(accumulate(self._alpha))
+        self._fingerprint: str = ""  # computed lazily
 
     # ------------------------------------------------------------------
     # Accessors
@@ -103,6 +106,23 @@ class Chain:
     def cut_weight(self, cut: Iterable[int]) -> float:
         """Total edge weight of a cut given as edge indices (the *bandwidth*)."""
         return sum(self._beta[i] for i in cut)
+
+    def fingerprint(self) -> str:
+        """Content hash of the chain (hex digest, cached after first call).
+
+        Two chains with bit-identical ``alpha``/``beta`` share a
+        fingerprint, even across processes — the key the engine's
+        :class:`~repro.engine.cache.PrimeStructureCache` uses to share
+        preprocessing between queries on equal chains.
+        """
+        if not self._fingerprint:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(struct.pack("<q", len(self._alpha)))
+            digest.update(struct.pack(f"<{len(self._alpha)}d", *self._alpha))
+            if self._beta:
+                digest.update(struct.pack(f"<{len(self._beta)}d", *self._beta))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Cuts and blocks

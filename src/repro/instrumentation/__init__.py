@@ -1,7 +1,7 @@
 """Operation counting, timing and RNG helpers for the experiments."""
 
-from repro.instrumentation.counters import AlgorithmStats, OpCounter
+from repro.instrumentation.counters import NULL_COUNTER, AlgorithmStats, OpCounter
 from repro.instrumentation.rng import spawn_rng
 from repro.instrumentation.stopwatch import Stopwatch
 
-__all__ = ["AlgorithmStats", "OpCounter", "Stopwatch", "spawn_rng"]
+__all__ = ["AlgorithmStats", "NULL_COUNTER", "OpCounter", "Stopwatch", "spawn_rng"]

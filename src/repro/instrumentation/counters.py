@@ -20,18 +20,28 @@ class OpCounter:
     ``counter.add("comparisons", 3)`` bumps a counter;
     ``counter.trace("temp_s_len", 7)`` appends to a series (used for the
     Appendix-B queue-length measurements).
+
+    Pass ``enabled=False`` (or use the shared :data:`NULL_COUNTER`) to
+    get a no-op counter: ``add``/``trace`` return immediately and record
+    nothing, so instrumented code can thread one counter object
+    unconditionally without taxing production calls.
     """
 
-    __slots__ = ("counts", "traces")
+    __slots__ = ("counts", "traces", "enabled")
 
-    def __init__(self) -> None:
+    def __init__(self, enabled: bool = True) -> None:
         self.counts: Dict[str, int] = defaultdict(int)
         self.traces: Dict[str, List[float]] = defaultdict(list)
+        self.enabled = enabled
 
     def add(self, name: str, amount: int = 1) -> None:
+        if not self.enabled:
+            return
         self.counts[name] += amount
 
     def trace(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
         self.traces[name].append(value)
 
     def get(self, name: str) -> int:
@@ -57,6 +67,11 @@ class OpCounter:
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
         return f"OpCounter({inner})"
+
+
+#: Shared disabled counter — safe to pass anywhere an ``OpCounter`` is
+#: accepted; every recording call is a no-op.
+NULL_COUNTER = OpCounter(enabled=False)
 
 
 class AlgorithmStats:

@@ -1,0 +1,175 @@
+"""Unit tests for the batched query runner and the ``repro batch`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.bandwidth import bandwidth_min
+from repro.core.inverse import chain_pareto_frontier, partition_chain_for_processors
+from repro.core.pipeline import partition_chain
+from repro.engine import OBJECTIVES, PartitionEngine, PartitionQuery
+from repro.graphs.generators import random_chain
+
+
+def make_queries(num=12, seed=100):
+    queries = []
+    for i in range(num):
+        chain = random_chain(20 + 5 * i, rng=seed + i)
+        bound = (1.5 + 0.5 * (i % 4)) * chain.max_vertex_weight()
+        queries.append(
+            PartitionQuery.from_chain(chain, bound, tag=f"q{i}")
+        )
+    return queries
+
+
+class TestSolve:
+    def test_bandwidth_matches_reference(self):
+        engine = PartitionEngine()
+        chain = random_chain(80, rng=1)
+        bound = 2.0 * chain.max_vertex_weight()
+        got = engine.solve(chain, bound)
+        ref = bandwidth_min(chain, bound)
+        assert (got.cut_indices, got.weight) == (ref.cut_indices, ref.weight)
+
+    def test_other_objectives_delegate(self):
+        engine = PartitionEngine()
+        chain = random_chain(30, rng=2)
+        bound = 2.0 * chain.max_vertex_weight()
+        for objective in OBJECTIVES:
+            got = engine.solve(chain, bound, objective)
+            ref = partition_chain(chain, bound, objective)
+            assert got.cut_indices == ref.cut_indices
+
+    def test_unknown_objective(self):
+        engine = PartitionEngine()
+        chain = random_chain(10, rng=3)
+        with pytest.raises(ValueError):
+            engine.solve(chain, 100.0, "makespan")
+
+    def test_python_backend(self):
+        engine = PartitionEngine(backend="python")
+        chain = random_chain(50, rng=4)
+        bound = 2.0 * chain.max_vertex_weight()
+        assert engine.solve(chain, bound).weight == bandwidth_min(chain, bound).weight
+
+
+class TestSolveMany:
+    def test_serial_results_in_order(self):
+        engine = PartitionEngine()
+        queries = make_queries()
+        results = engine.solve_many(queries)
+        assert [r.index for r in results] == list(range(len(queries)))
+        assert [r.tag for r in results] == [q.tag for q in queries]
+        for query, result in zip(queries, results):
+            ref = bandwidth_min(query.chain(), query.bound)
+            assert result.ok
+            assert (result.cut_indices, result.weight) == (
+                ref.cut_indices,
+                ref.weight,
+            )
+
+    def test_parallel_matches_serial(self):
+        engine = PartitionEngine()
+        queries = make_queries()
+        serial = engine.solve_many(queries, max_workers=0)
+        parallel = engine.solve_many(queries, max_workers=2, chunksize=1)
+        assert [r.index for r in parallel] == list(range(len(queries)))
+        assert [
+            (r.cut_indices, r.weight, r.num_components) for r in parallel
+        ] == [(r.cut_indices, r.weight, r.num_components) for r in serial]
+
+    def test_errors_are_per_query(self):
+        engine = PartitionEngine()
+        chain = random_chain(10, rng=5)
+        good = PartitionQuery.from_chain(
+            chain, 2.0 * chain.max_vertex_weight(), tag="good"
+        )
+        bad = PartitionQuery.from_chain(
+            chain, 0.1 * chain.max_vertex_weight(), tag="bad"
+        )
+        results = engine.solve_many([good, bad, good])
+        assert [r.ok for r in results] == [True, False, True]
+        assert "below the maximum vertex weight" in results[1].error
+
+    def test_jsonl_round_trip(self):
+        engine = PartitionEngine()
+        queries = make_queries(num=4)
+        lines = [
+            json.dumps(
+                {
+                    "alpha": list(q.alpha),
+                    "beta": list(q.beta),
+                    "bound": q.bound,
+                    "tag": q.tag,
+                }
+            )
+            for q in queries
+        ]
+        results = engine.solve_jsonl(lines)
+        direct = engine.solve_many(queries)
+        assert [r.to_json() for r in results] == [r.to_json() for r in direct]
+
+
+class TestBatchCli:
+    def test_batch_subcommand(self, tmp_path, capsys):
+        chain = random_chain(15, rng=6)
+        records = [
+            {
+                "alpha": list(chain.alpha),
+                "beta": list(chain.beta),
+                "bound": 2.0 * chain.max_vertex_weight(),
+                "tag": "ok",
+            },
+            {
+                "alpha": [5.0, 1.0],
+                "beta": [2.0],
+                "bound": 0.5,
+                "tag": "infeasible",
+            },
+        ]
+        inp = tmp_path / "queries.jsonl"
+        out = tmp_path / "results.jsonl"
+        inp.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        code = main(
+            ["batch", "--input", str(inp), "--output", str(out)]
+        )
+        assert code == 1  # one failed query
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [row["tag"] for row in rows] == ["ok", "infeasible"]
+        assert rows[0]["weight"] == pytest.approx(
+            bandwidth_min(chain, records[0]["bound"]).weight
+        )
+        assert "error" in rows[1]
+
+    def test_batch_all_ok_exit_zero(self, tmp_path):
+        inp = tmp_path / "q.jsonl"
+        out = tmp_path / "r.jsonl"
+        inp.write_text(
+            json.dumps({"alpha": [1, 1, 1], "beta": [1, 1], "bound": 2}) + "\n"
+        )
+        assert main(["batch", "--input", str(inp), "--output", str(out)]) == 0
+
+
+class TestInverseWiring:
+    def test_budget_plan_with_engine_matches(self):
+        chain = random_chain(60, rng=7)
+        engine = PartitionEngine()
+        plain = partition_chain_for_processors(chain, 4)
+        cached = partition_chain_for_processors(chain, 4, engine=engine)
+        assert cached.bound == plain.bound
+        assert (
+            cached.bandwidth_cut.cut_indices == plain.bandwidth_cut.cut_indices
+        )
+
+    def test_chain_pareto_frontier(self):
+        chain = random_chain(50, rng=8)
+        rows = chain_pareto_frontier(chain, 5)
+        assert [row["processors"] for row in rows] == [1, 2, 3, 4, 5]
+        # Bounds tighten as the budget grows; bandwidth can only rise.
+        bounds = [row["bound"] for row in rows]
+        assert bounds == sorted(bounds, reverse=True)
+        for row in rows:
+            plan = partition_chain_for_processors(chain, row["processors"])
+            assert row["bound"] == plan.bound
+            assert row["bandwidth"] == plan.bandwidth_cut.weight

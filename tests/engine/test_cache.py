@@ -1,0 +1,149 @@
+"""Unit tests for the prime-structure cache and its monotone warm-start."""
+
+import pytest
+
+from repro.core.bandwidth import bandwidth_min
+from repro.core.feasibility import InfeasibleBoundError
+from repro.engine.cache import PrimeStructureCache
+from repro.graphs.chain import Chain
+from repro.graphs.generators import random_chain
+
+
+class TestFingerprint:
+    def test_equal_chains_share_fingerprint(self):
+        a = Chain([1.0, 2.0, 3.0], [4.0, 5.0])
+        b = Chain([1.0, 2.0, 3.0], [4.0, 5.0])
+        assert a is not b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_weights_differ(self):
+        a = Chain([1.0, 2.0], [4.0])
+        assert a.fingerprint() != Chain([1.0, 2.5], [4.0]).fingerprint()
+        assert a.fingerprint() != Chain([1.0, 2.0], [4.5]).fingerprint()
+
+    def test_alpha_beta_boundary_is_unambiguous(self):
+        # Same multiset of floats, different alpha/beta split.
+        a = Chain([1.0, 2.0, 3.0], [4.0, 5.0])
+        b = Chain([1.0, 2.0, 3.0, 4.0], [5.0, 5.0, 5.0])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_cached(self):
+        chain = random_chain(100, rng=0)
+        assert chain.fingerprint() is chain.fingerprint()
+
+
+@pytest.fixture(params=["python", "numpy"])
+def cache(request):
+    if request.param == "numpy":
+        pytest.importorskip("numpy")
+    return PrimeStructureCache(backend=request.param)
+
+
+class TestCacheServing:
+    def test_exact_hit(self, cache):
+        chain = random_chain(100, rng=1)
+        bound = 2.0 * chain.max_vertex_weight()
+        first = cache.solve(chain, bound)
+        second = cache.solve(chain, bound)
+        assert second is first
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_equal_chain_different_object_hits(self, cache):
+        chain = random_chain(100, rng=2)
+        clone = Chain(list(chain.alpha), list(chain.beta))
+        bound = 2.0 * chain.max_vertex_weight()
+        cache.solve(chain, bound)
+        cache.solve(clone, bound)
+        assert cache.stats.hits == 1
+
+    def test_results_match_reference(self, cache):
+        chain = random_chain(150, rng=3)
+        wmax = chain.max_vertex_weight()
+        for ratio in (1.0, 1.4, 1.4, 2.0, 2.05, 6.0, 50.0):
+            bound = ratio * wmax
+            got = cache.solve(chain, bound)
+            ref = bandwidth_min(chain, bound)
+            assert got.cut_indices == ref.cut_indices
+            assert got.weight == ref.weight
+
+    def test_monotone_interval_hit(self, cache):
+        # All-equal weights: primes only change when the bound crosses a
+        # multiple of the task weight, so nearby bounds share structures.
+        chain = Chain([2.0] * 50, [1.0] * 49)
+        base = cache.solve(chain, 6.0)  # windows of weight 8 are prime
+        assert cache.stats.misses == 1
+        inside = cache.solve(chain, 7.0)  # < min prime weight (8.0)
+        assert cache.stats.interval_hits == 1
+        assert inside.cut_indices == base.cut_indices
+        assert inside.cut_indices == bandwidth_min(chain, 7.0).cut_indices
+        crossed = cache.solve(chain, 8.0)  # structure must change
+        assert cache.stats.misses == 2
+        assert crossed.cut_indices == bandwidth_min(chain, 8.0).cut_indices
+
+    def test_interval_never_serves_below_computed_bound(self, cache):
+        chain = Chain([2.0] * 50, [1.0] * 49)
+        cache.solve(chain, 6.0)
+        cache.solve(chain, 5.0)  # smaller: must recompute, never reuse up
+        assert cache.stats.interval_hits == 0
+        assert cache.stats.misses == 2
+
+    def test_sorted_sweep_matches_fresh_python(self, cache):
+        # Integer weights give integer prime weights, so every unit
+        # interval of bounds shares one structure; probe sub-unit steps.
+        chain = random_chain(120, rng=4, integer_weights=True)
+        wmax = chain.max_vertex_weight()
+        bounds = sorted(wmax + 0.25 * i for i in range(40))
+        for bound in bounds:
+            got = cache.solve(chain, bound)
+            ref = bandwidth_min(chain, bound)
+            assert (got.cut_indices, got.weight) == (ref.cut_indices, ref.weight)
+        assert cache.stats.lookups == 40
+        # Dense sorted sweeps must not recompute every probe.
+        assert cache.stats.interval_hits + cache.stats.hits > 0
+
+    def test_infeasible_bound_still_raises(self, cache):
+        chain = random_chain(20, rng=5)
+        with pytest.raises(InfeasibleBoundError):
+            cache.solve(chain, 0.5 * chain.max_vertex_weight())
+
+    def test_structure_api(self, cache):
+        chain = random_chain(60, rng=6)
+        bound = 3.0 * chain.max_vertex_weight()
+        structure = cache.structure(chain, bound)
+        from repro.core.prime_subpaths import PrimeStructure
+
+        ref = PrimeStructure.compute(chain, bound)
+        assert structure.primes == ref.primes
+        assert structure.edges == ref.edges
+
+
+class TestEviction:
+    def test_chain_lru(self):
+        cache = PrimeStructureCache(max_chains=2, backend="python")
+        chains = [random_chain(30, rng=seed) for seed in (10, 11, 12)]
+        for chain in chains:
+            cache.solve(chain, 2.0 * chain.max_vertex_weight())
+        assert cache.stats.evictions == 1
+        # chains[0] was evicted: solving it again misses.
+        misses = cache.stats.misses
+        cache.solve(chains[0], 2.0 * chains[0].max_vertex_weight())
+        assert cache.stats.misses == misses + 1
+
+    def test_structure_lru_per_chain(self):
+        cache = PrimeStructureCache(
+            max_structures_per_chain=4, backend="python"
+        )
+        chain = random_chain(40, rng=13)
+        wmax = chain.max_vertex_weight()
+        for i in range(10):
+            cache.solve(chain, wmax * (1.0 + i))
+        assert len(cache) <= 4
+        assert cache.stats.evictions >= 6
+
+    def test_clear(self):
+        cache = PrimeStructureCache(backend="python")
+        chain = random_chain(20, rng=14)
+        cache.solve(chain, 2.0 * chain.max_vertex_weight())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0

@@ -1,0 +1,155 @@
+"""Unit tests for the NumPy fast-path kernels.
+
+The contract is *bit-identical* output to the pure-Python reference on
+every input — the property suite hammers random instances; here we pin
+the known worked example, the degenerate shapes, and the fast TEMP_S
+sweep against the reference queue.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.bandwidth import bandwidth_min
+from repro.core.feasibility import InfeasibleBoundError
+from repro.core.prime_subpaths import PrimeStructure, compute_prime_structure
+from repro.engine import kernels
+from repro.graphs.chain import Chain
+from repro.graphs.generators import random_chain, uniform_chain
+
+FIGURE1 = Chain([4, 3, 5, 2, 6], [7, 1, 9, 2])
+
+
+def assert_structures_equal(chain, bound, apply_reduction=True):
+    ref = PrimeStructure.compute(chain, bound, apply_reduction=apply_reduction)
+    fast = compute_prime_structure(
+        chain, bound, apply_reduction=apply_reduction, backend="numpy"
+    )
+    assert ref.primes == fast.primes
+    assert ref.edges == fast.edges
+    assert ref.q_values == fast.q_values
+    assert ref.p == fast.p and ref.r == fast.r
+
+
+class TestPrimeStructureNumpy:
+    def test_figure1_example(self):
+        assert_structures_equal(FIGURE1, 9)
+
+    def test_single_task(self):
+        assert_structures_equal(Chain([5.0], []), 5.0)
+
+    def test_bound_equals_max_alpha(self):
+        chain = random_chain(50, rng=1)
+        assert_structures_equal(chain, chain.max_vertex_weight())
+
+    def test_bound_swallows_chain(self):
+        chain = random_chain(50, rng=2)
+        fast = compute_prime_structure(
+            chain, chain.total_weight() + 1, backend="numpy"
+        )
+        assert fast.p == 0 and fast.r == 0
+        assert fast.min_prime_weight() == float("inf")
+
+    def test_all_equal_weights(self):
+        chain = uniform_chain(40, vertex_weight=2.0, edge_weight=3.0)
+        for bound in (2.0, 4.0, 6.0, 79.0, 80.0, 81.0):
+            assert_structures_equal(chain, bound)
+
+    def test_no_reduction(self):
+        chain = random_chain(60, rng=3)
+        assert_structures_equal(
+            chain, 2.5 * chain.max_vertex_weight(), apply_reduction=False
+        )
+
+    def test_infeasible_bound_raises(self):
+        with pytest.raises(InfeasibleBoundError):
+            compute_prime_structure(FIGURE1, 5.0, backend="numpy")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            compute_prime_structure(FIGURE1, 9.0, backend="fortran")
+
+    def test_array_structure_statistics_match(self):
+        chain = random_chain(80, rng=4)
+        bound = 3.0 * chain.max_vertex_weight()
+        ref = PrimeStructure.compute(chain, bound)
+        fast = compute_prime_structure(chain, bound, backend="numpy")
+        assert fast.q == pytest.approx(ref.q)
+        assert fast.mean_prime_length() == pytest.approx(ref.mean_prime_length())
+        assert fast.min_prime_weight() == ref.min_prime_weight()
+
+
+class TestMembershipKernel:
+    def test_matches_reference_on_known_chain(self):
+        from repro.core.prime_subpaths import edge_membership_intervals
+
+        primes = PrimeStructure.compute(FIGURE1, 9).primes
+        lo_ref, hi_ref = edge_membership_intervals(primes, FIGURE1.num_edges)
+        first = np.asarray([p.first_edge for p in primes])
+        last = np.asarray([p.last_edge for p in primes])
+        lo, hi = kernels.membership_intervals(first, last, FIGURE1.num_edges)
+        assert lo.tolist() == lo_ref
+        assert hi.tolist() == hi_ref
+
+
+class TestFastSweep:
+    def test_matches_reference_queue(self):
+        chain = random_chain(200, rng=5, vertex_range=(1, 10), edge_range=(1, 100))
+        for ratio in (1.0, 1.3, 2.0, 5.0, 25.0):
+            bound = ratio * chain.max_vertex_weight()
+            ref = bandwidth_min(chain, bound)
+            structure = compute_prime_structure(chain, bound, backend="numpy")
+            cut, weight = kernels.bandwidth_sweep(structure)
+            assert cut == ref.cut_indices
+            assert weight == ref.weight
+
+    def test_accepts_reference_structure(self):
+        structure = PrimeStructure.compute(FIGURE1, 9)
+        cut, weight = kernels.bandwidth_sweep(structure)
+        ref = bandwidth_min(FIGURE1, 9)
+        assert cut == ref.cut_indices and weight == ref.weight
+
+    def test_empty_structure(self):
+        assert kernels.sweep_min_cut([], [], [], []) == ([], 0.0)
+
+
+class TestBandwidthBackendFlag:
+    def test_numpy_backend_same_result(self):
+        chain = random_chain(120, rng=6)
+        bound = 2.0 * chain.max_vertex_weight()
+        ref = bandwidth_min(chain, bound)
+        fast = bandwidth_min(chain, bound, backend="numpy")
+        assert fast.cut_indices == ref.cut_indices
+        assert fast.weight == ref.weight
+
+    def test_numpy_backend_with_stats_falls_back(self):
+        chain = random_chain(60, rng=7)
+        bound = 2.0 * chain.max_vertex_weight()
+        result = bandwidth_min(chain, bound, backend="numpy", collect_stats=True)
+        assert result.stats is not None
+        assert result.stats.p > 0
+
+    def test_precomputed_structure_is_used(self):
+        chain = random_chain(60, rng=8)
+        bound = 2.0 * chain.max_vertex_weight()
+        structure = compute_prime_structure(chain, bound, backend="numpy")
+        result = bandwidth_min(chain, bound, backend="numpy", structure=structure)
+        assert result.weight == bandwidth_min(chain, bound).weight
+
+
+class TestFeasibleComponents:
+    def test_matches_chain_check(self):
+        chain = random_chain(30, rng=9)
+        prefix = kernels.prefix_array(chain)
+        bound = 2.0 * chain.max_vertex_weight()
+        cut = bandwidth_min(chain, bound).cut_indices
+        assert kernels.feasible_components(prefix, cut, bound)
+        assert kernels.feasible_components(prefix, cut, bound) == (
+            chain.is_feasible_cut(cut, bound)
+        )
+
+    def test_detects_overweight_block(self):
+        chain = Chain([3, 3, 3], [1, 1])
+        prefix = kernels.prefix_array(chain)
+        assert not kernels.feasible_components(prefix, [], 5.0)
+        assert kernels.feasible_components(prefix, [0, 1], 5.0)
