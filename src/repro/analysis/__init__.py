@@ -7,12 +7,15 @@
   length claim);
 - :mod:`~repro.analysis.sweeps` — generic deterministic sweep runner;
 - :mod:`~repro.analysis.stats` — small statistics helpers;
-- :mod:`~repro.analysis.tables` — ASCII rendering for harness output.
+- :mod:`~repro.analysis.tables` — ASCII rendering for harness output;
+- :mod:`~repro.analysis.trace_report` — per-phase rendering of
+  observability trace files (``repro report --trace``).
 """
 
 from repro.analysis.figure2 import Fig2Point, figure2_sweep, figure2_weight_sweep
 from repro.analysis.stats import mean, stddev, summarize
 from repro.analysis.tables import render_table
+from repro.analysis.trace_report import render_trace_report
 
 __all__ = [
     "Fig2Point",
@@ -20,6 +23,7 @@ __all__ = [
     "figure2_weight_sweep",
     "mean",
     "render_table",
+    "render_trace_report",
     "stddev",
     "summarize",
 ]

@@ -1,0 +1,122 @@
+"""Human-readable rendering of trace files — ``repro report --trace``.
+
+Takes the record list produced by :mod:`repro.observability.export`
+(live from a tracer/registry, or re-read from a JSONL trace file) and
+prints the per-phase breakdown: one row per span path with call counts,
+wall-clock and the paper's op-counts, followed by the metric
+instruments.  Rendering lives in :mod:`repro.analysis` — the
+observability layer stores and aggregates; presentation is an
+analysis concern.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+from repro.analysis.tables import render_table
+from repro.observability.export import (
+    aggregate_spans,
+    metric_records,
+    span_records,
+)
+
+def phase_table(records: Iterable[Dict[str, Any]]) -> str:
+    """The per-phase breakdown table for a record list."""
+    rows = aggregate_spans(records)
+    if not rows:
+        return "(no spans in trace)"
+    table_rows: List[List[Any]] = []
+    for row in rows:
+        indent = "  " * row["depth"]
+        name = indent + row["path"].rsplit("/", 1)[-1]
+        ops = sum(row["counts"].values())
+        temp_s = row["traces"].get("temp_s_len")
+        table_rows.append(
+            [
+                name,
+                row["calls"],
+                row["total_s"],
+                1e3 * row["mean_s"],
+                row["counts"].get("search_steps", 0),
+                ops,
+                temp_s["mean"] if temp_s else "-",
+                temp_s["max"] if temp_s else "-",
+            ]
+        )
+    return render_table(
+        ["phase", "calls", "total s", "mean ms", "search steps", "ops",
+         "mean |TEMP_S|", "max |TEMP_S|"],
+        table_rows,
+        "Per-phase breakdown",
+    )
+
+
+def metrics_table(records: Iterable[Dict[str, Any]]) -> str:
+    """Counters/gauges first, then histogram percentiles."""
+    metrics = metric_records(records)
+    if not metrics:
+        return ""
+    scalar_rows = [
+        [m["name"], m["type"], m["value"]]
+        for m in metrics
+        if m["type"] in ("counter", "gauge")
+    ]
+    histo_rows = [
+        [m["name"], m["summary"]["count"], m["summary"]["mean"],
+         m["summary"]["p50"], m["summary"]["p90"], m["summary"]["p99"],
+         m["summary"]["max"]]
+        for m in metrics
+        if m["type"] == "histogram"
+    ]
+    parts = []
+    if scalar_rows:
+        parts.append(
+            render_table(["metric", "type", "value"], scalar_rows, "Metrics")
+        )
+    if histo_rows:
+        parts.append(
+            render_table(
+                ["histogram", "count", "mean", "p50", "p90", "p99", "max"],
+                histo_rows,
+                "Latency / distribution metrics",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def figure2_line(records: Iterable[Dict[str, Any]]) -> str:
+    """One-line cost-model summary when a traced solve is present."""
+    for record in span_records(records):
+        attrs = record.get("attrs", {})
+        if "p_log_q" in attrs:
+            return (
+                f"cost model: n={attrs.get('n', '?')} p={attrs.get('p')} "
+                f"q={attrs.get('q', 0):.2f} p log q={attrs.get('p_log_q', 0):.1f}"
+            )
+    return ""
+
+
+def render_trace_report(records: Iterable[Dict[str, Any]]) -> str:
+    """The full ``repro report --trace`` output for a record list."""
+    records = list(records)
+    meta = next((r for r in records if r.get("kind") == "meta"), None)
+    parts: List[str] = []
+    if meta:
+        described = {
+            k: v
+            for k, v in meta.items()
+            if k not in ("kind", "schema") and not isinstance(v, (dict, list))
+        }
+        if described:
+            parts.append(
+                "trace: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(described.items()))
+            )
+    line = figure2_line(records)
+    if line:
+        parts.append(line)
+    parts.append(phase_table(records))
+    metrics = metrics_table(records)
+    if metrics:
+        parts.append(metrics)
+    return "\n\n".join(parts)

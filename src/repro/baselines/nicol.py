@@ -24,8 +24,26 @@ from repro.core.feasibility import validate_bound
 from repro.graphs.chain import Chain
 
 
-def bandwidth_min_nlogn(chain: Chain, bound: float) -> ChainCutResult:
-    """Exact minimum-bandwidth load-bounded cut in ``O(n log n)``."""
+def bandwidth_min_nlogn(chain: Chain, bound: float, tracer=None) -> ChainCutResult:
+    """Exact minimum-bandwidth load-bounded cut in ``O(n log n)``.
+
+    An enabled ``tracer`` wraps the DP in a ``nicol_dp_sweep`` span
+    counting heap pushes and lazy pops — the baseline's analogue of the
+    paper's search steps, so traced comparisons against Algorithm 4.1
+    measure both sides in the same units.
+    """
+    traced = tracer is not None and tracer.enabled
+    if not traced:
+        return _nlogn_impl(chain, bound)
+    with tracer.span(
+        "nicol_dp_sweep", n=chain.num_tasks, bound=bound
+    ) as span:
+        result = _nlogn_impl(chain, bound, span)
+        span.set("weight", result.weight)
+    return result
+
+
+def _nlogn_impl(chain: Chain, bound: float, span=None) -> ChainCutResult:
     validate_bound(chain.alpha, bound)
     n = chain.num_tasks
     prefix = chain.prefix_weights()
@@ -41,12 +59,17 @@ def bandwidth_min_nlogn(chain: Chain, bound: float) -> ChainCutResult:
     heap: List[Tuple[float, int]] = [(0.0, -1)]  # (cost, cut index)
     window_start = -1  # smallest predecessor index still in the window
     next_candidate = 0
+    counting = span is not None
+    heap_pushes = 0
+    heap_pops = 0
 
     for j in range(num_edges):
         while next_candidate < j:
             i = next_candidate
             if cost[i] < INF:
                 heapq.heappush(heap, (cost[i], i))
+                if counting:
+                    heap_pushes += 1
             next_candidate += 1
         # Advance the window start past infeasible predecessors.
         while (
@@ -57,6 +80,8 @@ def bandwidth_min_nlogn(chain: Chain, bound: float) -> ChainCutResult:
         # Lazily drop heap entries that fell out of the window.
         while heap and heap[0][1] < window_start:
             heapq.heappop(heap)
+            if counting:
+                heap_pops += 1
         if heap and prefix[j + 1] - prefix[heap[0][1] + 1] <= bound:
             best, best_i = heap[0]
             cost[j] = best + beta[j]
@@ -70,6 +95,9 @@ def bandwidth_min_nlogn(chain: Chain, bound: float) -> ChainCutResult:
             best_j = j
     assert best_j != -2
 
+    if counting:
+        span.add("heap_pushes", heap_pushes)
+        span.add("heap_pops", heap_pops)
     cut: List[int] = []
     j = best_j
     while j >= 0:

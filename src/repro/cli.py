@@ -12,12 +12,19 @@ an ASCII table (see DESIGN.md's experiment index):
 - ``realtime``  — the Section-3 real-time planning demo;
 - ``circuit``   — the Section-3 distributed-simulation demo.
 
-Production entry point:
+Production entry points:
 
 - ``batch``     — solve a JSONL stream of independent ``(chain, bound,
   objective)`` queries through the cached, vectorized
   :class:`repro.engine.PartitionEngine`, optionally fanned across a
   process pool; results come back in input order.
+- ``run``       — solve one generated workload under the observability
+  tracer and print the per-phase breakdown (spans, op-counts, the
+  paper's ``p``/``q``/``p log q``); ``--trace FILE`` exports the spans
+  and metrics as JSONL.
+- ``report --trace FILE`` — re-render a previously captured trace
+  (from ``run --trace`` or ``batch --trace``) without re-running
+  anything.
 """
 
 from __future__ import annotations
@@ -309,10 +316,52 @@ def _cmd_sync(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis.trace_report import render_trace_report
+    from repro.core.bandwidth import bandwidth_min
+    from repro.graphs.generators import random_chain
+    from repro.observability import Tracer, trace_records, write_trace
+
+    chain = random_chain(args.n, rng=args.seed)
+    bound = args.k_ratio * chain.max_vertex_weight()
+    tracer = Tracer()
+    result = bandwidth_min(
+        chain, bound, backend=args.backend, search=args.search, tracer=tracer
+    )
+    if args.baseline:
+        from repro.baselines.nicol import bandwidth_min_nlogn
+
+        baseline = bandwidth_min_nlogn(chain, bound, tracer=tracer)
+        assert baseline.weight == result.weight
+    meta = {
+        "workload": "random_chain",
+        "n": args.n,
+        "k_ratio": args.k_ratio,
+        "seed": args.seed,
+        "backend": args.backend,
+        "search": args.search,
+    }
+    print(
+        f"bandwidth_min: n={args.n}, K={bound:.2f} -> "
+        f"weight {result.weight:.4f}, {result.num_components} components"
+    )
+    print()
+    print(render_trace_report(trace_records(tracer, meta=meta)))
+    if args.trace:
+        count = write_trace(args.trace, tracer=tracer, meta=meta)
+        print(f"\nwrote {count} trace records to {args.trace}", file=sys.stderr)
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.engine import PartitionEngine
 
-    engine = PartitionEngine(backend=args.backend)
+    if args.trace:
+        from repro.observability import Tracer
+
+        engine = PartitionEngine(backend=args.backend, tracer=Tracer())
+    else:
+        engine = PartitionEngine(backend=args.backend)
     try:
         if args.input == "-":
             lines = sys.stdin.readlines()
@@ -337,6 +386,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             if payload:
                 handle.write(payload + "\n")
+    if args.trace:
+        from repro.observability import write_trace
+
+        batch = engine.last_batch_stats
+        count = write_trace(
+            args.trace,
+            tracer=engine.tracer,
+            metrics=engine.snapshot_metrics(),
+            meta={"workload": "batch", "input": args.input,
+                  "batch": batch.as_dict() if batch else None},
+            extra_spans=batch.trace_records if batch else None,
+        )
+        print(f"batch: wrote {count} trace records to {args.trace}",
+              file=sys.stderr)
     failed = sum(1 for r in results if not r.ok)
     if failed:
         print(
@@ -348,6 +411,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.trace:
+        from repro.analysis.trace_report import render_trace_report
+        from repro.observability import read_trace
+
+        try:
+            records = read_trace(args.trace)
+        except OSError as exc:
+            print(f"report: cannot read {args.trace}: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"report: {exc}", file=sys.stderr)
+            return 2
+        print(render_trace_report(records))
+        return 0
     from repro.analysis.report import render_report, run_report
 
     claims = run_report(quick=not args.full)
@@ -462,6 +539,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_sync)
 
     p = sub.add_parser(
+        "run",
+        help="solve one traced workload and print the per-phase breakdown",
+        description=(
+            "Generate a random chain, solve it with Algorithm 4.1 under "
+            "the observability tracer, and print the per-phase span "
+            "breakdown (wall-clock, search steps, TEMP_S lengths, p/q/"
+            "p log q).  --trace exports the spans as JSONL for later "
+            "'repro report --trace' inspection."
+        ),
+    )
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--k-ratio", type=float, default=4.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", choices=["python", "numpy"], default="python")
+    p.add_argument("--search", choices=["binary", "linear"], default="binary")
+    p.add_argument("--baseline", action="store_true",
+                   help="also run the traced Nicol O(n log n) baseline")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write span/metric records to FILE as JSONL")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
         "batch",
         help="solve a JSONL stream of partitioning queries via the engine",
         description=(
@@ -480,13 +579,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="queries pickled per pool task (default: balanced)")
     p.add_argument("--backend", choices=["numpy", "python"], default=None,
                    help="kernel backend (default: numpy when available)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="trace the batch and write span/metric JSONL to FILE")
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser(
-        "report", help="run every experiment and print PASS/FAIL verdicts"
+        "report",
+        help="run every experiment and print PASS/FAIL verdicts, or "
+             "render a trace file",
     )
     p.add_argument("--full", action="store_true",
                    help="larger instances (slower, closer to EXPERIMENTS.md)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="render the per-phase breakdown of a trace JSONL "
+                        "instead of running experiments")
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("fig2plot", help="ASCII plot of the Figure-2 curves")

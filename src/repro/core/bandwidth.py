@@ -91,6 +91,7 @@ def bandwidth_min(
     collect_stats: bool = False,
     backend: str = "python",
     structure=None,
+    tracer=None,
 ) -> ChainCutResult:
     """Minimum-bandwidth load-bounded cut of a chain — Algorithm 4.1.
 
@@ -119,20 +120,96 @@ def bandwidth_min(
         A precomputed prime structure for ``(chain, bound)`` — the engine
         cache passes one to skip the ``O(n)`` preprocessing entirely.
         Must match ``chain``/``bound``/``apply_reduction``.
+    tracer:
+        A :class:`repro.observability.Tracer` (or ``None``).  An enabled
+        tracer records nested spans — preprocessing, TEMP_S sweep — whose
+        attributes and op-counts reproduce :class:`AlgorithmStats`
+        exactly (same counter object, same expressions); it forces the
+        counted reference sweep, so traced runs pay the ``collect_stats``
+        constant.  ``None``/disabled costs two branches.
     """
+    traced = tracer is not None and tracer.enabled
+    if not traced:
+        return _bandwidth_min_impl(
+            chain, bound, apply_reduction, search, collect_stats, backend,
+            structure,
+        )
+    with tracer.span(
+        "bandwidth_min",
+        n=chain.num_tasks,
+        bound=bound,
+        backend=backend,
+        search=search,
+    ) as root:
+        result = _bandwidth_min_impl(
+            chain, bound, apply_reduction, search, collect_stats, backend,
+            structure, tracer, root,
+        )
+        root.set("weight", result.weight)
+        root.set("components", result.num_components)
+    return result
+
+
+def _bandwidth_min_impl(
+    chain: Chain,
+    bound: float,
+    apply_reduction: bool,
+    search: str,
+    collect_stats: bool,
+    backend: str,
+    structure,
+    tracer=None,
+    root=None,
+) -> ChainCutResult:
+    """Algorithm 4.1 proper.  ``tracer``/``root`` are only passed for
+    traced runs; the untraced path is branch-for-branch the seed code."""
+    traced = root is not None
     validate_bound(chain.alpha, bound)
     if structure is None:
-        structure = compute_prime_structure(
-            chain, bound, apply_reduction=apply_reduction, backend=backend
-        )
-    if backend == "numpy" and not collect_stats and search == "binary":
+        if traced:
+            with tracer.span("prime_structure") as sp:
+                structure = compute_prime_structure(
+                    chain,
+                    bound,
+                    apply_reduction=apply_reduction,
+                    backend=backend,
+                    tracer=tracer,
+                )
+                sp.set("p", structure.p)
+                sp.set("r", structure.r)
+        else:
+            structure = compute_prime_structure(
+                chain, bound, apply_reduction=apply_reduction, backend=backend
+            )
+    elif traced:
+        root.set("structure_reused", True)
+    if traced:
+        # The Figure-2 quantities live on the root span so one record
+        # carries the whole cost model (p, q, p log q) for this query.
+        root.set("p", structure.p)
+        root.set("r", structure.r)
+        q = structure.q
+        root.set("q", q)
+        import math
+
+        root.set("p_log_q", structure.p * math.log2(q) if q > 1.0 else 0.0)
+    if backend == "numpy" and not collect_stats and search == "binary" and not traced:
         # Fast path: flat-column sweep from the engine kernels (identical
         # output; imported lazily to keep core importable without NumPy).
         from repro.engine.kernels import bandwidth_sweep
 
         cut, weight = bandwidth_sweep(structure)
         return ChainCutResult(chain, cut, weight)
-    counter = OpCounter() if collect_stats else None
+    if traced:
+        sweep_span = tracer.span("temp_s_sweep", r=structure.r)
+        sweep_span.__enter__()
+        # The span's own counter feeds TEMP_S, so exported search-step
+        # counts and queue-length traces are the measured values, not a
+        # parallel estimate.
+        counter: Optional[OpCounter] = sweep_span.counter
+    else:
+        sweep_span = None
+        counter = OpCounter() if collect_stats else None
     queue = TempSQueue(search=search, counter=counter)
 
     final_sol: Optional[SolutionNode] = None
@@ -158,6 +235,8 @@ def bandwidth_min(
         bottom = queue.bottom
         final_sol = bottom.sol
         final_weight = bottom.w
+    if sweep_span is not None:
+        sweep_span.__exit__(None, None, None)
 
     cut_indices = final_sol.edge_indices() if final_sol is not None else []
     stats: Optional[AlgorithmStats] = None

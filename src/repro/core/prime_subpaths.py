@@ -272,6 +272,7 @@ def compute_prime_structure(
     bound: float,
     apply_reduction: bool = True,
     backend: str = "python",
+    tracer=None,
 ):
     """Backend dispatcher for the ``O(n)`` preprocessing.
 
@@ -281,13 +282,28 @@ def compute_prime_structure(
     with identical rows.  Both satisfy the same interface, so callers
     (Algorithm 4.1, the naive recurrence, the Figure-2 sweeps) never
     need to know which one they hold.
+
+    ``tracer`` (a :class:`repro.observability.Tracer`) records the two
+    preprocessing phases as nested spans with the paper's quantities
+    (``p``, ``r``) attached; ``None`` or a disabled tracer costs one
+    branch.
     """
     if backend == "python":
-        return PrimeStructure.compute(chain, bound, apply_reduction=apply_reduction)
+        if tracer is None or not tracer.enabled:
+            return PrimeStructure.compute(
+                chain, bound, apply_reduction=apply_reduction
+            )
+        with tracer.span("find_primes", n=chain.num_tasks, bound=bound) as sp:
+            primes = find_prime_subpaths(chain, bound)
+            sp.set("p", len(primes))
+        with tracer.span("reduce_edges", num_edges=chain.num_edges) as sp:
+            edges = reduce_edges(chain, primes, apply_reduction=apply_reduction)
+            sp.set("r", len(edges))
+        return PrimeStructure(chain, bound, primes, edges)
     if backend == "numpy":
         from repro.engine.kernels import compute_prime_structure_numpy
 
         return compute_prime_structure_numpy(
-            chain, bound, apply_reduction=apply_reduction
+            chain, bound, apply_reduction=apply_reduction, tracer=tracer
         )
     raise ValueError(f"unknown backend {backend!r}; use 'python' or 'numpy'")

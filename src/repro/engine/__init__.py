@@ -15,6 +15,7 @@ Layers on top of :mod:`repro.core`:
 
 from repro.engine.batch import (
     OBJECTIVES,
+    BatchStats,
     PartitionEngine,
     PartitionQuery,
     QueryResult,
@@ -23,6 +24,7 @@ from repro.engine.cache import CacheStats, PrimeStructureCache
 from repro.engine.kernels import HAVE_NUMPY
 
 __all__ = [
+    "BatchStats",
     "CacheStats",
     "HAVE_NUMPY",
     "OBJECTIVES",

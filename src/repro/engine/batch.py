@@ -12,21 +12,33 @@ to workers and serialize losslessly to JSONL — the wire format of the
 ``repro batch`` CLI subcommand.  Failures are *per query*: an infeasible
 bound yields a :class:`QueryResult` with ``error`` set instead of
 poisoning the whole batch.
+
+Telemetry is *not* dropped at the process boundary: every result comes
+back with a small ``telemetry`` dict (wall-clock, cache-stats delta,
+and — when the engine's tracer is enabled — the worker's serialized
+span records), and :meth:`PartitionEngine.solve_many` folds them, in
+query order, into a :class:`BatchStats` left on
+``engine.last_batch_stats`` plus the engine's
+:class:`~repro.observability.metrics.MetricsRegistry`.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.feasibility import PartitioningError
 from repro.core.pipeline import partition_chain
 from repro.engine.cache import CacheStats, PrimeStructureCache
 from repro.engine.kernels import HAVE_NUMPY
 from repro.graphs.chain import Chain
+from repro.instrumentation.counters import OpCounter
+from repro.observability.metrics import Histogram, MetricsRegistry
+from repro.observability.spans import NULL_TRACER, Tracer
 
 #: Objectives accepted by the engine — the same vocabulary as
 #: :func:`repro.core.pipeline.partition_chain`.
@@ -94,6 +106,12 @@ class QueryResult:
     weight: float = 0.0
     num_components: int = 1
     error: Optional[str] = None
+    #: Per-query measurement shipped back from the solving process:
+    #: ``duration_s``, a ``cache`` hit/miss delta, and (traced runs
+    #: only) ``spans``.  Excluded from :meth:`to_json` — the JSONL wire
+    #: format carries answers; telemetry is aggregated by the engine
+    #: and exported through trace files instead.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -117,6 +135,86 @@ class QueryResult:
         return json.dumps(record)
 
 
+class BatchStats:
+    """Deterministically merged telemetry from one ``solve_many`` call.
+
+    Workers serialize their measurements with each result; the engine
+    folds them back in query order, so two runs of the same batch yield
+    identical aggregates (latency histograms aside, which depend on
+    wall-clock but merge in the same order).
+    """
+
+    __slots__ = (
+        "queries",
+        "failures",
+        "cache",
+        "counter",
+        "latency",
+        "trace_records",
+        "wall_s",
+        "workers",
+    )
+
+    def __init__(self, workers: int = 0) -> None:
+        self.queries = 0
+        self.failures = 0
+        #: Summed per-query cache deltas (worker-side caches included).
+        self.cache = CacheStats()
+        #: Op-counts summed out of every worker span (search steps, ...).
+        self.counter = OpCounter()
+        #: Per-query wall-clock, measured in the solving process.
+        self.latency = Histogram("batch.query_latency_s")
+        #: Worker span records in query order, each tagged ``query_index``.
+        self.trace_records: List[Dict[str, Any]] = []
+        self.wall_s = 0.0
+        self.workers = workers
+
+    def absorb(self, result: "QueryResult") -> None:
+        """Fold one result's telemetry in (call in index order)."""
+        self.queries += 1
+        if not result.ok:
+            self.failures += 1
+        telemetry = result.telemetry
+        if not telemetry:
+            return
+        self.latency.observe(telemetry.get("duration_s", 0.0))
+        delta = telemetry.get("cache")
+        if delta:
+            self.cache.hits += delta.get("hits", 0)
+            self.cache.interval_hits += delta.get("interval_hits", 0)
+            self.cache.misses += delta.get("misses", 0)
+            self.cache.evictions += delta.get("evictions", 0)
+        for record in telemetry.get("spans", ()):
+            tagged = dict(record)
+            tagged["query_index"] = result.index
+            self.trace_records.append(tagged)
+            for name, value in record.get("counts", {}).items():
+                self.counter.add(name, value)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "queries": self.queries,
+            "failures": self.failures,
+            "workers": self.workers,
+            "wall_s": self.wall_s,
+            "cache": {
+                "hits": self.cache.hits,
+                "interval_hits": self.cache.interval_hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "hit_rate": self.cache.hit_rate,
+            },
+            "counts": self.counter.as_dict(),
+            "latency": self.latency.summary(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchStats(queries={self.queries}, failures={self.failures}, "
+            f"cache_hit_rate={self.cache.hit_rate:.2f})"
+        )
+
+
 class PartitionEngine:
     """Cache-aware partitioning engine with a batched front door.
 
@@ -131,6 +229,16 @@ class PartitionEngine:
         Default process-pool width for :meth:`solve_many`; ``0``/``1``
         solves serially in-process (still cached).  ``None`` lets the
         pool pick ``os.cpu_count()``.
+    tracer:
+        A :class:`repro.observability.Tracer`.  Disabled by default —
+        single-query solves then take exactly the untraced fast path.
+        When enabled, ``solve`` records nested spans and per-query
+        latency metrics, and ``solve_many`` workers trace each query
+        and ship the span records back.
+    metrics:
+        A :class:`repro.observability.MetricsRegistry` to share, or
+        ``None`` to own a private one.  Batch aggregates always land
+        here (they cost nothing on the single-query path).
     """
 
     def __init__(
@@ -138,6 +246,8 @@ class PartitionEngine:
         backend: Optional[str] = None,
         cache: Optional[PrimeStructureCache] = None,
         max_workers: Optional[int] = 0,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if backend is None:
             backend = "numpy" if HAVE_NUMPY else "python"
@@ -146,6 +256,9 @@ class PartitionEngine:
         self.backend = backend
         self.cache = cache or PrimeStructureCache(backend=backend)
         self.max_workers = max_workers
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.last_batch_stats: Optional[BatchStats] = None
 
     # ------------------------------------------------------------------
     # Single queries
@@ -166,16 +279,52 @@ class PartitionEngine:
         :func:`repro.core.pipeline.partition_chain` (tree algorithms,
         uncached).
         """
-        if objective == "bandwidth":
-            return self.cache.solve(chain, bound, search=search)
-        if objective not in OBJECTIVES:
-            raise ValueError(
-                f"unknown objective {objective!r}; expected one of {OBJECTIVES}"
-            )
-        return partition_chain(chain, bound, objective)
+        if not self.tracer.enabled:
+            if objective == "bandwidth":
+                return self.cache.solve(chain, bound, search=search)
+            if objective not in OBJECTIVES:
+                raise ValueError(
+                    f"unknown objective {objective!r}; expected one of {OBJECTIVES}"
+                )
+            return partition_chain(chain, bound, objective)
+        t0 = time.perf_counter()
+        with self.tracer.span(
+            "engine_solve", objective=objective, n=chain.num_tasks, bound=bound
+        ):
+            if objective == "bandwidth":
+                result = self.cache.solve(
+                    chain, bound, search=search, tracer=self.tracer
+                )
+            elif objective not in OBJECTIVES:
+                raise ValueError(
+                    f"unknown objective {objective!r}; expected one of {OBJECTIVES}"
+                )
+            else:
+                result = partition_chain(chain, bound, objective)
+        self.metrics.counter("engine.queries").inc()
+        self.metrics.histogram("engine.query_latency_s").observe(
+            time.perf_counter() - t0
+        )
+        return result
 
     def cache_stats(self) -> CacheStats:
         return self.cache.stats
+
+    def snapshot_metrics(self) -> MetricsRegistry:
+        """The engine's registry with current cache gauges folded in.
+
+        Cache hit/miss counts accumulate on :class:`CacheStats` (no
+        per-lookup metric cost); this snapshot mirrors them into the
+        registry so one export carries everything.
+        """
+        stats = self.cache.stats
+        self.metrics.gauge("engine.cache.hits").set(stats.hits)
+        self.metrics.gauge("engine.cache.interval_hits").set(stats.interval_hits)
+        self.metrics.gauge("engine.cache.misses").set(stats.misses)
+        self.metrics.gauge("engine.cache.evictions").set(stats.evictions)
+        self.metrics.gauge("engine.cache.hit_rate").set(stats.hit_rate)
+        self.metrics.gauge("engine.cache.entries").set(len(self.cache))
+        return self.metrics
 
     # ------------------------------------------------------------------
     # Batched queries
@@ -200,21 +349,55 @@ class PartitionEngine:
         if max_workers is None:
             max_workers = self.max_workers
         queries = list(queries)
+        trace = self.tracer.enabled
         payloads = [
-            (i, q.alpha, q.beta, q.bound, q.objective, q.tag, self.backend)
+            (i, q.alpha, q.beta, q.bound, q.objective, q.tag, self.backend,
+             trace)
             for i, q in enumerate(queries)
         ]
+        t0 = time.perf_counter()
         if max_workers in (0, 1) or len(queries) <= 1:
-            return [_solve_payload(p, self) for p in payloads]
-        if max_workers is not None and max_workers < 0:
-            raise ValueError("max_workers must be >= 0")
-        if chunksize is None:
-            width = max_workers or os.cpu_count() or 1
-            chunksize = max(1, len(payloads) // (4 * width))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(
-                pool.map(_solve_payload, payloads, chunksize=chunksize)
-            )
+            workers = 0
+            results = [_solve_payload(p, self) for p in payloads]
+        else:
+            if max_workers is not None and max_workers < 0:
+                raise ValueError("max_workers must be >= 0")
+            workers = max_workers or os.cpu_count() or 1
+            if chunksize is None:
+                chunksize = max(1, len(payloads) // (4 * workers))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                results = list(
+                    pool.map(_solve_payload, payloads, chunksize=chunksize)
+                )
+        self._aggregate_batch(results, workers, time.perf_counter() - t0)
+        return results
+
+    def _aggregate_batch(
+        self, results: List[QueryResult], workers: int, wall_s: float
+    ) -> None:
+        """Merge per-result telemetry into ``last_batch_stats`` and the
+        engine registry — the fix for workers silently discarding their
+        ``OpCounter``/``CacheStats``.  Results arrive (and are folded)
+        in query order, so the aggregate is deterministic."""
+        batch = BatchStats(workers=workers)
+        batch.wall_s = wall_s
+        for result in results:
+            batch.absorb(result)
+        self.last_batch_stats = batch
+        metrics = self.metrics
+        metrics.counter("engine.batch.batches").inc()
+        metrics.counter("engine.batch.queries").inc(batch.queries)
+        metrics.counter("engine.batch.failures").inc(batch.failures)
+        metrics.counter("engine.batch.cache_hits").inc(
+            batch.cache.hits + batch.cache.interval_hits
+        )
+        metrics.counter("engine.batch.cache_misses").inc(batch.cache.misses)
+        metrics.gauge("engine.batch.workers").set(workers)
+        metrics.gauge("engine.batch.queue_depth").set(batch.queries)
+        metrics.histogram("engine.batch.wall_s").observe(wall_s)
+        metrics.histogram("engine.batch.query_latency_s").values.extend(
+            batch.latency.values
+        )
 
     def solve_jsonl(
         self,
@@ -256,17 +439,45 @@ def _worker_engine(backend: str) -> PartitionEngine:
     return _WORKER_ENGINE
 
 
+def _solve_one(
+    engine: PartitionEngine,
+    chain: Chain,
+    bound: float,
+    objective: str,
+    tracer: Optional[Tracer],
+):
+    """One query against an engine's cache, optionally under a tracer."""
+    if objective == "bandwidth":
+        return engine.cache.solve(chain, bound, tracer=tracer)
+    if objective not in OBJECTIVES:
+        raise ValueError(
+            f"unknown objective {objective!r}; expected one of {OBJECTIVES}"
+        )
+    return partition_chain(chain, bound, objective)
+
+
 def _solve_payload(
     payload: tuple, engine: Optional[PartitionEngine] = None
 ) -> QueryResult:
-    """Solve one pickled query; never raises (errors land in the result)."""
-    index, alpha, beta, bound, objective, tag, backend = payload
+    """Solve one pickled query; never raises (errors land in the result).
+
+    Always measures wall-clock and the cache-stats delta (a handful of
+    int reads — noise next to pickling); when the batch was submitted
+    with tracing on, also runs the query under a fresh per-query tracer
+    and serializes its spans into ``telemetry["spans"]``, which is how
+    worker-process spans cross back to the parent engine.
+    """
+    index, alpha, beta, bound, objective, tag, backend, trace = payload
     if engine is None:
         engine = _worker_engine(backend)
+    stats = engine.cache.stats
+    before = (stats.hits, stats.interval_hits, stats.misses, stats.evictions)
+    tracer = Tracer() if trace else None
+    t0 = time.perf_counter()
     try:
         chain = Chain(list(alpha), list(beta))
-        result = engine.solve(chain, bound, objective)
-        return QueryResult(
+        result = _solve_one(engine, chain, bound, objective, tracer)
+        answer = QueryResult(
             index,
             tag,
             objective,
@@ -276,4 +487,19 @@ def _solve_payload(
             result.num_components,
         )
     except (PartitioningError, ValueError) as exc:
-        return QueryResult(index, tag, objective, bound, error=str(exc))
+        answer = QueryResult(index, tag, objective, bound, error=str(exc))
+    duration = time.perf_counter() - t0
+    stats = engine.cache.stats  # clear() swaps the object; re-read
+    telemetry: Dict[str, Any] = {
+        "duration_s": duration,
+        "cache": {
+            "hits": stats.hits - before[0],
+            "interval_hits": stats.interval_hits - before[1],
+            "misses": stats.misses - before[2],
+            "evictions": stats.evictions - before[3],
+        },
+    }
+    if tracer is not None:
+        telemetry["spans"] = tracer.records()
+    answer.telemetry = telemetry
+    return answer

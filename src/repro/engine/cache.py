@@ -166,7 +166,7 @@ class PrimeStructureCache:
         return None
 
     def _compute(
-        self, entry: _ChainEntry, bound: float, apply_reduction: bool
+        self, entry: _ChainEntry, bound: float, apply_reduction: bool, tracer=None
     ) -> _CachedSolve:
         if self.backend == "numpy":
             from repro.engine.kernels import compute_prime_structure_numpy
@@ -177,10 +177,12 @@ class PrimeStructureCache:
                 apply_reduction=apply_reduction,
                 prefix=entry.prefix,
                 beta=entry.beta,
+                tracer=tracer,
             )
         else:
             structure = compute_prime_structure(
-                entry.chain, bound, apply_reduction=apply_reduction
+                entry.chain, bound, apply_reduction=apply_reduction,
+                tracer=tracer,
             )
         cached = _CachedSolve(structure, bound)
         entry.structures[(bound, apply_reduction)] = cached
@@ -193,14 +195,16 @@ class PrimeStructureCache:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def structure(self, chain: Chain, bound: float, apply_reduction: bool = True):
+    def structure(
+        self, chain: Chain, bound: float, apply_reduction: bool = True, tracer=None
+    ):
         """The prime structure for ``(chain, bound)`` — cached, warm-started,
         or freshly computed with the configured backend."""
         entry = self._entry(chain)
         validate_bound_array(entry.alpha_max, bound)
         cached = self._lookup(entry, bound, apply_reduction)
         if cached is None:
-            cached = self._compute(entry, bound, apply_reduction)
+            cached = self._compute(entry, bound, apply_reduction, tracer=tracer)
         return cached.structure
 
     def solve(
@@ -210,6 +214,7 @@ class PrimeStructureCache:
         *,
         apply_reduction: bool = True,
         search: str = "binary",
+        tracer=None,
     ) -> ChainCutResult:
         """Algorithm 4.1 through the cache.
 
@@ -218,14 +223,55 @@ class PrimeStructureCache:
         TEMP_S sweep runs once over the (cached or fresh) structure and
         its result is memoized for the structure's whole stability
         interval.
+
+        An enabled ``tracer`` records a ``cache_solve`` span whose
+        ``outcome`` attribute distinguishes exact hits, interval
+        (warm-start) hits and misses, and whether a sweep actually ran;
+        ``None``/disabled tracing costs one branch.
         """
+        if tracer is None or not tracer.enabled:
+            return self._solve_impl(chain, bound, apply_reduction, search)
+        with tracer.span(
+            "cache_solve", n=chain.num_tasks, bound=bound, search=search
+        ) as span:
+            before = (
+                self.stats.hits, self.stats.interval_hits, self.stats.misses,
+            )
+            result = self._solve_impl(
+                chain, bound, apply_reduction, search, tracer=tracer, span=span
+            )
+            hits, interval_hits, misses = (
+                self.stats.hits - before[0],
+                self.stats.interval_hits - before[1],
+                self.stats.misses - before[2],
+            )
+            span.set(
+                "outcome",
+                "miss" if misses else ("interval_hit" if interval_hits else "hit"),
+            )
+            span.add("cache_hits", hits)
+            span.add("cache_interval_hits", interval_hits)
+            span.add("cache_misses", misses)
+        return result
+
+    def _solve_impl(
+        self,
+        chain: Chain,
+        bound: float,
+        apply_reduction: bool,
+        search: str,
+        tracer=None,
+        span=None,
+    ) -> ChainCutResult:
         entry = self._entry(chain)
         validate_bound_array(entry.alpha_max, bound)
         cached = self._lookup(entry, bound, apply_reduction)
         if cached is None:
-            cached = self._compute(entry, bound, apply_reduction)
+            cached = self._compute(entry, bound, apply_reduction, tracer=tracer)
         result = cached.results.get(search)
         if result is None:
+            if span is not None:
+                span.set("sweep_ran", True)
             if search == "binary":
                 from repro.engine.kernels import bandwidth_sweep
 
@@ -240,6 +286,8 @@ class PrimeStructureCache:
                     structure=cached.structure,
                 )
             cached.results[search] = result
+        elif span is not None:
+            span.set("sweep_ran", False)
         return result
 
     def clear(self) -> None:

@@ -304,6 +304,7 @@ def compute_prime_structure_numpy(
     apply_reduction: bool = True,
     prefix: Optional["np.ndarray"] = None,
     beta: Optional["np.ndarray"] = None,
+    tracer=None,
 ) -> ArrayPrimeStructure:
     """NumPy fast path for ``PrimeStructure.compute``.
 
@@ -311,7 +312,23 @@ def compute_prime_structure_numpy(
     pays the list-to-ndarray conversion once per chain, not per bound.
     Output rows are element-for-element identical to the pure-Python
     reference.
+
+    An enabled ``tracer`` wraps the whole dispatch in a
+    ``kernel_dispatch`` span (one per vectorized structure build —
+    these are the engine's "kernel dispatch count") with ``p``/``r``
+    attached; disabled tracing costs one branch.
     """
+    if tracer is not None and tracer.enabled:
+        with tracer.span(
+            "kernel_dispatch", kernel="prime_structure", n=chain.num_tasks
+        ) as span:
+            structure = compute_prime_structure_numpy(
+                chain, bound, apply_reduction=apply_reduction,
+                prefix=prefix, beta=beta,
+            )
+            span.set("p", structure.p)
+            span.set("r", structure.r)
+        return structure
     require_numpy()
     if prefix is None:
         prefix = prefix_array(chain)

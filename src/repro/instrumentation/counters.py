@@ -30,8 +30,16 @@ class OpCounter:
     __slots__ = ("counts", "traces", "enabled")
 
     def __init__(self, enabled: bool = True) -> None:
-        self.counts: Dict[str, int] = defaultdict(int)
-        self.traces: Dict[str, List[float]] = defaultdict(list)
+        # Disabled counters get plain empty dicts: nothing ever writes
+        # to them (every mutator checks ``enabled``), and a defaultdict
+        # would let a stray ``counter.counts[k]`` insert keys into the
+        # shared NULL_COUNTER.
+        if enabled:
+            self.counts: Dict[str, int] = defaultdict(int)
+            self.traces: Dict[str, List[float]] = defaultdict(list)
+        else:
+            self.counts = {}
+            self.traces = {}
         self.enabled = enabled
 
     def add(self, name: str, amount: int = 1) -> None:
@@ -56,6 +64,11 @@ class OpCounter:
         return max(series) if series else 0.0
 
     def merge(self, other: "OpCounter") -> None:
+        if not self.enabled:
+            # Merging into a disabled counter must be a no-op: NULL_COUNTER
+            # is a module-level singleton, and recording into it would
+            # leak state across every call site that shares it.
+            return
         for name, value in other.counts.items():
             self.counts[name] += value
         for name, series in other.traces.items():

@@ -1,0 +1,47 @@
+"""Unified tracing and metrics for the partitioning stack.
+
+Three pieces, layered next to :mod:`repro.instrumentation` at the
+foundation of the package (nothing here imports above it):
+
+- :mod:`repro.observability.spans` — :class:`Tracer`/:class:`Span`
+  nested phase timing with embedded op-counters and a zero-overhead
+  disabled mode (:data:`NULL_TRACER`);
+- :mod:`repro.observability.metrics` — :class:`MetricsRegistry` of
+  counters, gauges and percentile histograms that merges
+  deterministically across processes;
+- :mod:`repro.observability.export` — the JSONL trace format written
+  by ``repro run --trace``/``repro batch --trace`` and read by
+  ``repro report --trace``, plus the per-phase aggregation behind the
+  report table.
+"""
+
+from repro.observability.export import (
+    TRACE_SCHEMA_VERSION,
+    aggregate_spans,
+    metric_records,
+    read_trace,
+    span_records,
+    trace_records,
+    write_trace,
+)
+from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observability.spans import NULL_SPAN, NULL_TRACER, NullSpan, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullSpan",
+    "Span",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "aggregate_spans",
+    "metric_records",
+    "read_trace",
+    "span_records",
+    "trace_records",
+    "write_trace",
+]

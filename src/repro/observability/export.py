@@ -1,0 +1,146 @@
+"""Trace serialization: JSONL writing, reading and span aggregation.
+
+A *trace file* is newline-delimited JSON with three record kinds,
+distinguishable by their ``kind`` field:
+
+- ``{"kind": "meta", ...}`` — one optional header describing the run
+  (workload, arguments, schema version);
+- ``{"kind": "span", "path": "bandwidth_min/temp_s_sweep", ...}`` —
+  one per span, depth-first (see :meth:`Tracer.records`);
+- ``{"kind": "metric", "type": "counter" | "gauge" | "histogram", ...}``
+  — one per registry instrument (see :meth:`MetricsRegistry.records`).
+
+``repro run --trace``/``repro batch --trace`` write this format and
+``repro report --trace`` ingests it, so traces captured in production
+can be inspected offline with no repo state beyond the file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.spans import Tracer
+
+#: Bump when the record layout changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+
+def trace_records(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    meta: Optional[Dict[str, Any]] = None,
+    extra_spans: Optional[Iterable[Dict[str, Any]]] = None,
+) -> List[Dict[str, Any]]:
+    """Assemble the full record list for one trace file.
+
+    ``extra_spans`` accepts already-serialized span records (e.g. the
+    per-worker spans a batch shipped back) and is appended after the
+    tracer's own spans, preserving caller order.
+    """
+    records: List[Dict[str, Any]] = []
+    header: Dict[str, Any] = {"kind": "meta", "schema": TRACE_SCHEMA_VERSION}
+    if meta:
+        header.update(meta)
+    records.append(header)
+    if tracer is not None:
+        records.extend(tracer.records())
+    if extra_spans is not None:
+        records.extend(extra_spans)
+    if metrics is not None:
+        records.extend(metrics.records())
+    return records
+
+
+def write_trace(
+    path: str,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    meta: Optional[Dict[str, Any]] = None,
+    extra_spans: Optional[Iterable[Dict[str, Any]]] = None,
+) -> int:
+    """Write a trace JSONL file; returns the number of records written."""
+    records = trace_records(tracer, metrics, meta, extra_spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return len(records)
+
+
+def read_trace(source: Union[str, Iterable[str]]) -> List[Dict[str, Any]]:
+    """Read trace records from a path or an iterable of JSONL lines.
+
+    Raises :class:`ValueError` naming the offending line number on a
+    malformed record (mirroring ``repro batch`` input handling).
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = list(source)
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(
+                f"invalid trace record on line {lineno}: {exc!s}"
+            ) from exc
+        if not isinstance(record, dict) or "kind" not in record:
+            raise ValueError(
+                f"invalid trace record on line {lineno}: not a kind-tagged object"
+            )
+        records.append(record)
+    return records
+
+
+def span_records(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return [r for r in records if r.get("kind") == "span"]
+
+
+def metric_records(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return [r for r in records if r.get("kind") == "metric"]
+
+
+def aggregate_spans(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-phase rollup of span records, in first-seen path order.
+
+    Each row aggregates every span sharing a ``path``: call count,
+    total/mean wall-clock, summed op-counts and pooled trace extrema.
+    This is the table ``repro report`` prints.
+    """
+    rows: Dict[str, Dict[str, Any]] = {}
+    for record in span_records(records):
+        path = record["path"]
+        row = rows.get(path)
+        if row is None:
+            row = rows[path] = {
+                "path": path,
+                "depth": record.get("depth", path.count("/")),
+                "calls": 0,
+                "total_s": 0.0,
+                "counts": {},
+                "traces": {},
+            }
+        row["calls"] += 1
+        row["total_s"] += record.get("duration_s", 0.0)
+        for name, value in record.get("counts", {}).items():
+            row["counts"][name] = row["counts"].get(name, 0) + value
+        for name, summary in record.get("traces", {}).items():
+            pooled = row["traces"].get(name)
+            if pooled is None:
+                row["traces"][name] = dict(summary)
+            else:
+                total = pooled["mean"] * pooled["count"] + (
+                    summary["mean"] * summary["count"]
+                )
+                pooled["count"] += summary["count"]
+                pooled["mean"] = total / pooled["count"] if pooled["count"] else 0.0
+                pooled["max"] = max(pooled["max"], summary["max"])
+    out = list(rows.values())
+    for row in out:
+        row["mean_s"] = row["total_s"] / row["calls"] if row["calls"] else 0.0
+    return out

@@ -1,0 +1,208 @@
+"""Counters, gauges and histograms for engine-level telemetry.
+
+Spans (:mod:`repro.observability.spans`) answer "where did this one run
+spend its time"; a :class:`MetricsRegistry` answers the fleet questions
+— cache hit-rate, kernel dispatch counts, batch queue depth, per-query
+latency percentiles — and survives process boundaries: a registry (or
+any of its instruments) round-trips through plain dicts
+(:meth:`MetricsRegistry.to_payload` / :meth:`MetricsRegistry.merge`),
+which is how ``solve_many`` workers ship their numbers back to the
+parent engine.
+
+Merging is deterministic: counters and histogram observations add, a
+gauge takes the merged-in value (callers merge results in query order,
+so the outcome is reproducible run to run).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional
+
+
+class Counter:
+    """A named monotone counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value:g})"
+
+
+class Gauge:
+    """A named last-write-wins value (queue depth, pool width, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value:g})"
+
+
+class Histogram:
+    """A named distribution with exact (nearest-rank) percentiles.
+
+    Observations are kept verbatim — the workloads this repo measures
+    record at most a few thousand per run, and exact retention is what
+    makes cross-process merges deterministic and lossless.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str, values: Optional[List[float]] = None) -> None:
+        self.name = name
+        self.values: List[float] = values if values is not None else []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / len(self.values) if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile; 0 when empty."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:g})"
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments.
+
+    Instrument names are dotted paths by convention
+    (``engine.cache.hits``, ``engine.query_latency_s``); the registry
+    itself imposes only uniqueness per kind.
+    """
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self.counters.get(name)
+        if inst is None:
+            inst = self.counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self.gauges.get(name)
+        if inst is None:
+            inst = self.gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self.histograms.get(name)
+        if inst is None:
+            inst = self.histograms[name] = Histogram(name)
+        return inst
+
+    # ------------------------------------------------------------------
+    # Serialization and merging
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-dict form: pickles to workers, dumps to JSON, merges back."""
+        return {
+            "counters": {n: c.value for n, c in self.counters.items()},
+            "gauges": {n: g.value for n, g in self.gauges.items()},
+            "histograms": {n: list(h.values) for n, h in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge(payload)
+        return registry
+
+    def merge(self, other: Any) -> None:
+        """Fold another registry (or its payload dict) into this one.
+
+        Counters and histogram observations add; gauges take the
+        incoming value.  Merging in query order makes batch aggregation
+        reproducible.
+        """
+        payload = other.to_payload() if isinstance(other, MetricsRegistry) else other
+        for name, value in payload.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, values in payload.get("histograms", {}).items():
+            self.histogram(name).values.extend(values)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """JSON-ready metric records (one per instrument), sorted by name."""
+        out: List[Dict[str, Any]] = []
+        for name in sorted(self.counters):
+            out.append(
+                {"kind": "metric", "type": "counter", "name": name,
+                 "value": self.counters[name].value}
+            )
+        for name in sorted(self.gauges):
+            out.append(
+                {"kind": "metric", "type": "gauge", "name": name,
+                 "value": self.gauges[name].value}
+            )
+        for name in sorted(self.histograms):
+            out.append(
+                {"kind": "metric", "type": "histogram", "name": name,
+                 "summary": self.histograms[name].summary()}
+            )
+        return out
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, histograms={len(self.histograms)})"
+        )

@@ -151,6 +151,113 @@ class TestBatchCli:
         assert main(["batch", "--input", str(inp), "--output", str(out)]) == 0
 
 
+class TestBatchTelemetry:
+    def test_last_batch_stats_aggregates_serial(self):
+        from repro.observability import Tracer
+
+        engine = PartitionEngine(tracer=Tracer())
+        queries = make_queries(num=6)
+        results = engine.solve_many(queries, max_workers=0)
+        batch = engine.last_batch_stats
+        assert batch is not None
+        assert batch.queries == 6
+        assert batch.failures == 0
+        assert batch.latency.count == 6
+        assert batch.wall_s > 0.0
+        # Worker spans arrive tagged and in query order.
+        indices = [r["query_index"] for r in batch.trace_records]
+        assert indices == sorted(indices)
+        assert set(indices) == set(range(6))
+        # The per-worker cache op-counts survive aggregation.
+        assert batch.counter.get("cache_misses") == 6
+        assert batch.cache.misses == 6
+        assert all(r.ok for r in results)
+
+    def test_parallel_aggregation_matches_serial_counts(self):
+        from repro.observability import Tracer
+
+        queries = make_queries(num=8)
+        serial = PartitionEngine(tracer=Tracer())
+        parallel = PartitionEngine(tracer=Tracer())
+        serial.solve_many(queries, max_workers=0)
+        parallel.solve_many(queries, max_workers=2, chunksize=1)
+        a, b = serial.last_batch_stats, parallel.last_batch_stats
+        assert b.workers == 2
+        # Deterministic quantities agree across execution modes.
+        assert (a.queries, a.failures) == (b.queries, b.failures)
+        assert a.counter.as_dict() == b.counter.as_dict()
+        assert [r["query_index"] for r in a.trace_records] == [
+            r["query_index"] for r in b.trace_records
+        ]
+        assert [r["path"] for r in a.trace_records] == [
+            r["path"] for r in b.trace_records
+        ]
+
+    def test_failures_counted(self):
+        from repro.observability import Tracer
+
+        engine = PartitionEngine(tracer=Tracer())
+        chain = random_chain(10, rng=21)
+        good = PartitionQuery.from_chain(
+            chain, 2.0 * chain.max_vertex_weight()
+        )
+        bad = PartitionQuery.from_chain(
+            chain, 0.1 * chain.max_vertex_weight()
+        )
+        engine.solve_many([good, bad])
+        batch = engine.last_batch_stats
+        assert (batch.queries, batch.failures) == (2, 1)
+        assert batch.as_dict()["failures"] == 1
+
+    def test_traced_results_identical_to_untraced(self):
+        from repro.observability import Tracer
+
+        queries = make_queries(num=5)
+        plain = PartitionEngine().solve_many(queries)
+        traced = PartitionEngine(tracer=Tracer()).solve_many(queries)
+        assert [
+            (r.cut_indices, r.weight, r.num_components) for r in traced
+        ] == [(r.cut_indices, r.weight, r.num_components) for r in plain]
+        # Telemetry rides on the result object but stays off the wire.
+        assert [r.to_json() for r in traced] == [r.to_json() for r in plain]
+        assert all("spans" in r.telemetry for r in traced)
+        assert all("spans" not in r.telemetry for r in plain)
+
+    def test_untraced_engine_records_no_batch_stats(self):
+        engine = PartitionEngine()
+        engine.solve_many(make_queries(num=3))
+        batch = engine.last_batch_stats
+        assert batch is not None
+        assert batch.queries == 3
+        assert batch.trace_records == []  # no spans without a tracer
+
+    def test_snapshot_metrics_mirrors_cache_and_batch(self):
+        from repro.observability import Tracer
+
+        engine = PartitionEngine(tracer=Tracer())
+        engine.solve_many(make_queries(num=4), max_workers=0)
+        metrics = engine.snapshot_metrics()
+        names = {r["name"] for r in metrics.records()}
+        assert "engine.batch.queries" in names
+        assert "engine.cache.hits" in names
+        assert "engine.batch.query_latency_s" in names
+        assert metrics.counter("engine.batch.queries").value == 4
+
+    def test_engine_solve_traced(self):
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+        engine = PartitionEngine(tracer=tracer)
+        chain = random_chain(60, rng=22)
+        bound = 2.0 * chain.max_vertex_weight()
+        got = engine.solve(chain, bound)
+        assert got.weight == bandwidth_min(chain, bound).weight
+        span = tracer.find("engine_solve")
+        assert span is not None
+        assert span.attrs["n"] == 60
+        assert tracer.find("cache_solve") is not None
+
+
 class TestInverseWiring:
     def test_budget_plan_with_engine_matches(self):
         chain = random_chain(60, rng=7)

@@ -54,6 +54,35 @@ class TestOpCounter:
         assert NULL_COUNTER.as_dict() == {}
         assert not NULL_COUNTER.enabled
 
+    def test_merge_into_disabled_counter_is_noop(self):
+        # Regression: merge() used to ignore `enabled`, so merging into
+        # the shared NULL_COUNTER polluted every disabled call site.
+        src = OpCounter()
+        src.add("x", 7)
+        src.trace("t", 2.0)
+        disabled = OpCounter(enabled=False)
+        disabled.merge(src)
+        assert disabled.get("x") == 0
+        assert disabled.as_dict() == {}
+        assert disabled.traces == {}
+
+    def test_null_counter_survives_merge_unpolluted(self):
+        src = OpCounter()
+        src.add("search_steps", 100)
+        src.trace("temp_s_len", 9.0)
+        NULL_COUNTER.merge(src)
+        assert NULL_COUNTER.as_dict() == {}
+        assert NULL_COUNTER.trace_max("temp_s_len") == 0.0
+
+    def test_disabled_counter_allocates_no_default_entries(self):
+        # A disabled counter's mappings are plain dicts: a stray read
+        # like `counter.counts[k]` raises instead of silently inserting.
+        disabled = OpCounter(enabled=False)
+        with pytest.raises(KeyError):
+            disabled.counts["x"]
+        with pytest.raises(KeyError):
+            disabled.traces["t"]
+
 
 class TestAlgorithmStats:
     def test_q_and_plogq(self):

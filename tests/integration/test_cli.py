@@ -1,5 +1,7 @@
 """CLI smoke tests (argument wiring, not output values)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -21,6 +23,7 @@ class TestParser:
             ["tree"],
             ["realtime"],
             ["circuit"],
+            ["run"],
         ):
             args = parser.parse_args(command)
             assert callable(args.func)
@@ -85,3 +88,128 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "p log q" in out
         assert "|" in out  # the canvas rendered
+
+
+class TestRunCommand:
+    def test_run_prints_phase_breakdown(self, capsys):
+        assert main(["run", "--n", "200", "--k-ratio", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-phase breakdown" in out
+        assert "temp_s_sweep" in out
+        assert "cost model:" in out
+
+    def test_run_with_baseline(self, capsys):
+        assert main(["run", "--n", "150", "--baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "nicol_dp_sweep" in out
+
+    def test_run_writes_trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(["run", "--n", "120", "--trace", str(trace)]) == 0
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert records[0]["kind"] == "meta"
+        kinds = {r["kind"] for r in records}
+        assert "span" in kinds
+        paths = [r.get("path") for r in records if r["kind"] == "span"]
+        assert any(p and p.startswith("bandwidth_min") for p in paths)
+
+
+class TestBatchErrorPaths:
+    """Satellite: the ``repro batch`` failure modes users actually hit."""
+
+    def test_malformed_jsonl_line_exits_2_naming_line(self, tmp_path, capsys):
+        inp = tmp_path / "queries.jsonl"
+        out = tmp_path / "results.jsonl"
+        inp.write_text(
+            json.dumps({"alpha": [1, 1], "beta": [1], "bound": 2}) + "\n"
+            + "{this is not json\n"
+        )
+        code = main(["batch", "--input", str(inp), "--output", str(out)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err
+        assert not out.exists()  # nothing half-written on a parse error
+
+    def test_partial_failure_exits_1(self, tmp_path, capsys):
+        inp = tmp_path / "queries.jsonl"
+        out = tmp_path / "results.jsonl"
+        records = [
+            {"alpha": [1, 1, 1], "beta": [1, 1], "bound": 2, "tag": "ok"},
+            {"alpha": [5.0, 1.0], "beta": [2.0], "bound": 0.5, "tag": "bad"},
+        ]
+        inp.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        code = main(["batch", "--input", str(inp), "--output", str(out)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "1/2 queries failed" in err
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [("error" in row) for row in rows] == [False, True]
+
+    def test_empty_input_file_exits_0(self, tmp_path, capsys):
+        inp = tmp_path / "empty.jsonl"
+        out = tmp_path / "results.jsonl"
+        inp.write_text("")
+        assert main(["batch", "--input", str(inp), "--output", str(out)]) == 0
+        assert out.read_text() == ""
+
+    def test_missing_input_file_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["batch", "--input", str(tmp_path / "nope.jsonl"),
+             "--output", "-"]
+        )
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestTraceReportCommand:
+    def run_batch_with_trace(self, tmp_path, workers="0"):
+        inp = tmp_path / "queries.jsonl"
+        out = tmp_path / "results.jsonl"
+        trace = tmp_path / "trace.jsonl"
+        records = [
+            {"alpha": [1.0] * 12, "beta": [1.0] * 11, "bound": 3.0,
+             "tag": f"q{i}"}
+            for i in range(4)
+        ]
+        inp.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        code = main(
+            ["batch", "--input", str(inp), "--output", str(out),
+             "--workers", workers, "--trace", str(trace)]
+        )
+        return code, trace
+
+    def test_batch_trace_then_report(self, tmp_path, capsys):
+        code, trace = self.run_batch_with_trace(tmp_path)
+        assert code == 0
+        assert trace.exists()
+        capsys.readouterr()
+        assert main(["report", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-phase breakdown" in out
+        assert "engine.batch.queries" in out
+
+    def test_batch_trace_parallel_collects_worker_spans(self, tmp_path):
+        code, trace = self.run_batch_with_trace(tmp_path, workers="2")
+        assert code == 0
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        worker_spans = [
+            r for r in records
+            if r["kind"] == "span" and "query_index" in r
+        ]
+        assert sorted({r["query_index"] for r in worker_spans}) == [0, 1, 2, 3]
+
+    def test_report_trace_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["report", "--trace", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "report:" in capsys.readouterr().err
+
+    def test_report_trace_malformed_exits_2(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text('{"kind": "meta"}\nnot json\n')
+        code = main(["report", "--trace", str(trace)])
+        assert code == 2
+        assert "line 2" in capsys.readouterr().err

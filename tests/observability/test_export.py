@@ -1,0 +1,152 @@
+"""Unit tests for :mod:`repro.observability.export`."""
+
+import json
+
+import pytest
+
+from repro.observability.export import (
+    TRACE_SCHEMA_VERSION,
+    aggregate_spans,
+    metric_records,
+    read_trace,
+    span_records,
+    trace_records,
+    write_trace,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.spans import Tracer
+
+
+def sample_tracer():
+    tracer = Tracer()
+    with tracer.span("root", n=100) as root:
+        root.add("queries")
+        with tracer.span("sweep") as sweep:
+            sweep.add("search_steps", 10)
+            sweep.trace("temp_s_len", 2.0)
+    return tracer
+
+
+class TestAssembly:
+    def test_header_first_with_schema(self):
+        records = trace_records(sample_tracer(), meta={"workload": "test"})
+        assert records[0] == {
+            "kind": "meta",
+            "schema": TRACE_SCHEMA_VERSION,
+            "workload": "test",
+        }
+        assert [r["kind"] for r in records[1:]] == ["span", "span"]
+
+    def test_metrics_appended_after_spans(self):
+        metrics = MetricsRegistry()
+        metrics.counter("hits").inc()
+        records = trace_records(sample_tracer(), metrics=metrics)
+        assert [r["kind"] for r in records] == [
+            "meta", "span", "span", "metric",
+        ]
+
+    def test_extra_spans_preserve_caller_order(self):
+        extra = [
+            {"kind": "span", "path": "w0", "query_index": 0},
+            {"kind": "span", "path": "w1", "query_index": 1},
+        ]
+        records = trace_records(extra_spans=extra)
+        assert records[1:] == extra
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        metrics = MetricsRegistry()
+        metrics.histogram("lat").observe(0.25)
+        path = str(tmp_path / "trace.jsonl")
+        written = write_trace(
+            path, tracer=sample_tracer(), metrics=metrics,
+            meta={"workload": "round-trip"},
+        )
+        records = read_trace(path)
+        assert len(records) == written == 4
+        assert [r["kind"] for r in records] == ["meta", "span", "span", "metric"]
+        assert records[0]["workload"] == "round-trip"
+        (sweep,) = [r for r in records if r.get("name") == "sweep"]
+        assert sweep["counts"] == {"search_steps": 10}
+        assert sweep["traces"]["temp_s_len"]["max"] == 2.0
+
+    def test_read_from_lines_skips_blank(self):
+        lines = [
+            json.dumps({"kind": "meta", "schema": 1}),
+            "",
+            "   ",
+            json.dumps({"kind": "span", "path": "x"}),
+        ]
+        records = read_trace(lines)
+        assert [r["kind"] for r in records] == ["meta", "span"]
+
+
+class TestMalformedInput:
+    def test_bad_json_names_line_number(self):
+        lines = [json.dumps({"kind": "meta", "schema": 1}), "{not json"]
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace(lines)
+
+    def test_untagged_record_names_line_number(self):
+        lines = [json.dumps({"kind": "meta", "schema": 1}), json.dumps([1, 2])]
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace(lines)
+        with pytest.raises(ValueError, match="line 1"):
+            read_trace([json.dumps({"no": "kind"})])
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            read_trace(str(tmp_path / "nope.jsonl"))
+
+
+class TestFilters:
+    def test_span_and_metric_filters(self):
+        metrics = MetricsRegistry()
+        metrics.counter("hits").inc()
+        records = trace_records(sample_tracer(), metrics=metrics)
+        assert len(span_records(records)) == 2
+        assert len(metric_records(records)) == 1
+
+
+class TestAggregateSpans:
+    def test_rollup_sums_calls_counts_and_traces(self):
+        records = []
+        for duration, steps, temps in ((0.5, 4, [1.0, 3.0]), (1.5, 6, [5.0])):
+            records.append(
+                {
+                    "kind": "span",
+                    "path": "solve/sweep",
+                    "depth": 1,
+                    "duration_s": duration,
+                    "counts": {"search_steps": steps},
+                    "traces": {
+                        "temp_s_len": {
+                            "count": len(temps),
+                            "mean": sum(temps) / len(temps),
+                            "max": max(temps),
+                        }
+                    },
+                }
+            )
+        (row,) = aggregate_spans(records)
+        assert row["calls"] == 2
+        assert row["total_s"] == 2.0
+        assert row["mean_s"] == 1.0
+        assert row["counts"] == {"search_steps": 10}
+        # Pooled mean is the mean of all 3 observations, not mean-of-means.
+        pooled = row["traces"]["temp_s_len"]
+        assert pooled["count"] == 3
+        assert pooled["mean"] == pytest.approx(3.0)
+        assert pooled["max"] == 5.0
+
+    def test_first_seen_path_order(self):
+        records = [
+            {"kind": "span", "path": "b", "duration_s": 0.0, "counts": {}},
+            {"kind": "span", "path": "a", "duration_s": 0.0, "counts": {}},
+            {"kind": "span", "path": "b", "duration_s": 0.0, "counts": {}},
+        ]
+        assert [row["path"] for row in aggregate_spans(records)] == ["b", "a"]
+
+    def test_non_span_records_ignored(self):
+        assert aggregate_spans([{"kind": "meta"}, {"kind": "metric"}]) == []

@@ -1,0 +1,140 @@
+"""Unit tests for :mod:`repro.observability.metrics`."""
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge(self):
+        g = Gauge("depth")
+        g.set(7)
+        g.set(3)
+        assert g.value == 3
+
+    def test_histogram_summary(self):
+        h = Histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 10.0
+        assert h.mean == 2.5
+        assert (h.min, h.max) == (1.0, 4.0)
+        summary = h.summary()
+        assert summary["p50"] == 2.0
+        assert summary["p90"] == 4.0
+        assert summary["p99"] == 4.0
+
+    def test_empty_histogram(self):
+        h = Histogram("lat")
+        assert h.mean == 0.0
+        assert h.percentile(50) == 0.0
+        assert h.summary()["count"] == 0
+
+    def test_nearest_rank_percentile(self):
+        h = Histogram("lat", values=[float(v) for v in range(1, 101)])
+        assert h.percentile(50) == 50.0
+        assert h.percentile(90) == 90.0
+        assert h.percentile(99) == 99.0
+        assert h.percentile(100) == 100.0
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert len(reg) == 3
+
+    def test_same_name_different_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.gauge("x").set(2)
+        assert reg.counter("x").value == 1
+        assert reg.gauge("x").value == 2
+
+    def test_payload_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        reg.gauge("depth").set(2)
+        reg.histogram("lat").observe(0.5)
+        clone = MetricsRegistry.from_payload(reg.to_payload())
+        assert clone.to_payload() == reg.to_payload()
+
+    def test_merge_semantics(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("hits").inc(2)
+        parent.gauge("depth").set(1)
+        parent.histogram("lat").observe(1.0)
+        worker.counter("hits").inc(3)
+        worker.gauge("depth").set(9)
+        worker.histogram("lat").observe(2.0)
+        parent.merge(worker)
+        assert parent.counter("hits").value == 5  # counters add
+        assert parent.gauge("depth").value == 9  # gauges last-write
+        assert parent.histogram("lat").values == [1.0, 2.0]  # observations concat
+
+    def test_merge_accepts_payload_dict(self):
+        parent = MetricsRegistry()
+        parent.merge({"counters": {"hits": 4}, "histograms": {"lat": [1.0]}})
+        assert parent.counter("hits").value == 4
+        assert parent.histogram("lat").count == 1
+
+    def test_merge_order_determinism(self):
+        payloads = []
+        for i in range(3):
+            reg = MetricsRegistry()
+            reg.counter("n").inc(i)
+            reg.histogram("lat").observe(float(i))
+            payloads.append(reg.to_payload())
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for payload in payloads:
+            a.merge(payload)
+        for payload in payloads:
+            b.merge(payload)
+        assert a.to_payload() == b.to_payload()
+
+    def test_records_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count").inc()
+        reg.counter("a.count").inc()
+        reg.gauge("z.depth").set(1)
+        reg.histogram("m.lat").observe(0.1)
+        records = reg.records()
+        assert [r["name"] for r in records] == [
+            "a.count", "b.count", "z.depth", "m.lat",
+        ]
+        assert [r["type"] for r in records] == [
+            "counter", "counter", "gauge", "histogram",
+        ]
+        assert all(r["kind"] == "metric" for r in records)
+        assert records[-1]["summary"]["count"] == 1
+
+    def test_empty_registry(self):
+        reg = MetricsRegistry()
+        assert len(reg) == 0
+        assert reg.records() == []
+        assert reg.to_payload() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestFloatExactness:
+    def test_histogram_values_kept_verbatim(self):
+        h = Histogram("lat")
+        h.observe(0.1)
+        h.observe(0.2)
+        assert h.sum == pytest.approx(0.3)
+        assert h.values == [0.1, 0.2]
