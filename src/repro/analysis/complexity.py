@@ -21,11 +21,11 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.bandwidth import bandwidth_min, bandwidth_stats
+from repro.core.bandwidth import bandwidth_stats
 from repro.graphs.generators import bound_for_ratio, figure2_chain
 from repro.instrumentation.rng import spawn_rng
 

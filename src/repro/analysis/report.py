@@ -8,7 +8,6 @@ summary of EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass
 from typing import Callable, List

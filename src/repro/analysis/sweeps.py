@@ -8,7 +8,7 @@ deterministic per-point RNG, collecting dict rows.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from repro.instrumentation.rng import spawn_rng
 

@@ -322,12 +322,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.graphs.generators import random_chain
     from repro.observability import Tracer, trace_records, write_trace
 
+    if args.verify:
+        from repro.verify.runtime import enable_verification
+
+        enable_verification()
     chain = random_chain(args.n, rng=args.seed)
     bound = args.k_ratio * chain.max_vertex_weight()
     tracer = Tracer()
     result = bandwidth_min(
         chain, bound, backend=args.backend, search=args.search, tracer=tracer
     )
+    if args.verify:
+        from repro.verify import VerificationError
+        from repro.verify.runtime import verify_cache_solve
+
+        try:
+            verify_cache_solve(chain, bound, result)
+        except VerificationError as exc:
+            print(f"verification FAILED:\n{exc}", file=sys.stderr)
+            return 3
+        print("verification: certificate + backend cross-check OK")
     if args.baseline:
         from repro.baselines.nicol import bandwidth_min_nlogn
 
@@ -356,6 +370,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.engine import PartitionEngine
 
+    if args.verify:
+        # Sets REPRO_VERIFY=1 for this process; process-pool workers
+        # inherit it, so every query self-certifies in the worker that
+        # solved it and failures land in per-query 'error' fields.
+        from repro.verify.runtime import enable_verification
+
+        enable_verification()
     if args.trace:
         from repro.observability import Tracer
 
@@ -558,6 +579,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run the traced Nicol O(n log n) baseline")
     p.add_argument("--trace", default=None, metavar="FILE",
                    help="write span/metric records to FILE as JSONL")
+    p.add_argument("--verify", action="store_true",
+                   help="self-certify the solve (REPRO_VERIFY=1): check "
+                        "the paper-invariant certificate and cross-check "
+                        "against the pure-Python reference")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(
@@ -581,6 +606,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="kernel backend (default: numpy when available)")
     p.add_argument("--trace", default=None, metavar="FILE",
                    help="trace the batch and write span/metric JSONL to FILE")
+    p.add_argument("--verify", action="store_true",
+                   help="self-certify every query (sets REPRO_VERIFY=1; "
+                        "failures land in per-query 'error' fields)")
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser(

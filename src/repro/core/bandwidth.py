@@ -26,7 +26,7 @@ The return value reports the cut, its weight and the Figure-2 statistics
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, Any, List, Optional
 
 from repro.core.feasibility import validate_bound
 from repro.core.prime_subpaths import compute_prime_structure
@@ -34,6 +34,9 @@ from repro.core.temp_s import SolutionNode, TempSQueue, solution_weight
 from repro.graphs.chain import Chain
 from repro.graphs.partition import Cut, cut_from_chain_indices
 from repro.instrumentation.counters import AlgorithmStats, OpCounter
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.observability import Span, Tracer
 
 
 class ChainCutResult:
@@ -90,8 +93,8 @@ def bandwidth_min(
     search: str = "binary",
     collect_stats: bool = False,
     backend: str = "python",
-    structure=None,
-    tracer=None,
+    structure: Optional[Any] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> ChainCutResult:
     """Minimum-bandwidth load-bounded cut of a chain — Algorithm 4.1.
 
@@ -157,9 +160,9 @@ def _bandwidth_min_impl(
     search: str,
     collect_stats: bool,
     backend: str,
-    structure,
-    tracer=None,
-    root=None,
+    structure: Optional[Any],
+    tracer: Optional["Tracer"] = None,
+    root: Optional["Span"] = None,
 ) -> ChainCutResult:
     """Algorithm 4.1 proper.  ``tracer``/``root`` are only passed for
     traced runs; the untraced path is branch-for-branch the seed code."""
@@ -252,7 +255,7 @@ def _bandwidth_min_impl(
     return ChainCutResult(chain, cut_indices, final_weight, stats)
 
 
-def bandwidth_stats(chain: Chain, bound: float, **kwargs) -> AlgorithmStats:
+def bandwidth_stats(chain: Chain, bound: float, **kwargs: Any) -> AlgorithmStats:
     """Convenience wrapper returning only the Figure-2 statistics."""
     result = bandwidth_min(chain, bound, collect_stats=True, **kwargs)
     assert result.stats is not None

@@ -36,6 +36,8 @@ from repro.graphs.tree import Tree
 class LexicographicResult:
     """Bottleneck-optimal, then bandwidth-optimal chain cut."""
 
+    __slots__ = ("chain", "bottleneck", "cut")
+
     chain: Chain
     bottleneck: float
     cut: ChainCutResult

@@ -24,8 +24,9 @@ so their outputs are identical sets, which the test suite asserts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+import os
+from dataclasses import dataclass
+from typing import List, Set, Tuple
 
 from repro.core.feasibility import validate_bound
 from repro.graphs.partition import Cut, Partition
@@ -36,6 +37,8 @@ from repro.graphs.tree import Tree
 @dataclass
 class TreeCutResult:
     """A cut on a tree: edges, bottleneck value and induced partition."""
+
+    __slots__ = ("tree", "cut_edges", "bottleneck")
 
     tree: Tree
     cut_edges: Set[Edge]
@@ -70,12 +73,25 @@ def bottleneck_min_naive(tree: Tree, bound: float) -> TreeCutResult:
     ordered = _sorted_edges(tree)
     cut: Set[Edge] = set()
     if all(w <= bound for w in tree.component_weights(cut)):
-        return TreeCutResult(tree, cut, 0.0)
+        return _certified(TreeCutResult(tree, cut, 0.0), bound)
     for weight, edge in ordered:
         cut.add(edge)
         if all(w <= bound for w in tree.component_weights(cut)):
-            return TreeCutResult(tree, set(cut), weight)
+            return _certified(TreeCutResult(tree, set(cut), weight), bound)
     raise AssertionError("unreachable: cutting all edges is always feasible")
+
+
+def _certified(result: TreeCutResult, bound: float) -> TreeCutResult:
+    """Self-certify a tree cut when ``REPRO_VERIFY=1`` (no-op otherwise).
+
+    The verify layer sits above core, so it is imported lazily and only
+    when the environment opts in.
+    """
+    if "REPRO_VERIFY" in os.environ:
+        from repro.verify.runtime import maybe_verify_tree_result
+
+        maybe_verify_tree_result(result.tree, result, bound)
+    return result
 
 
 class _UnionFind:
@@ -135,4 +151,4 @@ def bottleneck_min(tree: Tree, bound: float) -> TreeCutResult:
     bottleneck = ordered[boundary - 1][0] if boundary else 0.0
     # max_weight <= bound guarantees feasibility even when every edge is cut.
     assert max_weight <= bound
-    return TreeCutResult(tree, cut, bottleneck)
+    return _certified(TreeCutResult(tree, cut, bottleneck), bound)

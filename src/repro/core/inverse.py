@@ -17,8 +17,9 @@ to the paper's primitives:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import List
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.baselines.hansen_lih import ccp_hansen_lih
 from repro.core.bandwidth import ChainCutResult, bandwidth_min
@@ -26,10 +27,15 @@ from repro.core.processor_min import processor_min
 from repro.graphs.chain import Chain
 from repro.graphs.tree import Tree
 
+if TYPE_CHECKING:  # pragma: no cover - layering: engine imports core
+    from repro.engine.batch import PartitionEngine
+
 
 @dataclass
 class ChainBudgetPlan:
     """Best bound and cheapest cut for a chain under a processor budget."""
+
+    __slots__ = ("bound", "bandwidth_cut")
 
     bound: float
     bandwidth_cut: ChainCutResult
@@ -40,7 +46,7 @@ class ChainBudgetPlan:
 
 
 def partition_chain_for_processors(
-    chain: Chain, processors: int, *, engine=None
+    chain: Chain, processors: int, *, engine: Optional["PartitionEngine"] = None
 ) -> ChainBudgetPlan:
     """Tightest load bound achievable with ``processors`` blocks, plus
     the minimum-bandwidth cut honouring it.
@@ -68,8 +74,8 @@ def partition_chain_for_processors(
 
 
 def chain_pareto_frontier(
-    chain: Chain, max_processors: int, *, engine=None
-) -> List[dict]:
+    chain: Chain, max_processors: int, *, engine: Optional["PartitionEngine"] = None
+) -> List[Dict[str, Any]]:
     """The (processors, bound, bandwidth) trade-off curve for a chain.
 
     One row per budget ``1..max_processors``: the chains-on-chains
@@ -90,7 +96,7 @@ def chain_pareto_frontier(
         from repro.engine import PartitionEngine
 
         engine = PartitionEngine()
-    rows: List[dict] = []
+    rows: List[Dict[str, Any]] = []
     for budget in range(max_processors, 0, -1):
         plan = partition_chain_for_processors(chain, budget, engine=engine)
         cut = plan.bandwidth_cut
@@ -103,6 +109,10 @@ def chain_pareto_frontier(
             }
         )
     rows.reverse()
+    if "REPRO_VERIFY" in os.environ:
+        from repro.verify.runtime import maybe_verify_pareto_frontier
+
+        maybe_verify_pareto_frontier(rows)
     return rows
 
 
@@ -135,14 +145,14 @@ def min_bound_for_tree(
 
 def tree_pareto_frontier(
     tree: Tree, max_processors: int
-) -> List[dict]:
+) -> List[Dict[str, Any]]:
     """The (processors, bound) trade-off curve for ``1..max_processors``.
 
     Each row reports the tightest achievable bound at that budget and
     the bottleneck/bandwidth of the partition realizing it — the data a
     capacity-planning user actually wants from the paper's toolbox.
     """
-    rows: List[dict] = []
+    rows: List[Dict[str, Any]] = []
     for budget in range(1, max_processors + 1):
         bound = min_bound_for_tree(tree, budget)
         partition = processor_min(tree, bound)
@@ -156,4 +166,10 @@ def tree_pareto_frontier(
                 "bandwidth": cut.bandwidth(),
             }
         )
+    if "REPRO_VERIFY" in os.environ:
+        from repro.verify.runtime import maybe_verify_pareto_frontier
+
+        # Tree rows report the bandwidth of one realized partition (not
+        # a minimum), so only bound/processor monotonicity is certified.
+        maybe_verify_pareto_frontier(rows, check_bandwidth=False)
     return rows

@@ -17,8 +17,9 @@ and the bandwidth objective additionally admits Algorithm 4.1.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import List, Optional, Set
+from typing import Set
 
 from repro.core.bandwidth import ChainCutResult, bandwidth_min
 from repro.core.bottleneck import TreeCutResult, bottleneck_min
@@ -32,6 +33,15 @@ from repro.graphs.tree import Tree
 @dataclass
 class TreePartitionPlan:
     """Result of the bottleneck → processor-minimization pipeline."""
+
+    __slots__ = (
+        "tree",
+        "bound",
+        "bottleneck_cut",
+        "final_cut",
+        "bottleneck",
+        "num_processors",
+    )
 
     tree: Tree
     bound: float
@@ -72,6 +82,12 @@ def partition_tree(tree: Tree, bound: float) -> TreePartitionPlan:
     bottleneck = (
         max(tree.edge_weight(u, v) for u, v in final_cut) if final_cut else 0.0
     )
+    if "REPRO_VERIFY" in os.environ:
+        from repro.verify.runtime import maybe_verify_tree_cut
+
+        maybe_verify_tree_cut(
+            tree, sorted(final_cut), bound, claimed_bottleneck=bottleneck
+        )
     return TreePartitionPlan(
         tree,
         bound,
@@ -98,20 +114,32 @@ def partition_chain(
       then minimum total weight (the Section 3 real-time combination).
     """
     if objective == "bandwidth":
-        return bandwidth_min(chain, bound)
-    if objective == "bottleneck+bandwidth":
+        result = bandwidth_min(chain, bound)
+    elif objective == "bottleneck+bandwidth":
         from repro.core.bicriteria import lexicographic_chain_partition
 
-        return lexicographic_chain_partition(chain, bound).cut
-    tree = Tree.from_task_graph(chain.to_task_graph())
-    if objective == "bottleneck":
-        tree_result: TreeCutResult = bottleneck_min(tree, bound)
-        cut_edges = tree_result.cut_edges
-    elif objective == "processors":
-        cut_edges = processor_min(tree, bound).cut_edges
-    elif objective == "bottleneck+processors":
-        cut_edges = partition_tree(tree, bound).final_cut
+        result = lexicographic_chain_partition(chain, bound).cut
     else:
-        raise ValueError(f"unknown objective {objective!r}")
-    indices = sorted(u for u, _v in cut_edges)
-    return ChainCutResult(chain, indices, chain.cut_weight(indices))
+        tree = Tree.from_task_graph(chain.to_task_graph())
+        if objective == "bottleneck":
+            tree_result: TreeCutResult = bottleneck_min(tree, bound)
+            cut_edges = tree_result.cut_edges
+        elif objective == "processors":
+            cut_edges = processor_min(tree, bound).cut_edges
+        elif objective == "bottleneck+processors":
+            cut_edges = partition_tree(tree, bound).final_cut
+        else:
+            raise ValueError(f"unknown objective {objective!r}")
+        indices = sorted(u for u, _v in cut_edges)
+        result = ChainCutResult(chain, indices, chain.cut_weight(indices))
+    if "REPRO_VERIFY" in os.environ:
+        from repro.verify.runtime import maybe_verify_chain_result
+
+        maybe_verify_chain_result(
+            chain,
+            result.cut_indices,
+            bound,
+            claimed_weight=result.weight,
+            optimal_bandwidth=objective == "bandwidth",
+        )
+    return result

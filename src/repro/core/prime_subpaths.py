@@ -24,10 +24,13 @@ edges by ``min(n - 1, 2p - 1)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, NamedTuple, Optional, Tuple
+from typing import TYPE_CHECKING, Any, List, NamedTuple, Optional, Tuple
 
 from repro.core.feasibility import validate_bound
 from repro.graphs.chain import Chain
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.observability import Tracer
 
 
 class PrimeSubpath(NamedTuple):
@@ -82,8 +85,13 @@ def find_prime_subpaths(chain: Chain, bound: float) -> List[PrimeSubpath]:
     candidates: List[Tuple[int, int]] = []
     b = 0
     for a in range(n):
-        if b < a:
-            b = a
+        if b <= a:
+            # A single task is never critical: feasibility checked
+            # max(alpha) <= K on the exact weights, and the prefix
+            # difference for one task can exceed K only by cancellation
+            # noise.  Start every window at two tasks so a spurious
+            # zero-edge "prime" (unhittable by any cut) cannot arise.
+            b = a + 1
         # Grow b until the window exceeds the bound.
         while b < n and prefix[b + 1] - prefix[a] <= bound:
             b += 1
@@ -272,8 +280,8 @@ def compute_prime_structure(
     bound: float,
     apply_reduction: bool = True,
     backend: str = "python",
-    tracer=None,
-):
+    tracer: Optional["Tracer"] = None,
+) -> Any:
     """Backend dispatcher for the ``O(n)`` preprocessing.
 
     ``backend="python"`` returns the reference :class:`PrimeStructure`;

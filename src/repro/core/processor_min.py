@@ -23,6 +23,8 @@ suite cross-checks its optimality against an exact DP oracle
 
 from __future__ import annotations
 
+import math
+import os
 from typing import List, Set
 
 from repro.core.bottleneck import TreeCutResult
@@ -70,7 +72,12 @@ def processor_min(tree: Tree, bound: float, root: int = 0) -> TreeCutResult:
     bottleneck = (
         max(tree.edge_weight(u, w) for u, w in cut) if cut else 0.0
     )
-    return TreeCutResult(tree, cut, bottleneck)
+    result = TreeCutResult(tree, cut, bottleneck)
+    if "REPRO_VERIFY" in os.environ:
+        from repro.verify.runtime import maybe_verify_tree_result
+
+        maybe_verify_tree_result(tree, result, bound)
+    return result
 
 
 def min_processors(tree: Tree, bound: float) -> int:
@@ -81,6 +88,4 @@ def min_processors(tree: Tree, bound: float) -> int:
 def processors_lower_bound(tree: Tree, bound: float) -> int:
     """The trivial packing bound ``ceil(total_weight / K)`` — used as a
     sanity floor in tests and reports."""
-    import math
-
     return max(1, math.ceil(tree.total_vertex_weight() / bound - 1e-12))

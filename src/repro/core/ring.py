@@ -30,7 +30,7 @@ from repro.graphs.ring import Ring
 
 
 @dataclass
-class RingCutResult:
+class RingCutResult:  # repro-lint: disable=REPRO002 (field default blocks slots on py39)
     """A cut on a ring: ring edge indices and total weight."""
 
     ring: Ring

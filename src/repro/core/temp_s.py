@@ -97,7 +97,9 @@ class TempSQueue:
 
     __slots__ = ("_rows", "_top", "search", "counter")
 
-    def __init__(self, search: str = "binary", counter: Optional[OpCounter] = None):
+    def __init__(
+        self, search: str = "binary", counter: Optional[OpCounter] = None
+    ) -> None:
         if search not in ("binary", "linear"):
             raise ValueError(f"unknown search strategy {search!r}")
         self._rows: List[Row] = []

@@ -17,7 +17,7 @@ the task graph with real dynamics instead of static estimates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.desim.circuit import Circuit

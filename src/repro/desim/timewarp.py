@@ -33,7 +33,7 @@ shrink as the partition keeps traffic local.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.desim.circuit import Circuit

@@ -52,7 +52,7 @@ OBJECTIVES = (
 
 
 @dataclass(frozen=True)
-class PartitionQuery:
+class PartitionQuery:  # repro-lint: disable=REPRO002 (field defaults block slots on py39)
     """One independent partitioning question: a chain, a bound, an objective.
 
     ``tag`` is an opaque caller label carried through to the result
@@ -91,7 +91,7 @@ class PartitionQuery:
 
 
 @dataclass
-class QueryResult:
+class QueryResult:  # repro-lint: disable=REPRO002 (field defaults block slots on py39)
     """The answer to one query, positionally matched to its input.
 
     ``index`` is the query's position in the submitted batch —
@@ -241,6 +241,15 @@ class PartitionEngine:
         here (they cost nothing on the single-query path).
     """
 
+    __slots__ = (
+        "backend",
+        "cache",
+        "max_workers",
+        "tracer",
+        "metrics",
+        "last_batch_stats",
+    )
+
     def __init__(
         self,
         backend: Optional[str] = None,
@@ -270,7 +279,7 @@ class PartitionEngine:
         objective: str = "bandwidth",
         *,
         search: str = "binary",
-    ):
+    ) -> ChainCutResult:
         """Solve one query through the fast path.
 
         ``"bandwidth"`` (Algorithm 4.1) runs through the prime-structure
@@ -445,7 +454,7 @@ def _solve_one(
     bound: float,
     objective: str,
     tracer: Optional[Tracer],
-):
+) -> ChainCutResult:
     """One query against an engine's cache, optionally under a tracer."""
     if objective == "bandwidth":
         return engine.cache.solve(chain, bound, tracer=tracer)

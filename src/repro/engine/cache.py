@@ -30,24 +30,51 @@ identical to a fresh pure-Python computation (property-tested).
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.core.bandwidth import ChainCutResult, bandwidth_min
 from repro.core.prime_subpaths import compute_prime_structure
 from repro.engine.kernels import validate_bound_array
 from repro.graphs.chain import Chain
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.observability import Tracer
 
-@dataclass
+
 class CacheStats:
     """Hit/miss accounting, exposed for tests and capacity planning."""
 
-    hits: int = 0
-    interval_hits: int = 0
-    misses: int = 0
-    evictions: int = 0
+    __slots__ = ("hits", "interval_hits", "misses", "evictions")
+
+    def __init__(
+        self,
+        hits: int = 0,
+        interval_hits: int = 0,
+        misses: int = 0,
+        evictions: int = 0,
+    ) -> None:
+        self.hits = hits
+        self.interval_hits = interval_hits
+        self.misses = misses
+        self.evictions = evictions
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, interval_hits={self.interval_hits}, "
+            f"misses={self.misses}, evictions={self.evictions})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return (
+            self.hits == other.hits
+            and self.interval_hits == other.interval_hits
+            and self.misses == other.misses
+            and self.evictions == other.evictions
+        )
 
     @property
     def lookups(self) -> int:
@@ -70,11 +97,11 @@ class _CachedSolve:
 
     __slots__ = ("structure", "valid_from", "valid_until", "results")
 
-    def __init__(self, structure, valid_from: float) -> None:
+    def __init__(self, structure: Any, valid_from: float) -> None:
         self.structure = structure
         self.valid_from = valid_from
-        self.valid_until = structure.min_prime_weight()
-        self.results: dict = {}
+        self.valid_until: float = structure.min_prime_weight()
+        self.results: Dict[str, ChainCutResult] = {}
 
     def covers(self, bound: float) -> bool:
         return self.valid_from <= bound < self.valid_until
@@ -88,16 +115,17 @@ class _ChainEntry:
     def __init__(self, chain: Chain, use_numpy: bool) -> None:
         self.chain = chain
         self.alpha_max = chain.max_vertex_weight()
+        self.prefix: Optional[Any] = None
+        self.beta: Optional[Any] = None
         if use_numpy:
             from repro.engine import kernels
 
             self.prefix = kernels.prefix_array(chain)
             self.beta = kernels.beta_array(chain)
-        else:
-            self.prefix = None
-            self.beta = None
         # (bound, apply_reduction) -> _CachedSolve, in LRU order.
-        self.structures: "OrderedDict[tuple, _CachedSolve]" = OrderedDict()
+        self.structures: "OrderedDict[Tuple[float, bool], _CachedSolve]" = (
+            OrderedDict()
+        )
 
 
 class PrimeStructureCache:
@@ -114,6 +142,14 @@ class PrimeStructureCache:
         ``"numpy"`` (default when available) or ``"python"`` — which
         kernels build structures on a miss.
     """
+
+    __slots__ = (
+        "backend",
+        "max_chains",
+        "max_structures_per_chain",
+        "stats",
+        "_entries",
+    )
 
     def __init__(
         self,
@@ -166,7 +202,11 @@ class PrimeStructureCache:
         return None
 
     def _compute(
-        self, entry: _ChainEntry, bound: float, apply_reduction: bool, tracer=None
+        self,
+        entry: _ChainEntry,
+        bound: float,
+        apply_reduction: bool,
+        tracer: Optional["Tracer"] = None,
     ) -> _CachedSolve:
         if self.backend == "numpy":
             from repro.engine.kernels import compute_prime_structure_numpy
@@ -196,8 +236,12 @@ class PrimeStructureCache:
     # Public API
     # ------------------------------------------------------------------
     def structure(
-        self, chain: Chain, bound: float, apply_reduction: bool = True, tracer=None
-    ):
+        self,
+        chain: Chain,
+        bound: float,
+        apply_reduction: bool = True,
+        tracer: Optional["Tracer"] = None,
+    ) -> Any:
         """The prime structure for ``(chain, bound)`` — cached, warm-started,
         or freshly computed with the configured backend."""
         entry = self._entry(chain)
@@ -214,7 +258,7 @@ class PrimeStructureCache:
         *,
         apply_reduction: bool = True,
         search: str = "binary",
-        tracer=None,
+        tracer: Optional["Tracer"] = None,
     ) -> ChainCutResult:
         """Algorithm 4.1 through the cache.
 
@@ -260,8 +304,8 @@ class PrimeStructureCache:
         bound: float,
         apply_reduction: bool,
         search: str,
-        tracer=None,
-        span=None,
+        tracer: Optional[Any] = None,
+        span: Optional[Any] = None,
     ) -> ChainCutResult:
         entry = self._entry(chain)
         validate_bound_array(entry.alpha_max, bound)
@@ -288,6 +332,18 @@ class PrimeStructureCache:
             cached.results[search] = result
         elif span is not None:
             span.set("sweep_ran", False)
+        if "REPRO_VERIFY" in os.environ:
+            # Self-certification (REPRO_VERIFY=1): certificate-check the
+            # served result and cross-check it against a fresh pure-Python
+            # solve at the *queried* bound — exactly the paths (kernel,
+            # cached, warm-started) where a stale or divergent answer
+            # could otherwise slip through.  Imported lazily: verify sits
+            # above the engine in the layering.
+            from repro.verify.runtime import maybe_verify_cache_solve
+
+            maybe_verify_cache_solve(
+                chain, bound, result, apply_reduction=apply_reduction
+            )
         return result
 
     def clear(self) -> None:

@@ -101,11 +101,15 @@ def prime_windows(
     # j approximates the first index with prefix[j] - prefix[a] > bound.
     j = np.searchsorted(prefix, starts + bound, side="right")
     a = np.arange(n, dtype=np.int64)
-    np.clip(j, a + 1, n, out=j)
+    # Floor at a + 2: a critical window spans at least two tasks, since
+    # feasibility validated max(alpha) <= K exactly and a single-task
+    # prefix difference can exceed K only by cancellation noise (the
+    # reference sweep enforces the same floor).
+    np.clip(j, a + 2, n, out=j)
     # Fix-up to the exact subtraction-form predicate (monotone in j, so
     # each loop runs to a fixpoint; in practice 0-1 iterations).
     while True:
-        down = (j > a + 1) & (prefix[j - 1] - starts > bound)
+        down = (j > a + 2) & (prefix[j - 1] - starts > bound)
         if not down.any():
             break
         j[down] -= 1
@@ -114,7 +118,7 @@ def prime_windows(
         if not up.any():
             break
         j[up] += 1
-    valid = prefix[j] - starts > bound
+    valid = (prefix[j] - starts > bound) & (j > a + 1)
     a = a[valid]
     ends = j[valid] - 1  # last task of the minimal critical window
     if a.shape[0] == 0:
@@ -304,7 +308,7 @@ def compute_prime_structure_numpy(
     apply_reduction: bool = True,
     prefix: Optional["np.ndarray"] = None,
     beta: Optional["np.ndarray"] = None,
-    tracer=None,
+    tracer: Optional["Tracer"] = None,
 ) -> ArrayPrimeStructure:
     """NumPy fast path for ``PrimeStructure.compute``.
 
@@ -450,7 +454,7 @@ def sweep_min_cut(
     return cut, weight
 
 
-def bandwidth_sweep(structure) -> Tuple[List[int], float]:
+def bandwidth_sweep(structure: Any) -> Tuple[List[int], float]:
     """Run the fast sweep over a prime structure (array-backed or not).
 
     Accepts either an :class:`ArrayPrimeStructure` (columns converted

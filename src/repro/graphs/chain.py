@@ -94,9 +94,17 @@ class Chain:
         return max(self._alpha)
 
     def segment_weight(self, lo: int, hi: int) -> float:
-        """Total vertex weight of tasks ``lo .. hi`` inclusive, in O(1)."""
+        """Total vertex weight of tasks ``lo .. hi`` inclusive, in O(1).
+
+        A single-task segment returns its exact weight: the prefix
+        difference can exceed ``alpha[lo]`` by cancellation noise, which
+        would make a singleton block look infeasible under a bound equal
+        to the maximum vertex weight.
+        """
         if not (0 <= lo <= hi < self.num_tasks):
             raise IndexError(f"segment [{lo}, {hi}] out of range")
+        if lo == hi:
+            return self._alpha[lo]
         return self._prefix[hi + 1] - self._prefix[lo]
 
     def prefix_weights(self) -> List[float]:

@@ -13,7 +13,7 @@ experiments are deterministic and reproducible.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Sequence, Tuple, Union
 
 from repro.graphs.chain import Chain
 from repro.graphs.tree import Tree

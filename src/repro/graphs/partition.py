@@ -49,7 +49,7 @@ class Cut:
     def __len__(self) -> int:
         return len(self._edges)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Edge]:
         return iter(sorted(self._edges))
 
     def __contains__(self, edge: Edge) -> bool:

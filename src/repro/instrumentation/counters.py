@@ -11,7 +11,7 @@ is opt-in and costs nothing when disabled (the algorithms check for
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 class OpCounter:

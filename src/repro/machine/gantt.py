@@ -9,8 +9,6 @@ Figure 3 mapping illustration.
 
 from __future__ import annotations
 
-from typing import List, Optional
-
 from repro.machine.executor import PipelineExecution, TraceSpan
 
 

@@ -17,9 +17,8 @@ machine and produces the trivial shared-memory mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
-from repro.core.bandwidth import bandwidth_min
 from repro.core.pipeline import partition_chain
 from repro.machine.machine import SharedMemoryMachine
 from repro.machine.mapper import Mapping, map_partition

@@ -8,8 +8,8 @@ traffic demand and/or sensitivity of the data crossing that dependency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import List
 
 from repro.graphs.chain import Chain
 

@@ -1,0 +1,49 @@
+"""Static verification layer: certificate checkers and repo lint rules.
+
+The paper's outputs are all *cuts*, and a claimed cut is cheap to audit
+independently of how it was computed: the execution-time bound (every
+component of ``G - S`` weighs at most ``K``), the bottleneck
+(``max_{e in S} delta(e)``), the bandwidth (``sum_{e in S} beta(e)``)
+and prime-subpath coverage (Section 2.3: a chain cut is feasible iff it
+hits every prime subpath) are all ``O(n)`` checks.  This package turns
+that observation into tooling:
+
+- :mod:`repro.verify.certificates` — pure ``O(n)`` certificate checkers
+  returning structured :class:`Violation` reports;
+- :mod:`repro.verify.runtime` — the ``REPRO_VERIFY=1`` env flag (and
+  ``--verify`` CLI flag) wiring that makes every engine/baseline solve
+  self-certify, including a pure-Python cross-check of the NumPy
+  kernels on cached/warm-started engine paths;
+- :mod:`repro.verify.lint` — the repo-specific AST lint pass
+  (``python -m repro.verify.lint src/``).
+"""
+
+from repro.verify.certificates import (
+    CertificateReport,
+    VerificationError,
+    Violation,
+    check_chain_partition,
+    check_pareto_frontier,
+    check_prime_cover,
+    check_tree_cut,
+)
+from repro.verify.runtime import (
+    cross_check_chain_backends,
+    verification_enabled,
+    verify_chain_result,
+    verify_tree_result,
+)
+
+__all__ = [
+    "CertificateReport",
+    "VerificationError",
+    "Violation",
+    "check_chain_partition",
+    "check_pareto_frontier",
+    "check_prime_cover",
+    "check_tree_cut",
+    "cross_check_chain_backends",
+    "verification_enabled",
+    "verify_chain_result",
+    "verify_tree_result",
+]

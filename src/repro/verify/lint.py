@@ -1,0 +1,366 @@
+"""repro-lint: repository-specific static checks, as an AST pass.
+
+Generic linters cannot know this codebase's conventions — that hot-path
+classes must be slotted, that timing belongs to the instrumentation
+layer, or that a disabled :class:`~repro.instrumentation.counters.OpCounter`
+must be the shared ``NULL_COUNTER`` singleton.  This module encodes
+those rules over the stdlib :mod:`ast` so they run anywhere the package
+runs, with no third-party dependency:
+
+==========  ==========================================================
+Code        Rule
+==========  ==========================================================
+REPRO001    No ``print()`` in library code — use the observability
+            layer or return values.  CLI entry points (``cli.py``,
+            ``__main__.py``) and the report-producing ``analysis``
+            package are exempt.
+REPRO002    Classes defined under ``core/`` or ``engine/`` must declare
+            ``__slots__`` — these are the per-query hot paths.
+            Exception types, ``NamedTuple``/``TypedDict``/``Protocol``
+            classes and ``enum`` subclasses are exempt.
+REPRO003    No bare ``time.time()`` outside ``instrumentation/`` and
+            ``observability/`` — wall-clock reads belong behind the
+            tracer/metrics layer (and should be ``perf_counter``).
+REPRO004    No mutable default arguments (``def f(x=[])`` etc.).
+REPRO005    Never construct a disabled ``OpCounter`` — use the shared
+            ``NULL_COUNTER`` singleton so no-op counters are free and
+            state cannot leak into ad-hoc instances.
+==========  ==========================================================
+
+Any finding can be suppressed on its line (for classes and functions,
+the ``class``/``def`` line) with a pragma comment::
+
+    class QueryRecord:  # repro-lint: disable=REPRO002
+
+Run it as a module::
+
+    python -m repro.verify.lint src/
+    python -m repro.verify.lint --list-rules
+
+Exit status: 0 clean, 1 findings, 2 usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+RULES: Dict[str, str] = {
+    "REPRO001": "print() call in library code (use observability, or return data)",
+    "REPRO002": "class in core/ or engine/ without __slots__ (hot-path allocation)",
+    "REPRO003": "bare time.time() outside the instrumentation/observability layer",
+    "REPRO004": "mutable default argument",
+    "REPRO005": "disabled OpCounter constructed directly (use NULL_COUNTER)",
+}
+
+#: Files/packages where REPRO001 does not apply (user-facing output is
+#: their job).  ``lint.py`` is this command-line tool itself.
+_PRINT_EXEMPT_FILES = frozenset(("cli.py", "__main__.py", "lint.py"))
+_PRINT_EXEMPT_PACKAGES = frozenset(("analysis",))
+
+#: Packages whose classes must be slotted (REPRO002).
+_SLOTTED_PACKAGES = frozenset(("core", "engine"))
+
+#: Packages allowed to read wall clocks directly (REPRO003).
+_CLOCK_PACKAGES = frozenset(("instrumentation", "observability"))
+
+#: Module allowed to construct disabled OpCounters (REPRO005): the one
+#: defining NULL_COUNTER itself.
+_COUNTER_HOME = "counters.py"
+
+#: Base classes that make __slots__ meaningless or automatic.
+_SLOTS_EXEMPT_BASES = frozenset(
+    (
+        "Exception",
+        "BaseException",
+        "NamedTuple",
+        "TypedDict",
+        "Protocol",
+        "Enum",
+        "IntEnum",
+        "StrEnum",
+        "Flag",
+        "IntFlag",
+        "ABC",
+    )
+)
+
+_MUTABLE_DEFAULT_NODES = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)
+_MUTABLE_DEFAULT_CALLS = frozenset(
+    ("list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque")
+)
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint\s*:\s*disable\s*=\s*([A-Z0-9,\s]+)"
+)
+
+
+class Finding:
+    """One rule violation at a source location."""
+
+    __slots__ = ("path", "line", "col", "code", "message")
+
+    def __init__(
+        self, path: Path, line: int, col: int, code: str, message: str
+    ) -> None:
+        self.path = path
+        self.line = line
+        self.col = col
+        self.code = code
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"Finding({self.code} at {self.path}:{self.line})"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+
+def _pragma_disables(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> rule codes disabled on that line."""
+    disables: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match:
+            codes = frozenset(
+                c.strip() for c in match.group(1).split(",") if c.strip()
+            )
+            disables[lineno] = codes
+    return disables
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    """The rightmost name of a base-class expression, if any."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):  # Protocol[T], Generic[T], ...
+        return _base_name(node.value)
+    return None
+
+
+def _call_name(node: ast.expr) -> Optional[str]:
+    """The rightmost name of a call's callee, if any."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _has_slots(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__slots__"
+            ):
+                return True
+    return False
+
+
+def _is_slots_exempt(cls: ast.ClassDef) -> bool:
+    for base in cls.bases:
+        name = _base_name(base)
+        if name is not None and (
+            name in _SLOTS_EXEMPT_BASES or name.endswith(("Error", "Exception"))
+        ):
+            return True
+    for deco in cls.decorator_list:
+        # @dataclass(slots=True) (py>=3.10) generates __slots__ itself.
+        if (
+            isinstance(deco, ast.Call)
+            and _call_name(deco.func) == "dataclass"
+            and any(
+                kw.arg == "slots"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in deco.keywords
+            )
+        ):
+            return True
+    return False
+
+
+def _mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_DEFAULT_NODES):
+        return True
+    if isinstance(node, ast.Call):
+        name = _call_name(node.func)
+        return name in _MUTABLE_DEFAULT_CALLS
+    return False
+
+
+def _disabled_counter_call(node: ast.Call) -> bool:
+    """True for ``OpCounter(False)`` / ``OpCounter(enabled=False)``."""
+    if _call_name(node.func) != "OpCounter":
+        return False
+    for arg in node.args[:1]:
+        if isinstance(arg, ast.Constant) and arg.value is False:
+            return True
+    for kw in node.keywords:
+        if (
+            kw.arg == "enabled"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is False
+        ):
+            return True
+    return False
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-file rule evaluation; path decides which rules apply."""
+
+    def __init__(self, path: Path, source: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+        self._disables = _pragma_disables(source)
+        parts = path.parts
+        self._check_print = (
+            path.name not in _PRINT_EXEMPT_FILES
+            and not _PRINT_EXEMPT_PACKAGES.intersection(parts)
+        )
+        self._check_slots = bool(_SLOTTED_PACKAGES.intersection(parts))
+        self._check_clock = not _CLOCK_PACKAGES.intersection(parts)
+        self._check_counter = path.name != _COUNTER_HOME
+
+    def _add(self, node: ast.AST, code: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if code in self._disables.get(line, frozenset()):
+            return
+        self.findings.append(
+            Finding(self.path, line, getattr(node, "col_offset", 0),
+                    code, RULES[code])
+        )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._check_slots and not _has_slots(node) and not _is_slots_exempt(node):
+            self._add(node, "REPRO002")
+        self.generic_visit(node)
+
+    def _check_defaults(self, node: ast.AST, args: ast.arguments) -> None:
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if _mutable_default(default):
+                self._add(default, "REPRO004")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            self._check_print
+            and isinstance(func, ast.Name)
+            and func.id == "print"
+        ):
+            self._add(node, "REPRO001")
+        if (
+            self._check_clock
+            and isinstance(func, ast.Attribute)
+            and func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ):
+            self._add(node, "REPRO003")
+        if self._check_counter and _disabled_counter_call(node):
+            self._add(node, "REPRO005")
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: Path) -> List[Finding]:
+    """Lint one module's source text; raises ``SyntaxError`` on bad input."""
+    tree = ast.parse(source, filename=str(path))
+    checker = _Checker(path, source)
+    checker.visit(tree)
+    checker.findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return checker.findings
+
+
+def lint_file(path: Path) -> List[Finding]:
+    return lint_source(path.read_text(encoding="utf-8"), path)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def lint_paths(paths: Iterable[Path]) -> Tuple[List[Finding], int]:
+    """Lint files/trees; returns (findings, files_checked)."""
+    findings: List[Finding] = []
+    checked = 0
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path))
+        checked += 1
+    return findings, checked
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.lint",
+        description="Repository-specific AST lint rules (REPRO001-REPRO005).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (try 'src/')", file=sys.stderr)
+        return 2
+
+    targets = [Path(p) for p in args.paths]
+    missing = [p for p in targets if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"error: no such path: {p}", file=sys.stderr)
+        return 2
+    try:
+        findings, checked = lint_paths(targets)
+    except SyntaxError as exc:
+        print(f"error: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
+              file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    summary = (
+        f"{len(findings)} finding(s) in {checked} file(s)"
+        if findings
+        else f"clean: {checked} file(s)"
+    )
+    print(summary, file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

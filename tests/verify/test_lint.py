@@ -1,0 +1,187 @@
+"""Per-rule tests for :mod:`repro.verify.lint` (REPRO001-REPRO005)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify.lint import (
+    RULES,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src"
+
+
+def codes(source: str, path: str) -> list:
+    return [f.code for f in lint_source(source, Path(path))]
+
+
+LIB = "src/repro/core/example.py"
+
+
+class TestRepro001Print:
+    def test_print_in_library_flagged(self):
+        assert codes("print('hi')\n", LIB) == ["REPRO001"]
+
+    def test_cli_exempt(self):
+        assert codes("print('hi')\n", "src/repro/cli.py") == []
+
+    def test_main_module_exempt(self):
+        assert codes("print('hi')\n", "src/repro/engine/__main__.py") == []
+
+    def test_analysis_package_exempt(self):
+        assert codes("print('hi')\n", "src/repro/analysis/report.py") == []
+
+    def test_method_named_print_not_flagged(self):
+        assert codes("obj.print()\n", LIB) == []
+
+
+class TestRepro002Slots:
+    def test_unslotted_core_class_flagged(self):
+        assert codes("class A:\n    pass\n", LIB) == ["REPRO002"]
+
+    def test_unslotted_engine_class_flagged(self):
+        src = "class A:\n    x = 1\n"
+        assert codes(src, "src/repro/engine/thing.py") == ["REPRO002"]
+
+    def test_slotted_class_clean(self):
+        assert codes("class A:\n    __slots__ = ('x',)\n", LIB) == []
+
+    def test_annotated_slots_clean(self):
+        src = "class A:\n    __slots__: tuple = ('x',)\n"
+        assert codes(src, LIB) == []
+
+    def test_outside_hot_packages_not_checked(self):
+        assert codes("class A:\n    pass\n", "src/repro/machine/gantt.py") == []
+
+    def test_exception_subclass_exempt(self):
+        assert codes("class E(ValueError):\n    pass\n", LIB) == []
+        assert codes("class E(PartitioningError):\n    pass\n", LIB) == []
+
+    def test_namedtuple_exempt(self):
+        src = "class Row(NamedTuple):\n    x: int\n"
+        assert codes(src, LIB) == []
+
+    def test_dataclass_slots_true_exempt(self):
+        src = "@dataclass(slots=True)\nclass A:\n    x: int\n"
+        assert codes(src, LIB) == []
+
+    def test_plain_dataclass_flagged(self):
+        src = "@dataclass\nclass A:\n    x: int\n"
+        assert codes(src, LIB) == ["REPRO002"]
+
+
+class TestRepro003WallClock:
+    def test_time_time_flagged(self):
+        assert codes("import time\nt = time.time()\n", LIB) == ["REPRO003"]
+
+    def test_instrumentation_exempt(self):
+        src = "import time\nt = time.time()\n"
+        assert codes(src, "src/repro/instrumentation/timers.py") == []
+
+    def test_observability_exempt(self):
+        src = "import time\nt = time.time()\n"
+        assert codes(src, "src/repro/observability/spans.py") == []
+
+    def test_perf_counter_fine(self):
+        assert codes("import time\nt = time.perf_counter()\n", LIB) == []
+
+
+class TestRepro004MutableDefaults:
+    @pytest.mark.parametrize(
+        "default", ["[]", "{}", "set()", "dict()", "list()", "defaultdict(int)"]
+    )
+    def test_mutable_default_flagged(self, default):
+        assert codes(f"def f(x={default}):\n    pass\n", LIB) == ["REPRO004"]
+
+    def test_kwonly_default_flagged(self):
+        assert codes("def f(*, x=[]):\n    pass\n", LIB) == ["REPRO004"]
+
+    def test_lambda_default_flagged(self):
+        assert codes("f = lambda x=[]: x\n", LIB) == ["REPRO004"]
+
+    @pytest.mark.parametrize("default", ["()", "None", "0", "'s'", "frozenset()"])
+    def test_immutable_default_fine(self, default):
+        assert codes(f"def f(x={default}):\n    pass\n", LIB) == []
+
+
+class TestRepro005NullCounter:
+    def test_keyword_disabled_flagged(self):
+        assert codes("c = OpCounter(enabled=False)\n", LIB) == ["REPRO005"]
+
+    def test_positional_disabled_flagged(self):
+        assert codes("c = OpCounter(False)\n", LIB) == ["REPRO005"]
+
+    def test_enabled_counter_fine(self):
+        assert codes("c = OpCounter()\n", LIB) == []
+        assert codes("c = OpCounter(enabled=flag)\n", LIB) == []
+
+    def test_counters_module_exempt(self):
+        src = "NULL_COUNTER = OpCounter(enabled=False)\n"
+        path = "src/repro/instrumentation/counters.py"
+        assert codes(src, path) == []
+
+
+class TestPragma:
+    def test_pragma_suppresses_named_rule(self):
+        src = "class A:  # repro-lint: disable=REPRO002\n    pass\n"
+        assert codes(src, LIB) == []
+
+    def test_pragma_with_reason_text(self):
+        src = "class A:  # repro-lint: disable=REPRO002 (why not)\n    pass\n"
+        assert codes(src, LIB) == []
+
+    def test_pragma_other_rule_does_not_suppress(self):
+        src = "class A:  # repro-lint: disable=REPRO001\n    pass\n"
+        assert codes(src, LIB) == ["REPRO002"]
+
+    def test_pragma_multiple_codes(self):
+        src = (
+            "def f(x=[]):  # repro-lint: disable=REPRO004,REPRO001\n"
+            "    print(x)\n"
+        )
+        # print is on its own line; only the default is suppressed.
+        assert codes(src, LIB) == ["REPRO001"]
+
+
+class TestDriver:
+    def test_src_tree_is_clean(self):
+        findings, checked = lint_paths([SRC_ROOT])
+        assert checked > 50
+        assert findings == [], [f.render() for f in findings]
+
+    def test_iter_python_files_single_file(self):
+        files = list(iter_python_files([SRC_ROOT / "repro" / "cli.py"]))
+        assert len(files) == 1
+
+    def test_main_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in RULES:
+            assert code in out
+
+    def test_main_reports_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    pass\n")
+        assert main([str(bad)]) == 1
+        assert "REPRO004" in capsys.readouterr().out
+
+    def test_main_clean_exit_zero(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("def f(x=()):\n    pass\n")
+        assert main([str(good)]) == 0
+
+    def test_main_missing_path_exit_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.py")]) == 2
+
+    def test_main_no_paths_exit_two(self, capsys):
+        assert main([]) == 2
+
+    def test_main_syntax_error_exit_two(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        assert main([str(broken)]) == 2
+        assert "cannot parse" in capsys.readouterr().err

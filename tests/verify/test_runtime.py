@@ -1,0 +1,179 @@
+"""Tests for the ``REPRO_VERIFY`` runtime wiring.
+
+The flag must gate every entry point (solvers certify only when it is
+set), the cross-check must catch doctored engine results, and the CLI
+``--verify`` flags must turn the machinery on end to end.
+"""
+
+import json
+
+import pytest
+
+from repro.core.bandwidth import ChainCutResult, bandwidth_min
+from repro.core.inverse import chain_pareto_frontier, tree_pareto_frontier
+from repro.core.pipeline import partition_chain, partition_tree
+from repro.core.bottleneck import bottleneck_min
+from repro.core.processor_min import processor_min
+from repro.engine import PartitionEngine
+from repro.graphs.chain import Chain
+from repro.graphs.generators import random_chain, random_tree
+from repro.verify import VerificationError, verification_enabled
+from repro.verify.runtime import (
+    ENV_FLAG,
+    cross_check_chain_backends,
+    enable_verification,
+    maybe_verify_chain_result,
+    verify_chain_result,
+)
+
+
+@pytest.fixture
+def chain():
+    return Chain([4.0, 3.0, 5.0, 2.0, 6.0], [1.0, 9.0, 2.0, 3.0])
+
+
+class TestFlag:
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_truthy_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_FLAG, value)
+        assert verification_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "false", "", "off", "2"])
+    def test_falsy_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_FLAG, value)
+        assert not verification_enabled()
+
+    def test_unset_is_off(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert not verification_enabled()
+
+    def test_enable_verification_sets_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "0")  # registers teardown restore
+        enable_verification()
+        assert verification_enabled()
+
+
+class TestGating:
+    def test_disabled_flag_skips_even_bad_claims(self, monkeypatch, chain):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        # Blatantly false claim; must not raise while verification is off.
+        maybe_verify_chain_result(chain, [], 1.0)
+
+    def test_enabled_flag_checks(self, monkeypatch, chain):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        with pytest.raises(VerificationError):
+            maybe_verify_chain_result(chain, [], 7.0)
+
+    def test_verify_chain_result_accepts_optimum(self, chain):
+        result = bandwidth_min(chain, 7.0)
+        report = verify_chain_result(
+            chain,
+            result.cut_indices,
+            7.0,
+            claimed_weight=result.weight,
+            optimal_bandwidth=True,
+        )
+        assert report.ok
+
+
+class TestCrossCheck:
+    def test_honest_result_passes(self, chain):
+        result = bandwidth_min(chain, 7.0)
+        assert cross_check_chain_backends(chain, 7.0, result).ok
+
+    def test_doctored_weight_caught(self, chain):
+        result = bandwidth_min(chain, 7.0)
+        doctored = ChainCutResult(chain, result.cut_indices, result.weight + 1)
+        with pytest.raises(VerificationError, match="engine.weight_divergence"):
+            cross_check_chain_backends(chain, 7.0, doctored)
+
+    def test_doctored_cut_caught(self, chain):
+        result = bandwidth_min(chain, 7.0)
+        other = [i for i in range(chain.num_edges) if i not in result.cut_indices]
+        doctored = ChainCutResult(chain, other, result.weight)
+        with pytest.raises(VerificationError, match="engine.cut_divergence"):
+            cross_check_chain_backends(chain, 7.0, doctored)
+
+
+class TestSolverWiring:
+    """With the flag on, every solver path self-certifies cleanly."""
+
+    def test_engine_cache_solve(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        engine = PartitionEngine()
+        chain = random_chain(60, rng=7)
+        bound = 3.0 * chain.max_vertex_weight()
+        result = engine.solve(chain, bound)
+        # Warm-started second solve inside the stability interval is
+        # cross-checked too.
+        again = engine.solve(chain, bound * 1.0001)
+        assert result.weight >= again.weight
+
+    @pytest.mark.parametrize(
+        "objective",
+        ["bandwidth", "bottleneck", "processors",
+         "bottleneck+processors", "bottleneck+bandwidth"],
+    )
+    def test_partition_chain_objectives(self, monkeypatch, objective):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        chain = random_chain(40, rng=3)
+        bound = 4.0 * chain.max_vertex_weight()
+        result = partition_chain(chain, bound, objective)
+        assert result.is_feasible(bound)
+
+    def test_tree_solvers(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        tree = random_tree(50, rng=11)
+        bound = 3.0 * tree.max_vertex_weight()
+        bottleneck_min(tree, bound)
+        processor_min(tree, bound)
+        partition_tree(tree, bound)
+
+    def test_pareto_frontiers(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        assert len(chain_pareto_frontier(random_chain(30, rng=5), 6)) == 6
+        assert len(tree_pareto_frontier(random_tree(30, rng=5), 5)) == 5
+
+    def test_batch_records_verification_failure_per_query(self, monkeypatch):
+        # An infeasible query fails in its 'error' field either way; a
+        # feasible one must verify cleanly with the flag on.
+        from repro.engine import PartitionQuery
+
+        monkeypatch.setenv(ENV_FLAG, "1")
+        engine = PartitionEngine()
+        chain = random_chain(20, rng=1)
+        queries = [
+            PartitionQuery.from_chain(chain, 2.0 * chain.max_vertex_weight()),
+            PartitionQuery.from_chain(chain, 1e-6),
+        ]
+        results = engine.solve_many(queries, max_workers=0)
+        assert results[0].ok
+        assert not results[1].ok
+
+
+class TestCli:
+    def test_run_verify_flag(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv(ENV_FLAG, "0")  # restore after the CLI mutates it
+        assert main(["run", "--n", "50", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "certificate + backend cross-check OK" in out
+
+    def test_batch_verify_flag(self, monkeypatch, tmp_path):
+        from repro.cli import main
+
+        monkeypatch.setenv(ENV_FLAG, "0")
+        queries = tmp_path / "queries.jsonl"
+        results = tmp_path / "results.jsonl"
+        queries.write_text(
+            json.dumps({"alpha": [1, 2, 3, 4], "beta": [1, 1, 1], "bound": 5})
+            + "\n"
+        )
+        code = main(
+            ["batch", "--input", str(queries), "--output", str(results),
+             "--verify"]
+        )
+        assert code == 0
+        record = json.loads(results.read_text().splitlines()[0])
+        assert "error" not in record
