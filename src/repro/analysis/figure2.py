@@ -22,7 +22,7 @@ from repro.analysis.stats import mean
 from repro.core.bandwidth import bandwidth_stats
 from repro.core.prime_subpaths import PrimeStructure
 from repro.graphs.generators import bound_for_ratio, figure2_chain
-from repro.instrumentation.rng import spawn_rng
+from repro.instrumentation.rng import Seedable, spawn_rng
 
 
 @dataclass(frozen=True)
@@ -52,7 +52,7 @@ class Fig2Point:
 
 
 def _measure_once(
-    n: int, w_max: float, ratio: float, seed_labels
+    n: int, w_max: float, ratio: float, seed_labels: Sequence[Seedable]
 ) -> dict:
     rng = spawn_rng(20260706, *seed_labels)
     chain = figure2_chain(n, w_max, rng)

@@ -21,7 +21,7 @@ class ClaimResult:
     seconds: float
 
 
-def _check(claims: List[ClaimResult], claim: str, func: Callable[[], str]):
+def _check(claims: List[ClaimResult], claim: str, func: Callable[[], str]) -> None:
     start = time.perf_counter()
     try:
         detail = func()
@@ -55,20 +55,20 @@ def run_report(quick: bool = True) -> List[ClaimResult]:
     )
     summary = headline_claims(points)[n]
 
-    def fig2_max():
+    def fig2_max() -> str:
         ratio = summary["max_ratio_of_nlogn"]
         assert ratio < 0.5, f"max p log q at {100*ratio:.0f}% of n log n"
         return f"max p log q = {100*ratio:.0f}% of n log n"
 
     _check(claims, "Fig2: max p log q << n log n", fig2_max)
 
-    def fig2_extremes():
+    def fig2_extremes() -> str:
         assert summary["low_at_extremes"]
         return "p log q low at extreme K"
 
     _check(claims, "Fig2: low for high and low K", fig2_extremes)
 
-    def prime_length():
+    def prime_length() -> str:
         point = next(p for p in points if p.ratio == 16.0)
         predicted = 2 * point.bound / (1.0 + point.w_max)
         assert abs(point.mean_prime_length - predicted) < 0.2 * predicted, (
@@ -82,7 +82,7 @@ def run_report(quick: bool = True) -> List[ClaimResult]:
     _check(claims, "S2.3.2: prime length ~ 2K/(w1+w2)", prime_length)
 
     # --- Appendix B ---------------------------------------------------
-    def temps():
+    def temps() -> str:
         pts = temp_s_length_experiment([n], [32.0, 256.0], repetitions=reps)
         for point in pts:
             assert point.mean_temp_s_len <= 3 * point.log2_q + 2
@@ -96,7 +96,7 @@ def run_report(quick: bool = True) -> List[ClaimResult]:
     _check(claims, "Appendix B: |TEMP_S| ~ log q", temps)
 
     # --- Linear average case -------------------------------------------
-    def linear():
+    def linear() -> str:
         sizes = [n, 2 * n, 4 * n]
         _points, lin, _nl = linear_average_case(
             sizes, ratio=3.0, repetitions=reps, measure_time=False
@@ -107,7 +107,7 @@ def run_report(quick: bool = True) -> List[ClaimResult]:
     _check(claims, "S2.3.2: linear time at bounded K/w", linear)
 
     # --- Algorithm agreement -------------------------------------------
-    def agreement():
+    def agreement() -> str:
         rng = spawn_rng(20260706, "report", n)
         chain = figure2_chain(n, 100.0, rng)
         bound = bound_for_ratio(chain, 8.0)
@@ -119,7 +119,7 @@ def run_report(quick: bool = True) -> List[ClaimResult]:
 
     _check(claims, "S2.3: algorithms agree on the optimum", agreement)
 
-    def ops_win():
+    def ops_win() -> str:
         rng = spawn_rng(20260706, "report-ops", n)
         chain = figure2_chain(4 * n, 100.0, rng)
         bound = bound_for_ratio(chain, 8.0)
@@ -134,7 +134,7 @@ def run_report(quick: bool = True) -> List[ClaimResult]:
     _check(claims, "S2.3.2: fewer operations than O(n log n)", ops_win)
 
     # --- Tree algorithms ------------------------------------------------
-    def tree_claims():
+    def tree_claims() -> str:
         from repro.baselines.tree_dp import min_cuts_exact
         from repro.core import partition_tree, processor_min
         from repro.graphs.generators import random_tree
@@ -154,7 +154,7 @@ def run_report(quick: bool = True) -> List[ClaimResult]:
     _check(claims, "S2.1/2.2: tree algorithms optimal", tree_claims)
 
     # --- Theorem 1 -------------------------------------------------------
-    def theorem1():
+    def theorem1() -> str:
         from repro.baselines import (
             enumerate_tree_optima,
             star_bandwidth_min,
@@ -170,7 +170,7 @@ def run_report(quick: bool = True) -> List[ClaimResult]:
     _check(claims, "Theorem 1: star <-> knapsack", theorem1)
 
     # --- Section 3 -------------------------------------------------------
-    def realtime():
+    def realtime() -> str:
         from repro.graphs.generators import random_chain
         from repro.machine import SharedBus, SharedMemoryMachine
         from repro.realtime import RealTimeTask
@@ -195,7 +195,7 @@ def run_report(quick: bool = True) -> List[ClaimResult]:
 
     _check(claims, "S3: real-time objectives trade off as claimed", realtime)
 
-    def des():
+    def des() -> str:
         from repro.core import bandwidth_min as bw
         from repro.desim import (
             LogicSimulator,
@@ -222,7 +222,7 @@ def run_report(quick: bool = True) -> List[ClaimResult]:
 
     _check(claims, "S3: partitioned simulation minimizes messages", des)
 
-    def lexicographic():
+    def lexicographic() -> str:
         rng = spawn_rng(3, "report-lex")
         from repro.graphs.generators import random_chain
 

@@ -25,8 +25,10 @@ from typing import List
 from repro.core.bandwidth import ChainCutResult
 from repro.core.feasibility import validate_bound
 from repro.graphs.chain import Chain
+from repro.verify.contracts import complexity
 
 
+@complexity("n^2")
 def bandwidth_min_dp(chain: Chain, bound: float) -> ChainCutResult:
     """Exact minimum-bandwidth load-bounded cut, ``O(n^2)``."""
     validate_bound(chain.alpha, bound)

@@ -17,14 +17,21 @@ plays in the paper's comparison (Section 2.3.2).
 from __future__ import annotations
 
 import heapq
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.core.bandwidth import ChainCutResult
 from repro.core.feasibility import validate_bound
 from repro.graphs.chain import Chain
+from repro.verify.contracts import complexity
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.observability import Span, Tracer
 
 
-def bandwidth_min_nlogn(chain: Chain, bound: float, tracer=None) -> ChainCutResult:
+@complexity("n log n", counters=("heap_pushes", "heap_pops"))
+def bandwidth_min_nlogn(
+    chain: Chain, bound: float, tracer: Optional["Tracer"] = None
+) -> ChainCutResult:
     """Exact minimum-bandwidth load-bounded cut in ``O(n log n)``.
 
     An enabled ``tracer`` wraps the DP in a ``nicol_dp_sweep`` span
@@ -43,7 +50,9 @@ def bandwidth_min_nlogn(chain: Chain, bound: float, tracer=None) -> ChainCutResu
     return result
 
 
-def _nlogn_impl(chain: Chain, bound: float, span=None) -> ChainCutResult:
+def _nlogn_impl(
+    chain: Chain, bound: float, span: Optional["Span"] = None
+) -> ChainCutResult:
     validate_bound(chain.alpha, bound)
     n = chain.num_tasks
     prefix = chain.prefix_weights()

@@ -23,6 +23,7 @@ from typing import List, Sequence, Set, Tuple
 from repro.core.feasibility import validate_bound
 from repro.graphs.task_graph import Edge
 from repro.graphs.tree import Tree
+from repro.verify.contracts import complexity
 
 
 @dataclass(frozen=True)
@@ -34,6 +35,7 @@ class KnapsackSolution:
     weight: float
 
 
+@complexity("n c")
 def knapsack_01(
     weights: Sequence[float], profits: Sequence[float], capacity: float
 ) -> KnapsackSolution:

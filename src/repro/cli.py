@@ -479,6 +479,81 @@ def _cmd_fig2plot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Static + empirical analyzer gate (contracts, flow, complexity)."""
+    import json
+    from pathlib import Path
+
+    from repro.verify.contracts import check_contracts
+    from repro.verify.flow import check_flow
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            for p in missing:
+                print(f"analyze: no such path: {p}", file=sys.stderr)
+            return 2
+    else:
+        import repro
+
+        paths = [Path(repro.__file__).resolve().parent]
+
+    # No explicit selection runs the static passes; --complexity adds
+    # (or, alone, restricts to) the empirical gate.
+    run_contracts = args.contracts or not (args.flow or args.complexity)
+    run_flow = args.flow or not (args.contracts or args.complexity)
+    report: dict = {}
+    findings = []
+    try:
+        if run_contracts:
+            contract_findings, checked = check_contracts(paths)
+            findings.extend(contract_findings)
+            report["contracts"] = {
+                "files": checked,
+                "findings": [f.render() for f in contract_findings],
+            }
+        if run_flow:
+            flow_findings, checked = check_flow(paths)
+            findings.extend(flow_findings)
+            report["flow"] = {
+                "files": checked,
+                "findings": [f.render() for f in flow_findings],
+            }
+    except SyntaxError as exc:
+        print(
+            f"analyze: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
+            file=sys.stderr,
+        )
+        return 2
+
+    gate = None
+    if args.complexity:
+        from repro.verify.empirical import run_complexity_gate
+
+        gate = run_complexity_gate(
+            scales=[int(s) for s in args.scales.split(",")],
+            reps=args.reps,
+            tolerance=args.tol,
+            seed=args.seed,
+        )
+        report["complexity"] = gate.as_dict()
+
+    failed = bool(findings) or (gate is not None and not gate.passed)
+    report["passed"] = not failed
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if gate is not None:
+            print(gate.render())
+        if not failed:
+            parts = [k for k in ("contracts", "flow", "complexity") if k in report]
+            print(f"analyze: clean ({', '.join(parts)})", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -629,6 +704,41 @@ def build_parser() -> argparse.ArgumentParser:
                    default=["1.2", "2", "4", "8", "16", "40", "100", "300"])
     p.add_argument("--reps", type=int, default=2)
     p.set_defaults(func=_cmd_fig2plot)
+
+    p = sub.add_parser(
+        "analyze",
+        help="complexity-contract and concurrency-safety analyzer "
+        "(REPRO006-REPRO011)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/trees to analyze (default: the installed repro package)",
+    )
+    p.add_argument(
+        "--contracts", action="store_true",
+        help="run only the @complexity contract pass (REPRO010/REPRO011)",
+    )
+    p.add_argument(
+        "--flow", action="store_true",
+        help="run only the process-pool hygiene pass (REPRO006-REPRO008)",
+    )
+    p.add_argument(
+        "--complexity", action="store_true",
+        help="run the empirical complexity gate (REPRO009)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.add_argument(
+        "--scales", default="512,1024,2048,4096,8192",
+        help="comma-separated workload sizes for --complexity",
+    )
+    p.add_argument("--reps", type=int, default=2,
+                   help="instances per scale for --complexity")
+    p.add_argument("--tol", type=float, default=0.25,
+                   help="allowed excess over the declared growth exponent")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload seed for --complexity")
+    p.set_defaults(func=_cmd_analyze)
 
     return parser
 

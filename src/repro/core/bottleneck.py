@@ -32,6 +32,7 @@ from repro.core.feasibility import validate_bound
 from repro.graphs.partition import Cut, Partition
 from repro.graphs.task_graph import Edge
 from repro.graphs.tree import Tree
+from repro.verify.contracts import complexity
 
 
 @dataclass
@@ -66,6 +67,7 @@ def _sorted_edges(tree: Tree) -> List[Tuple[float, Edge]]:
     )
 
 
+@complexity("n^2")
 def bottleneck_min_naive(tree: Tree, bound: float) -> TreeCutResult:
     """Algorithm 2.1 exactly as printed: grow ``S`` one sorted edge at a
     time, re-checking feasibility after each addition.  ``O(n^2)``."""
@@ -126,6 +128,7 @@ class _UnionFind:
         return self.weight[ru]
 
 
+@complexity("n log n")
 def bottleneck_min(tree: Tree, bound: float) -> TreeCutResult:
     """Optimized Algorithm 2.1: identical output, one union-find sweep.
 

@@ -28,6 +28,8 @@ from typing import TYPE_CHECKING, Any, List, NamedTuple, Optional, Tuple
 
 from repro.core.feasibility import validate_bound
 from repro.graphs.chain import Chain
+from repro.instrumentation.counters import OpCounter
+from repro.verify.contracts import complexity
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.observability import Tracer
@@ -65,7 +67,13 @@ class PrimeSubpath(NamedTuple):
         return self.first_edge <= edge <= self.last_edge
 
 
-def find_prime_subpaths(chain: Chain, bound: float) -> List[PrimeSubpath]:
+@complexity(
+    "n",
+    counters=("prime_tasks_scanned", "prime_window_advances", "prime_candidates"),
+)
+def find_prime_subpaths(
+    chain: Chain, bound: float, counter: Optional[OpCounter] = None
+) -> List[PrimeSubpath]:
     """All prime subpaths of ``chain`` under the bound, left to right.
 
     Two-pointer sweep, ``O(n)``.  For each left endpoint ``a`` the sweep
@@ -76,6 +84,13 @@ def find_prime_subpaths(chain: Chain, bound: float) -> List[PrimeSubpath]:
 
     Both endpoint sequences of the returned list are strictly
     increasing, which is the ordering property Algorithm 4.1 relies on.
+
+    ``counter`` receives the sweep's work, derived analytically from the
+    loop's final state (no per-iteration branches in the hot loop):
+    ``prime_tasks_scanned`` left-endpoint iterations,
+    ``prime_window_advances`` total right-pointer movement and
+    ``prime_candidates`` candidate windows — each non-decreasing under
+    chain extension, which the complexity gate's monotone fit relies on.
     """
     validate_bound(chain.alpha, bound)
     n = chain.num_tasks
@@ -84,6 +99,7 @@ def find_prime_subpaths(chain: Chain, bound: float) -> List[PrimeSubpath]:
     # ends[a] = smallest b >= a with weight(a..b) > bound, or None.
     candidates: List[Tuple[int, int]] = []
     b = 0
+    scanned = n
     for a in range(n):
         if b <= a:
             # A single task is never critical: feasibility checked
@@ -96,8 +112,13 @@ def find_prime_subpaths(chain: Chain, bound: float) -> List[PrimeSubpath]:
         while b < n and prefix[b + 1] - prefix[a] <= bound:
             b += 1
         if b == n:
+            scanned = a + 1
             break  # no window starting at >= a can exceed the bound
         candidates.append((a, b))
+    if counter is not None:
+        counter.add("prime_tasks_scanned", scanned)
+        counter.add("prime_window_advances", b)
+        counter.add("prime_candidates", len(candidates))
 
     primes: List[PrimeSubpath] = []
     for idx, (a, b) in enumerate(candidates):
@@ -168,6 +189,7 @@ def reduce_edges(
     primes: List[PrimeSubpath],
     membership: Optional[Tuple[List[int], List[int]]] = None,
     apply_reduction: bool = True,
+    counter: Optional[OpCounter] = None,
 ) -> List[ReducedEdge]:
     """The non-redundant edge list, in increasing edge order.
 
@@ -177,7 +199,12 @@ def reduce_edges(
     (leftmost on ties, for determinism).  Pass
     ``apply_reduction=False`` to keep every covered edge — used by the
     ablation benchmarks to measure what the reduction buys.
+
+    ``counter`` receives ``prime_edge_scans`` — one unit per chain edge
+    examined, i.e. exactly ``n - 1`` (analytic, outside the loop).
     """
+    if counter is not None:
+        counter.add("prime_edge_scans", chain.num_edges)
     lo, hi = membership or edge_membership_intervals(primes, chain.num_edges)
     kept: List[ReducedEdge] = []
     beta = chain.beta
@@ -221,6 +248,7 @@ class PrimeStructure:
         bound: float,
         apply_reduction: bool = True,
         backend: str = "python",
+        counter: Optional[OpCounter] = None,
     ) -> "PrimeStructure":
         """Build the structure with the requested backend.
 
@@ -232,8 +260,10 @@ class PrimeStructure:
             return compute_prime_structure(
                 chain, bound, apply_reduction=apply_reduction, backend=backend
             )
-        primes = find_prime_subpaths(chain, bound)
-        edges = reduce_edges(chain, primes, apply_reduction=apply_reduction)
+        primes = find_prime_subpaths(chain, bound, counter=counter)
+        edges = reduce_edges(
+            chain, primes, apply_reduction=apply_reduction, counter=counter
+        )
         return cls(chain, bound, primes, edges)
 
     @property
@@ -275,12 +305,22 @@ class PrimeStructure:
         return min(sp.weight for sp in self.primes)
 
 
+@complexity(
+    "n",
+    counters=(
+        "prime_tasks_scanned",
+        "prime_window_advances",
+        "prime_candidates",
+        "prime_edge_scans",
+    ),
+)
 def compute_prime_structure(
     chain: Chain,
     bound: float,
     apply_reduction: bool = True,
     backend: str = "python",
     tracer: Optional["Tracer"] = None,
+    counter: Optional[OpCounter] = None,
 ) -> Any:
     """Backend dispatcher for the ``O(n)`` preprocessing.
 
@@ -294,18 +334,22 @@ def compute_prime_structure(
     ``tracer`` (a :class:`repro.observability.Tracer`) records the two
     preprocessing phases as nested spans with the paper's quantities
     (``p``, ``r``) attached; ``None`` or a disabled tracer costs one
-    branch.
+    branch.  ``counter`` receives the reference sweep's analytic op
+    counts (see :func:`find_prime_subpaths`); it is a reference-path
+    feature — the vectorized backend does not thread it.
     """
     if backend == "python":
         if tracer is None or not tracer.enabled:
             return PrimeStructure.compute(
-                chain, bound, apply_reduction=apply_reduction
+                chain, bound, apply_reduction=apply_reduction, counter=counter
             )
         with tracer.span("find_primes", n=chain.num_tasks, bound=bound) as sp:
-            primes = find_prime_subpaths(chain, bound)
+            primes = find_prime_subpaths(chain, bound, counter=counter)
             sp.set("p", len(primes))
         with tracer.span("reduce_edges", num_edges=chain.num_edges) as sp:
-            edges = reduce_edges(chain, primes, apply_reduction=apply_reduction)
+            edges = reduce_edges(
+                chain, primes, apply_reduction=apply_reduction, counter=counter
+            )
             sp.set("r", len(edges))
         return PrimeStructure(chain, bound, primes, edges)
     if backend == "numpy":

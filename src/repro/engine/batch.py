@@ -444,7 +444,10 @@ _WORKER_ENGINE: Optional[PartitionEngine] = None
 def _worker_engine(backend: str) -> PartitionEngine:
     global _WORKER_ENGINE
     if _WORKER_ENGINE is None or _WORKER_ENGINE.backend != backend:
-        _WORKER_ENGINE = PartitionEngine(backend=backend, max_workers=0)
+        # Intentional per-process cache: each worker owns its engine so
+        # prime structures persist across the chunks it processes, and
+        # nothing here must ever flow back to the parent.
+        _WORKER_ENGINE = PartitionEngine(backend=backend, max_workers=0)  # repro-lint: disable=REPRO006 (per-process cache)
     return _WORKER_ENGINE
 
 

@@ -45,6 +45,7 @@ except ImportError:  # pragma: no cover - exercised on minimal installs
 
 from repro.core.feasibility import InfeasibleBoundError
 from repro.graphs.chain import Chain
+from repro.verify.contracts import complexity
 
 
 def require_numpy() -> None:
@@ -302,6 +303,7 @@ class ArrayPrimeStructure:
         )
 
 
+@complexity("n")
 def compute_prime_structure_numpy(
     chain: Chain,
     bound: float,
@@ -363,6 +365,7 @@ def compute_prime_structure_numpy(
     )
 
 
+@complexity("n + p log q")
 def sweep_min_cut(
     edge_index: List[int],
     edge_weight: List[float],
@@ -454,6 +457,7 @@ def sweep_min_cut(
     return cut, weight
 
 
+@complexity("n + p log q")
 def bandwidth_sweep(structure: Any) -> Tuple[List[int], float]:
     """Run the fast sweep over a prime structure (array-backed or not).
 

@@ -1,4 +1,4 @@
-"""Static verification layer: certificate checkers and repo lint rules.
+"""Static verification layer: certificates, contracts, flow and lint.
 
 The paper's outputs are all *cuts*, and a claimed cut is cheap to audit
 independently of how it was computed: the execution-time bound (every
@@ -15,35 +15,74 @@ that observation into tooling:
   self-certify, including a pure-Python cross-check of the NumPy
   kernels on cached/warm-started engine paths;
 - :mod:`repro.verify.lint` — the repo-specific AST lint pass
-  (``python -m repro.verify.lint src/``).
+  (``python -m repro.verify.lint src/ tests/ benchmarks/``);
+- :mod:`repro.verify.contracts` — machine-readable ``@complexity``
+  budgets on every solver plus the AST pass enforcing them
+  (REPRO010/REPRO011);
+- :mod:`repro.verify.flow` — the process-pool hygiene dataflow pass
+  (REPRO006-REPRO008);
+- :mod:`repro.verify.empirical` — the ``repro analyze --complexity``
+  gate fitting OpCounter telemetry against declared budgets (REPRO009).
+
+Re-exports resolve lazily (PEP 562): solver modules apply
+``@repro.verify.contracts.complexity`` decorators at import time, so
+importing this package must not eagerly pull :mod:`certificates` (which
+imports the solver core right back).  ``contracts``, ``flow`` and
+``lint`` stay stdlib-only for the same reason.
 """
 
-from repro.verify.certificates import (
-    CertificateReport,
-    VerificationError,
-    Violation,
-    check_chain_partition,
-    check_pareto_frontier,
-    check_prime_cover,
-    check_tree_cut,
-)
-from repro.verify.runtime import (
-    cross_check_chain_backends,
-    verification_enabled,
-    verify_chain_result,
-    verify_tree_result,
-)
+from typing import TYPE_CHECKING, Any, List
 
-__all__ = [
-    "CertificateReport",
-    "VerificationError",
-    "Violation",
-    "check_chain_partition",
-    "check_pareto_frontier",
-    "check_prime_cover",
-    "check_tree_cut",
-    "cross_check_chain_backends",
-    "verification_enabled",
-    "verify_chain_result",
-    "verify_tree_result",
-]
+if TYPE_CHECKING:  # pragma: no cover - re-export types for checkers only
+    from repro.verify.certificates import (
+        CertificateReport,
+        VerificationError,
+        Violation,
+        check_chain_partition,
+        check_pareto_frontier,
+        check_prime_cover,
+        check_tree_cut,
+    )
+    from repro.verify.contracts import ComplexityContract, complexity
+    from repro.verify.runtime import (
+        cross_check_chain_backends,
+        verification_enabled,
+        verify_chain_result,
+        verify_tree_result,
+    )
+
+_EXPORTS = {
+    "CertificateReport": "repro.verify.certificates",
+    "VerificationError": "repro.verify.certificates",
+    "Violation": "repro.verify.certificates",
+    "check_chain_partition": "repro.verify.certificates",
+    "check_pareto_frontier": "repro.verify.certificates",
+    "check_prime_cover": "repro.verify.certificates",
+    "check_tree_cut": "repro.verify.certificates",
+    "ComplexityContract": "repro.verify.contracts",
+    "complexity": "repro.verify.contracts",
+    "cross_check_chain_backends": "repro.verify.runtime",
+    "verification_enabled": "repro.verify.runtime",
+    "verify_chain_result": "repro.verify.runtime",
+    "verify_tree_result": "repro.verify.runtime",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,471 @@
+"""Process-pool hygiene: an AST dataflow pass over worker code.
+
+:meth:`repro.engine.batch.PartitionEngine.solve_many` fans queries out
+over a ``concurrent.futures`` process pool, and the discrete-event
+simulators in :mod:`repro.desim` model the same fan-out.  Code that runs
+in a pool worker lives under constraints the interpreter cannot enforce:
+the submitted callable and its arguments must pickle, module globals are
+per-process copies whose mutation silently diverges from the parent, and
+unseeded random streams repeat across forked workers.  This pass walks
+the call graph reachable from pool-submitted entry points and flags:
+
+==========  ==========================================================
+Code        Rule
+==========  ==========================================================
+REPRO006    Worker-reachable code rebinds or mutates a module-level
+            global.  Each process has its own copy; the parent never
+            sees the write, so results depend on pool scheduling.
+REPRO007    A callable submitted to a process pool cannot pickle: a
+            ``lambda``/nested function, or a closure/argument carrying
+            an unpicklable value (``Tracer``, locks, open handles,
+            threads).
+REPRO008    Worker-reachable code draws from the module-level
+            ``random`` / ``numpy.random`` stream without seeding —
+            forked workers inherit identical state and replay the same
+            "random" numbers.
+==========  ==========================================================
+
+Detection is intra-module and name-based (no type inference): pools are
+names bound to ``ProcessPoolExecutor(...)`` / ``multiprocessing.Pool``
+constructions, workers are the first argument of ``submit``/``map``
+(and friends) on such a name, and reachability follows direct
+``Name(...)`` calls between module-level functions.  Thread pools are
+exempt — they share the parent's memory and pickle nothing.  Findings
+honour the shared ``# repro-lint: disable=...`` pragma grammar.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.verify.lint import Finding, iter_python_files, pragma_disables
+
+FLOW_RULES: Dict[str, str] = {
+    "REPRO006": "worker code mutates a module-level global (per-process copy)",
+    "REPRO007": "unpicklable callable or capture submitted to a process pool",
+    "REPRO008": "unseeded random stream in process-pool worker code",
+}
+
+#: Constructors whose result is a *process* pool.
+_POOL_CONSTRUCTORS = frozenset(("ProcessPoolExecutor", "Pool"))
+#: Pool methods whose first argument is a callable shipped to workers.
+_SUBMIT_METHODS = frozenset(
+    (
+        "submit",
+        "map",
+        "apply",
+        "apply_async",
+        "imap",
+        "imap_unordered",
+        "starmap",
+        "starmap_async",
+    )
+)
+#: Constructors whose instances cannot cross a process boundary.
+_UNPICKLABLE_CONSTRUCTORS = frozenset(
+    (
+        "Tracer",
+        "Span",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Event",
+        "Barrier",
+        "Thread",
+        "local",
+        "open",
+        "socket",
+    )
+)
+#: ``random``-module call names that *configure* rather than draw from
+#: the stream (or build an owned generator, which is the sanctioned
+#: pattern) — never flagged.
+_RANDOM_SAFE = frozenset(
+    ("seed", "Random", "SystemRandom", "default_rng", "RandomState", "Generator")
+)
+
+#: Mutating method names on containers (REPRO006 on a module global).
+_MUTATOR_METHODS = frozenset(
+    (
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+    )
+)
+
+
+def _func_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_pool_construction(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and _func_name(node.func) in _POOL_CONSTRUCTORS
+    )
+
+
+class _FunctionScope:
+    """Everything the pass needs to know about one function body."""
+
+    __slots__ = ("node", "name", "calls", "unpicklable_locals", "nested", "pools")
+
+    def __init__(self, node: ast.AST, name: str) -> None:
+        self.node = node
+        self.name = name
+        #: Names of module-level functions this body calls directly.
+        self.calls: Set[str] = set()
+        #: Local names bound to a known-unpicklable construction, with
+        #: the constructor name (``tracer`` -> ``Tracer``).
+        self.unpicklable_locals: Dict[str, str] = {}
+        #: Names of functions defined *inside* this body.
+        self.nested: Set[str] = set()
+        #: Local names bound to a *process* pool.
+        self.pools: Set[str] = set()
+
+
+class _ModuleIndex(ast.NodeVisitor):
+    """First pass: module globals, functions, scopes, pool submissions."""
+
+    def __init__(self) -> None:
+        self.module_globals: Set[str] = set()
+        self.functions: Dict[str, ast.AST] = {}
+        self.scopes: List[_FunctionScope] = []
+        #: ``(scope, call node, submitted-callable expr)`` triples.
+        self.submissions: List[Tuple[_FunctionScope, ast.Call, ast.expr]] = []
+        self._stack: List[_FunctionScope] = []
+
+    # -- module surface -------------------------------------------------
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.module_globals.add(target.id)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(stmt.target, ast.Name):
+                    self.module_globals.add(stmt.target.id)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[stmt.name] = stmt
+        self.generic_visit(node)
+
+    # -- function scopes ------------------------------------------------
+    def _enter(self, node: ast.AST, name: str) -> None:
+        scope = _FunctionScope(node, name)
+        if self._stack:
+            self._stack[-1].nested.add(name)
+        self.scopes.append(scope)
+        self._stack.append(scope)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter(node, node.name)
+
+    # -- within a scope -------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._stack and _is_pool_construction(node.value):
+            self._pool_names(node.targets)
+        if self._stack and isinstance(node.value, ast.Call):
+            ctor = _func_name(node.value.func)
+            if ctor in _UNPICKLABLE_CONSTRUCTORS:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._stack[-1].unpicklable_locals[target.id] = ctor
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._with_items(node.items)
+        self.generic_visit(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._with_items(node.items)
+        self.generic_visit(node)
+
+    def _with_items(self, items: List[ast.withitem]) -> None:
+        if not self._stack:
+            return
+        for item in items:
+            if _is_pool_construction(item.context_expr) and isinstance(
+                item.optional_vars, ast.Name
+            ):
+                self._stack[-1].pools.add(item.optional_vars.id)
+
+    def _pool_names(self, targets: List[ast.expr]) -> None:
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self._stack[-1].pools.add(target.id)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._stack:
+            scope = self._stack[-1]
+            name = _func_name(node.func)
+            if isinstance(node.func, ast.Name) and name is not None:
+                scope.calls.add(name)
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SUBMIT_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in scope.pools
+                and node.args
+            ):
+                self.submissions.append((scope, node, node.args[0]))
+        self.generic_visit(node)
+
+
+def _reachable_workers(
+    index: _ModuleIndex, roots: Set[str]
+) -> Set[str]:
+    """Module-level functions reachable from the worker entry points."""
+    by_name = {scope.name: scope for scope in index.scopes}
+    seen: Set[str] = set()
+    frontier = [name for name in roots if name in index.functions]
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        scope = by_name.get(name)
+        if scope is None:
+            continue
+        for callee in scope.calls:
+            if callee in index.functions and callee not in seen:
+                frontier.append(callee)
+    return seen
+
+
+class _WorkerBodyChecker(ast.NodeVisitor):
+    """Second pass: REPRO006/REPRO008 inside one worker-reachable body."""
+
+    def __init__(
+        self,
+        path: Path,
+        func: ast.AST,
+        module_globals: FrozenSet[str],
+        disables: Dict[int, FrozenSet[str]],
+    ) -> None:
+        self.path = path
+        self.func = func
+        self.module_globals = module_globals
+        self.disables = disables
+        self.findings: List[Finding] = []
+        self._declared_global: Set[str] = set()
+        self._seeds_locally = any(
+            isinstance(node, ast.Call)
+            and _func_name(node.func) in ("seed",)
+            for node in ast.walk(func)
+        )
+
+    def _add(self, node: ast.AST, code: str, detail: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if code in self.disables.get(line, frozenset()):
+            return
+        self.findings.append(
+            Finding(
+                self.path,
+                line,
+                getattr(node, "col_offset", 0),
+                code,
+                f"{FLOW_RULES[code]}: {detail}",
+            )
+        )
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self._declared_global.update(node.names)
+
+    def _flag_if_global_write(self, target: ast.expr, node: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self._declared_global:
+                self._add(node, "REPRO006", f"rebinds global '{target.id}'")
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            base = target.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id in self.module_globals
+            ):
+                self._add(
+                    node, "REPRO006", f"writes into global '{base.id}'"
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._flag_if_global_write(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._flag_if_global_write(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._flag_if_global_write(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            base, attr = func.value.id, func.attr
+            if base in self.module_globals and attr in _MUTATOR_METHODS:
+                self._add(
+                    node,
+                    "REPRO006",
+                    f"calls '{base}.{attr}(...)' on a module global",
+                )
+            if (
+                base == "random"
+                and attr not in _RANDOM_SAFE
+                and not self._seeds_locally
+            ):
+                self._add(
+                    node,
+                    "REPRO008",
+                    f"draws from module-level 'random.{attr}()'",
+                )
+        # np.random.<draw>() arrives as Attribute(Attribute(np, random), draw)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in ("np", "numpy")
+            and func.attr not in _RANDOM_SAFE
+            and not self._seeds_locally
+        ):
+            self._add(
+                node,
+                "REPRO008",
+                f"draws from module-level 'numpy.random.{func.attr}()'",
+            )
+        self.generic_visit(node)
+
+
+def flow_check_source(source: str, path: Path) -> List[Finding]:
+    """Run the full pass over one module's source text."""
+    tree = ast.parse(source, filename=str(path))
+    disables = pragma_disables(source)
+    index = _ModuleIndex()
+    index.visit(tree)
+    findings: List[Finding] = []
+    roots: Set[str] = set()
+
+    # REPRO007 at the submission sites; collect named roots on the way.
+    for scope, call, target in index.submissions:
+        line_disables = disables.get(call.lineno, frozenset())
+        if isinstance(target, ast.Lambda):
+            captured = sorted(
+                name
+                for name in _free_names(target)
+                if name in scope.unpicklable_locals
+            )
+            detail = "submits a lambda (never picklable)"
+            if captured:
+                ctor = scope.unpicklable_locals[captured[0]]
+                detail += (
+                    f"; it captures '{captured[0]}' "
+                    f"bound to {ctor}(...)"
+                )
+            if "REPRO007" not in line_disables:
+                findings.append(
+                    Finding(
+                        path,
+                        target.lineno,
+                        target.col_offset,
+                        "REPRO007",
+                        f"{FLOW_RULES['REPRO007']}: {detail}",
+                    )
+                )
+        elif isinstance(target, ast.Name):
+            if target.id in scope.nested:
+                if "REPRO007" not in line_disables:
+                    findings.append(
+                        Finding(
+                            path,
+                            call.lineno,
+                            call.col_offset,
+                            "REPRO007",
+                            f"{FLOW_RULES['REPRO007']}: submits nested "
+                            f"function '{target.id}' (never picklable)",
+                        )
+                    )
+            else:
+                roots.add(target.id)
+        # Unpicklable values among the remaining submit arguments.
+        for arg in list(call.args[1:]) + [kw.value for kw in call.keywords]:
+            if (
+                isinstance(arg, ast.Name)
+                and arg.id in scope.unpicklable_locals
+                and "REPRO007" not in line_disables
+            ):
+                ctor = scope.unpicklable_locals[arg.id]
+                findings.append(
+                    Finding(
+                        path,
+                        arg.lineno,
+                        arg.col_offset,
+                        "REPRO007",
+                        f"{FLOW_RULES['REPRO007']}: passes '{arg.id}' "
+                        f"bound to {ctor}(...) to a pool worker",
+                    )
+                )
+
+    # REPRO006/REPRO008 inside every worker-reachable function body.
+    module_globals = frozenset(index.module_globals)
+    for name in sorted(_reachable_workers(index, roots)):
+        checker = _WorkerBodyChecker(
+            path, index.functions[name], module_globals, disables
+        )
+        checker.visit(index.functions[name])
+        findings.extend(checker.findings)
+
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return findings
+
+
+def _free_names(node: ast.Lambda) -> Set[str]:
+    """Names read inside a lambda body, minus its own parameters."""
+    params = {a.arg for a in node.args.args}
+    params.update(a.arg for a in node.args.kwonlyargs)
+    params.update(a.arg for a in node.args.posonlyargs)
+    if node.args.vararg:
+        params.add(node.args.vararg.arg)
+    if node.args.kwarg:
+        params.add(node.args.kwarg.arg)
+    return {
+        sub.id
+        for sub in ast.walk(node.body)
+        if isinstance(sub, ast.Name) and sub.id not in params
+    }
+
+
+def check_flow(paths: Iterable[Path]) -> Tuple[List[Finding], int]:
+    """Flow-check files/trees; returns ``(findings, files_checked)``."""
+    findings: List[Finding] = []
+    checked = 0
+    for path in iter_python_files(paths):
+        findings.extend(
+            flow_check_source(path.read_text(encoding="utf-8"), path)
+        )
+        checked += 1
+    return findings, checked

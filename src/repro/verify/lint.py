@@ -27,14 +27,24 @@ REPRO005    Never construct a disabled ``OpCounter`` — use the shared
             state cannot leak into ad-hoc instances.
 ==========  ==========================================================
 
+Sibling passes reuse this module's :class:`Finding` and pragma
+machinery for further codes, all surfaced by ``repro analyze``:
+REPRO006-REPRO008 (process-pool hygiene, :mod:`repro.verify.flow`),
+REPRO009 (empirical complexity gate, :mod:`repro.verify.empirical`)
+and REPRO010/REPRO011 (missing/contradicted ``@complexity`` contracts,
+:mod:`repro.verify.contracts`).
+
 Any finding can be suppressed on its line (for classes and functions,
-the ``class``/``def`` line) with a pragma comment::
+the ``class``/``def`` line) with a pragma comment; several codes may be
+listed, separated by commas and/or whitespace, and trailing free text
+is treated as the justification::
 
     class QueryRecord:  # repro-lint: disable=REPRO002
+    def hook(x=[]):  # repro-lint: disable=REPRO004,REPRO001 (fixture)
 
 Run it as a module::
 
-    python -m repro.verify.lint src/
+    python -m repro.verify.lint src/ tests/ benchmarks/
     python -m repro.verify.lint --list-rules
 
 Exit status: 0 clean, 1 findings, 2 usage/parse errors.
@@ -95,9 +105,12 @@ _MUTABLE_DEFAULT_CALLS = frozenset(
     ("list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque")
 )
 
-_PRAGMA_RE = re.compile(
-    r"#\s*repro-lint\s*:\s*disable\s*=\s*([A-Z0-9,\s]+)"
-)
+_PRAGMA_RE = re.compile(r"#\s*repro-lint\s*:\s*disable\s*=\s*(.*)$")
+#: Shape of a rule code inside a pragma's code list.  The list may be
+#: comma- and/or whitespace-separated and followed by free justification
+#: text; anything not shaped like a code is ignored rather than glued
+#: onto a neighbouring code.
+_PRAGMA_CODE_RE = re.compile(r"[A-Z]+\d+$")
 
 
 class Finding:
@@ -121,16 +134,24 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
 
 
-def _pragma_disables(source: str) -> Dict[int, FrozenSet[str]]:
-    """Map line number -> rule codes disabled on that line."""
+def pragma_disables(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> rule codes disabled on that line.
+
+    Shared by every analysis pass that honours ``repro-lint`` pragmas
+    (this linter, :mod:`repro.verify.contracts`,
+    :mod:`repro.verify.flow`), so one pragma grammar rules them all.
+    """
     disables: Dict[int, FrozenSet[str]] = {}
     for lineno, text in enumerate(source.splitlines(), start=1):
         match = _PRAGMA_RE.search(text)
         if match:
             codes = frozenset(
-                c.strip() for c in match.group(1).split(",") if c.strip()
+                token
+                for token in re.split(r"[,\s]+", match.group(1))
+                if _PRAGMA_CODE_RE.match(token)
             )
-            disables[lineno] = codes
+            if codes:
+                disables[lineno] = codes
     return disables
 
 
@@ -224,13 +245,18 @@ class _Checker(ast.NodeVisitor):
     def __init__(self, path: Path, source: str) -> None:
         self.path = path
         self.findings: List[Finding] = []
-        self._disables = _pragma_disables(source)
+        self._disables = pragma_disables(source)
         parts = path.parts
         self._check_print = (
             path.name not in _PRINT_EXEMPT_FILES
             and not _PRINT_EXEMPT_PACKAGES.intersection(parts)
         )
-        self._check_slots = bool(_SLOTTED_PACKAGES.intersection(parts))
+        # The slots rule targets the *library's* hot paths: require the
+        # ``repro`` package in the path so ``tests/core`` / ``tests/engine``
+        # (plain test classes, never per-query allocations) stay out.
+        self._check_slots = (
+            "repro" in parts and bool(_SLOTTED_PACKAGES.intersection(parts))
+        )
         self._check_clock = not _CLOCK_PACKAGES.intersection(parts)
         self._check_counter = path.name != _COUNTER_HOME
 

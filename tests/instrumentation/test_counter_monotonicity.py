@@ -1,0 +1,70 @@
+"""Monotonicity of the analytic OpCounter telemetry.
+
+The empirical complexity gate (:mod:`repro.verify.empirical`) fits
+growth exponents against counter totals, which is only sound if the
+counters are non-decreasing in the instance size.  This property test
+extends 50 random chains one prefix at a time under a fixed bound and
+asserts the totals never go down.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bandwidth import bandwidth_min
+from repro.core.prime_subpaths import compute_prime_structure
+from repro.graphs.chain import Chain
+from repro.graphs.generators import random_chain
+from repro.instrumentation.counters import OpCounter
+
+NUM_CHAINS = 50
+MAX_N = 40
+PREFIX_STEP = 4
+
+
+def _prefixes(chain: Chain):
+    """Sub-chains over the first ``k`` tasks for growing ``k``."""
+    for k in range(2, chain.num_tasks + 1, PREFIX_STEP):
+        yield Chain(list(chain.alpha[:k]), list(chain.beta[: k - 1]))
+
+
+def _cases():
+    rng = random.Random("monotonicity")
+    for case in range(NUM_CHAINS):
+        n = rng.randint(8, MAX_N)
+        chain = random_chain(n, rng=random.Random(f"monotone:{case}"))
+        # A bound all prefixes can satisfy, comfortably above max alpha so
+        # prime subpaths have room to grow with n.
+        bound = max(chain.alpha) * 2.0 + 1.0
+        yield pytest.param(chain, bound, id=f"chain{case}-n{n}")
+
+
+def _structure_ops(chain: Chain, bound: float) -> float:
+    counter = OpCounter()
+    compute_prime_structure(chain, bound, counter=counter)
+    return float(sum(counter.as_dict().values()))
+
+
+def _bandwidth_ops(chain: Chain, bound: float) -> float:
+    counter = OpCounter()
+    structure = compute_prime_structure(chain, bound, counter=counter)
+    result = bandwidth_min(chain, bound, structure=structure, collect_stats=True)
+    assert result.stats is not None
+    return float(sum(counter.as_dict().values()) + result.stats.search_steps)
+
+
+@pytest.mark.parametrize("chain,bound", _cases())
+def test_counters_non_decreasing_under_prefix_extension(chain, bound):
+    prev_structure = 0.0
+    prev_bandwidth = 0.0
+    for prefix in _prefixes(chain):
+        structure_ops = _structure_ops(prefix, bound)
+        bandwidth_ops = _bandwidth_ops(prefix, bound)
+        assert structure_ops >= prev_structure, (
+            f"compute_prime_structure ops dropped at n={prefix.num_tasks}"
+        )
+        assert bandwidth_ops >= prev_bandwidth, (
+            f"bandwidth_min ops dropped at n={prefix.num_tasks}"
+        )
+        prev_structure = structure_ops
+        prev_bandwidth = bandwidth_ops

@@ -41,7 +41,7 @@ class TestOpCounter:
         assert c.as_dict() == {"a": 1}
 
     def test_disabled_counter_records_nothing(self):
-        c = OpCounter(enabled=False)
+        c = OpCounter(enabled=False)  # repro-lint: disable=REPRO005 (testing the disabled path)
         c.add("x", 100)
         c.trace("len", 5.0)
         assert c.get("x") == 0
@@ -60,7 +60,7 @@ class TestOpCounter:
         src = OpCounter()
         src.add("x", 7)
         src.trace("t", 2.0)
-        disabled = OpCounter(enabled=False)
+        disabled = OpCounter(enabled=False)  # repro-lint: disable=REPRO005 (testing the disabled path)
         disabled.merge(src)
         assert disabled.get("x") == 0
         assert disabled.as_dict() == {}
@@ -77,7 +77,7 @@ class TestOpCounter:
     def test_disabled_counter_allocates_no_default_entries(self):
         # A disabled counter's mappings are plain dicts: a stray read
         # like `counter.counts[k]` raises instead of silently inserting.
-        disabled = OpCounter(enabled=False)
+        disabled = OpCounter(enabled=False)  # repro-lint: disable=REPRO005 (testing the disabled path)
         with pytest.raises(KeyError):
             disabled.counts["x"]
         with pytest.raises(KeyError):

@@ -24,6 +24,7 @@ class TestParser:
             ["realtime"],
             ["circuit"],
             ["run"],
+            ["analyze"],
         ):
             args = parser.parse_args(command)
             assert callable(args.func)
@@ -213,3 +214,65 @@ class TestTraceReportCommand:
         code = main(["report", "--trace", str(trace)])
         assert code == 2
         assert "line 2" in capsys.readouterr().err
+
+
+class TestAnalyzeCommand:
+    def test_analyze_clean_on_src_tree(self, capsys):
+        assert main(["analyze"]) == 0
+        assert "analyze: clean" in capsys.readouterr().err
+
+    def test_analyze_reports_findings_and_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "engine" / "pooled.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "RESULTS = []\n"
+            "def work(x):\n"
+            "    RESULTS.append(x)\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, items))\n"
+        )
+        assert main(["analyze", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REPRO006" in out
+
+    def test_analyze_syntax_error_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        assert main(["analyze", str(tmp_path)]) == 2
+        assert "analyze:" in capsys.readouterr().err
+
+    def test_analyze_complexity_renders_gate(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "--complexity",
+                "--scales",
+                "128,256,512",
+                "--reps",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "complexity gate passed" in capsys.readouterr().out
+
+    def test_analyze_complexity_json_flag_emits_report(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "--complexity",
+                "--json",
+                "--scales",
+                "128,256,512",
+                "--reps",
+                "1",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        gate = payload["complexity"]
+        assert gate["passed"] is True
+        names = {probe["name"] for probe in gate["probes"]}
+        assert "core.bandwidth_min" in names

@@ -1,0 +1,141 @@
+"""Tests for :mod:`repro.verify.empirical`: the runtime complexity gate.
+
+The headline acceptance test seeds regression (a) from the issue: a
+quadratic-scan mutation of ``find_prime_subpaths`` — one that re-scans
+the window pointer ``b`` to the *end of the chain* for every ``a``
+instead of advancing it monotonically — must fail the gate with
+REPRO009 on the ``bandwidth_min`` probe.
+"""
+
+import random
+
+import pytest
+
+import repro.core.prime_subpaths as prime_subpaths
+from repro.verify.contracts import ComplexityBudget
+from repro.verify.empirical import (
+    ComplexityProbe,
+    GateReport,
+    ProbeResult,
+    _fit_slope,
+    default_probes,
+    run_complexity_gate,
+)
+
+SMALL_SCALES = (128, 256, 512, 1024)
+
+
+class TestFitSlope:
+    def test_linear_growth_fits_one(self):
+        points = [(float(n), 3.0 * n) for n in (64, 128, 256, 512)]
+        assert _fit_slope(points) == pytest.approx(1.0)
+
+    def test_quadratic_growth_against_linear_budget_fits_two(self):
+        points = [(float(n), float(n * n)) for n in (64, 128, 256, 512)]
+        assert _fit_slope(points) == pytest.approx(2.0)
+
+    def test_constant_budget_fits_zero(self):
+        points = [(8.0, float(n)) for n in (64, 128, 256)]
+        assert _fit_slope(points) == 0.0
+
+
+class TestProbeResult:
+    def test_within_tolerance_passes(self):
+        result = ProbeResult("x", "n", slope=1.1, tolerance=0.25, points=[])
+        assert result.passed and result.code is None
+
+    def test_over_tolerance_fails_with_repro009(self):
+        result = ProbeResult("x", "n", slope=1.9, tolerance=0.25, points=[])
+        assert not result.passed
+        assert result.code == "REPRO009"
+        assert "1.900" in result.message
+
+    def test_report_round_trips_to_dict(self):
+        result = ProbeResult("x", "n", slope=0.5, tolerance=0.25, points=[])
+        report = GateReport([result], scales=(64, 128), seed=7)
+        payload = report.as_dict()
+        assert payload["passed"] is True
+        assert payload["scales"] == [64, 128]
+        assert payload["probes"][0]["name"] == "x"
+        assert "complexity gate passed" in report.render()
+
+
+class TestDefaultProbes:
+    def test_probe_budgets_come_from_contracts(self):
+        probes = {p.name: p for p in default_probes()}
+        assert probes["core.bandwidth_min"].budget.matches(
+            ComplexityBudget.parse("n + p log q")
+        )
+        assert probes["core.compute_prime_structure"].budget.matches(
+            ComplexityBudget.parse("n")
+        )
+        assert probes["baselines.bandwidth_min_nlogn"].budget.matches(
+            ComplexityBudget.parse("n log n")
+        )
+
+    def test_for_function_requires_a_contract(self):
+        def undecorated():
+            pass
+
+        with pytest.raises(ValueError):
+            ComplexityProbe.for_function("x", undecorated, lambda n, rng: (0.0, {}))
+
+
+class TestGateOnMain:
+    def test_gate_passes_on_the_real_solvers(self):
+        report = run_complexity_gate(scales=SMALL_SCALES, reps=1)
+        assert report.passed, report.render()
+        assert report.failures == []
+
+    def test_gate_is_deterministic_for_a_seed(self):
+        first = run_complexity_gate(scales=(128, 256), reps=1, seed=3)
+        second = run_complexity_gate(scales=(128, 256), reps=1, seed=3)
+        assert first.as_dict() == second.as_dict()
+
+
+def _quadratic_find_prime_subpaths(original):
+    """Regression (a): scan ``b`` to the end of the chain for every ``a``.
+
+    Note the window-restart variant (reset ``b = a`` each step) is *not*
+    quadratic — window length is bounded by the number of tasks that fit
+    under ``K`` — so the mutation must drop the early exit entirely to
+    reproduce the O(n^2) scan the contract forbids.
+    """
+
+    def mutated(chain, bound, counter=None):
+        primes = original(chain, bound)
+        if counter is not None:
+            n = chain.num_tasks
+            advances = 0
+            for a in range(n):
+                for _b in range(a, n):
+                    advances += 1
+            counter.add("prime_tasks_scanned", n)
+            counter.add("prime_window_advances", advances)
+            counter.add("prime_candidates", len(primes))
+        return primes
+
+    return mutated
+
+
+class TestSeededRegression:
+    def test_quadratic_scan_mutation_fails_the_gate(self, monkeypatch):
+        monkeypatch.setattr(
+            prime_subpaths,
+            "find_prime_subpaths",
+            _quadratic_find_prime_subpaths(prime_subpaths.find_prime_subpaths),
+        )
+        probes = [p for p in default_probes() if p.name == "core.bandwidth_min"]
+        report = run_complexity_gate(probes, scales=SMALL_SCALES, reps=1)
+        assert not report.passed
+        assert [f.code for f in report.failures] == ["REPRO009"]
+        assert report.failures[0].slope > 1.5
+
+
+class TestMeasurementSeeding:
+    def test_measure_is_pure_given_the_rng(self):
+        from repro.verify.empirical import _measure_bandwidth_min
+
+        a = _measure_bandwidth_min(256, random.Random("fixed"))
+        b = _measure_bandwidth_min(256, random.Random("fixed"))
+        assert a == b

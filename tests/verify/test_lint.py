@@ -146,6 +146,53 @@ class TestPragma:
         # print is on its own line; only the default is suppressed.
         assert codes(src, LIB) == ["REPRO001"]
 
+    # One test per pragma shape the grammar admits (satellite fix for the
+    # tokenizer that used to swallow everything after the first code).
+
+    def test_pragma_comma_space_separated(self):
+        src = "def f(x=[]):  # repro-lint: disable=REPRO004, REPRO001\n    pass\n"
+        assert codes(src, LIB) == []
+
+    def test_pragma_space_separated(self):
+        src = "def f(x=[]):  # repro-lint: disable=REPRO004 REPRO001\n    pass\n"
+        assert codes(src, LIB) == []
+
+    def test_pragma_spaces_around_equals(self):
+        src = "class A:  # repro-lint: disable = REPRO002\n    pass\n"
+        assert codes(src, LIB) == []
+
+    def test_pragma_code_then_justification_text(self):
+        src = (
+            "class A:  # repro-lint: disable=REPRO002 result type, "
+            "allocated once per query\n    pass\n"
+        )
+        assert codes(src, LIB) == []
+
+    def test_pragma_multi_code_then_justification_text(self):
+        src = (
+            "def f(x=[]):  # repro-lint: disable=REPRO004, REPRO002 "
+            "shared sentinel default\n    pass\n"
+        )
+        assert codes(src, LIB) == []
+
+    def test_pragma_justification_words_are_not_codes(self):
+        from repro.verify.lint import pragma_disables
+
+        disables = pragma_disables(
+            "x = 1  # repro-lint: disable=REPRO004, REPRO001 NOT A CODE 123\n"
+        )
+        assert disables == {1: frozenset({"REPRO004", "REPRO001"})}
+
+    def test_pragma_lowercase_code_ignored(self):
+        from repro.verify.lint import pragma_disables
+
+        assert pragma_disables("x = 1  # repro-lint: disable=repro004\n") == {}
+
+    def test_no_pragma_returns_empty(self):
+        from repro.verify.lint import pragma_disables
+
+        assert pragma_disables("x = 1  # just a comment\n") == {}
+
 
 class TestDriver:
     def test_src_tree_is_clean(self):
