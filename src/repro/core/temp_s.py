@@ -165,7 +165,7 @@ class TempSQueue:
                 row.lo = first_open_prime  # trim and stop
                 break
         self._top = top
-        if top > 64 and top * 2 > size:
+        if top > 64 and top * 2 > size:  # repro-mutate: equivalent=flip-compare -- the compaction trigger is a pure performance heuristic; any threshold is semantically transparent
             # Compact the backing list so long runs keep O(live) memory.
             self._rows = rows[top:]
             self._top = 0
@@ -194,7 +194,7 @@ class TempSQueue:
         if split is not None:
             old_bottom_hi = rows[-1].hi
             merged = rows[split]
-            merged.hi = old_bottom_hi if old_bottom_hi > new_hi else new_hi
+            merged.hi = old_bottom_hi if old_bottom_hi > new_hi else new_hi  # repro-mutate: equivalent=flip-compare -- max() tie: both branches store the same hi
             merged.w = w
             merged.sol = sol
             del rows[split + 1 :]

@@ -20,7 +20,7 @@ from repro.graphs.task_graph import TaskGraph
 
 
 @dataclass
-class Gate:
+class Gate:  # repro-lint: disable=REPRO002 (field defaults block slots on py39)
     """One gate instance: type plus the ids of the gates it reads."""
 
     ident: int
@@ -39,6 +39,8 @@ class Gate:
 
 class Circuit:
     """A gate-level netlist."""
+
+    __slots__ = ("gates", "fanout")
 
     def __init__(self) -> None:
         self.gates: List[Gate] = []

@@ -27,6 +27,15 @@ from repro.machine.machine import SharedMemoryMachine
 class DistributedRun:
     """Tallies of one partitioned simulation."""
 
+    __slots__ = (
+        "num_processors",
+        "local_messages",
+        "cross_messages",
+        "processor_loads",
+        "pair_messages",
+        "result",
+    )
+
     num_processors: int
     local_messages: int
     cross_messages: int

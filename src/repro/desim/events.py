@@ -19,6 +19,8 @@ class Event:
     stimuli); ``value`` is the new logic value (bool).
     """
 
+    __slots__ = ("time", "source", "value")
+
     time: float
     source: int
     value: bool

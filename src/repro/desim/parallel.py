@@ -53,7 +53,7 @@ _KIND_SIGNAL = 1
 
 
 @dataclass
-class ParallelRunResult:
+class ParallelRunResult:  # repro-lint: disable=REPRO002 (field defaults block slots on py39)
     """Outputs and cost accounting of one windowed parallel run."""
 
     num_lps: int
@@ -112,6 +112,8 @@ class ParallelRunResult:
 
 class ParallelLogicSimulator:
     """Conservative windowed simulation of a partitioned circuit."""
+
+    __slots__ = ("circuit", "assignment", "num_lps", "clock_period", "lookahead")
 
     def __init__(
         self,

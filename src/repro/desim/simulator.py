@@ -30,6 +30,14 @@ from repro.desim.gates import evaluate_gate
 class SimulationResult:
     """Outcome of one simulation run."""
 
+    __slots__ = (
+        "end_time",
+        "final_values",
+        "evaluations",
+        "deliveries",
+        "events_processed",
+    )
+
     end_time: float
     final_values: List[bool]
     evaluations: List[int]  # per-gate evaluation count
@@ -48,6 +56,8 @@ class SimulationResult:
 
 class LogicSimulator:
     """Simulate a :class:`~repro.desim.circuit.Circuit`."""
+
+    __slots__ = ("circuit", "clock_period")
 
     def __init__(self, circuit: Circuit, clock_period: float = 10.0) -> None:
         if clock_period <= 0:

@@ -55,7 +55,7 @@ Entry = Tuple[float, int, int, int, bool]  # (time, kind, source, seq, value)
 
 
 @dataclass
-class TimeWarpResult:
+class TimeWarpResult:  # repro-lint: disable=REPRO002 (field defaults block slots on py39)
     """Committed outputs plus optimism-cost counters."""
 
     num_lps: int
@@ -127,6 +127,8 @@ class _LP:
 
 class TimeWarpSimulator:
     """Optimistic simulation of a partitioned circuit."""
+
+    __slots__ = ("circuit", "assignment", "num_lps", "clock_period", "batch")
 
     def __init__(
         self,

@@ -30,6 +30,8 @@ from repro.desim.simulator import LogicSimulator, SimulationResult
 class WaveformRecorder:
     """Record committed signal changes of selected gates during a run."""
 
+    __slots__ = ("circuit", "watch", "changes", "end_time")
+
     def __init__(
         self, circuit: Circuit, watch: Optional[Sequence[int]] = None
     ) -> None:

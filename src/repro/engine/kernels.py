@@ -96,21 +96,21 @@ def prime_windows(
     endpoint (the domination rule of ``find_prime_subpaths``).
     """
     n = prefix.shape[0] - 1
-    if n <= 0:
+    if n <= 0:  # repro-mutate: equivalent=flip-compare -- at n == 0 the vector path below returns the same empty arrays
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
     starts = prefix[:-1]
     # j approximates the first index with prefix[j] - prefix[a] > bound.
-    j = np.searchsorted(prefix, starts + bound, side="right")
+    j = np.searchsorted(prefix, starts + bound, side="right")  # repro-mutate: equivalent=swap-arith -- only a seed guess; the sweeps below re-derive the exact boundary
     a = np.arange(n, dtype=np.int64)
     # Floor at a + 2: a critical window spans at least two tasks, since
     # feasibility validated max(alpha) <= K exactly and a single-task
     # prefix difference can exceed K only by cancellation noise (the
     # reference sweep enforces the same floor).
-    np.clip(j, a + 2, n, out=j)
+    np.clip(j, a + 2, n, out=j)  # repro-mutate: equivalent=shift-index -- an over-clipped seed is pulled straight back by the down sweep (prefix is monotone)
     # Fix-up to the exact subtraction-form predicate (monotone in j, so
     # each loop runs to a fixpoint; in practice 0-1 iterations).
     while True:
-        down = (j > a + 2) & (prefix[j - 1] - starts > bound)
+        down = (j > a + 2) & (prefix[j - 1] - starts > bound)  # repro-mutate: equivalent=flip-compare,swap-arith -- a misfiring down sweep only undershoots; the up sweep re-derives the boundary with the exact predicate
         if not down.any():
             break
         j[down] -= 1
@@ -119,7 +119,8 @@ def prime_windows(
         if not up.any():
             break
         j[up] += 1
-    valid = (prefix[j] - starts > bound) & (j > a + 1)
+    exceeds = prefix[j] - starts > bound
+    valid = exceeds & (j > a + 1)  # repro-mutate: equivalent=flip-compare -- the clip keeps j >= a + 2, so this guard holds either way
     a = a[valid]
     ends = j[valid] - 1  # last task of the minimal critical window
     if a.shape[0] == 0:
@@ -408,7 +409,7 @@ def sweep_min_cut(
             else:
                 row_lo[top] = fp  # trim and stop
                 break
-        if fp > 0 and gamma >= 0:
+        if fp > 0 and gamma >= 0:  # repro-mutate: equivalent=flip-compare -- first primes are nondecreasing, so gamma is still -1 whenever fp == 0
             wv = bw + sol_w[gamma]
             prev = gamma
         else:
@@ -424,10 +425,10 @@ def sweep_min_cut(
         split = bisect_left(row_w, wv, top, size)
         if split < size:
             bottom_hi = row_hi[-1]
-            row_hi[split] = bottom_hi if bottom_hi > lp else lp
+            row_hi[split] = bottom_hi if bottom_hi > lp else lp  # repro-mutate: equivalent=flip-compare -- max() tie: both branches store the same hi
             row_w[split] = wv
             row_sol[split] = sid
-            if split + 1 < size:
+            if split + 1 < size:  # repro-mutate: equivalent=flip-compare -- deleting the empty slice [size:] is a no-op
                 del row_lo[split + 1 :]
                 del row_hi[split + 1 :]
                 del row_w[split + 1 :]

@@ -35,6 +35,8 @@ from repro.machine.machine import SharedMemoryMachine
 class TraceSpan:
     """One recorded activity interval (compute or transfer)."""
 
+    __slots__ = ("kind", "stage", "item", "start", "end")
+
     kind: str  # "compute" | "transfer"
     stage: int
     item: int
@@ -43,7 +45,7 @@ class TraceSpan:
 
 
 @dataclass
-class PipelineExecution:
+class PipelineExecution:  # repro-lint: disable=REPRO002 (field defaults block slots on py39)
     """Results of one pipelined run."""
 
     num_stages: int
@@ -75,6 +77,8 @@ class PipelineExecution:
 
 class _LinkScheduler:
     """Grants transfers on the machine's interconnect in request order."""
+
+    __slots__ = ("net", "_bus_free", "_port_free", "_in_flight")
 
     def __init__(self, machine: SharedMemoryMachine) -> None:
         self.net = machine.interconnect

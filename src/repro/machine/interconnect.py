@@ -31,6 +31,8 @@ from typing import Mapping, Tuple
 class Interconnect:
     """Base class: uniform link bandwidth and latency."""
 
+    __slots__ = ("bandwidth", "latency")
+
     def __init__(self, bandwidth: float = 1.0, latency: float = 0.0) -> None:
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
@@ -58,6 +60,8 @@ class Interconnect:
 class SharedBus(Interconnect):
     """A single shared bus: transfers serialize completely."""
 
+    __slots__ = ()
+
     def round_time(self, transfers: Mapping[Tuple[int, int], float]) -> float:
         total = sum(v for v in transfers.values() if v > 0)
         if total <= 0:
@@ -69,6 +73,8 @@ class SharedBus(Interconnect):
 class Crossbar(Interconnect):
     """A crossbar: transfers proceed in parallel; each port (processor)
     serializes the transfers it participates in."""
+
+    __slots__ = ()
 
     def round_time(self, transfers: Mapping[Tuple[int, int], float]) -> float:
         port_load: dict = {}
@@ -99,6 +105,8 @@ class MultistageNetwork(Interconnect):
     port numbers per transfer; the paper's arguments only require the
     qualitative middle ground.)
     """
+
+    __slots__ = ("ports", "stages")
 
     def __init__(
         self, ports: int, bandwidth: float = 1.0, latency: float = 0.0

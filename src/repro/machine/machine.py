@@ -17,6 +17,8 @@ class SharedMemoryMachine:
     because latency is uniform.
     """
 
+    __slots__ = ("processors", "interconnect")
+
     def __init__(
         self,
         num_processors: int,

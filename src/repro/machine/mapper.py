@@ -22,6 +22,8 @@ from repro.machine.machine import SharedMemoryMachine
 class Mapping:
     """Assignment of partition components to processors."""
 
+    __slots__ = ("processor_of", "loads", "folded")
+
     processor_of: List[int]  # component index -> processor id
     loads: List[float]  # per-processor total component weight
     folded: bool  # True when several components share a processor

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
-class Processor:
+class Processor:  # repro-lint: disable=REPRO002 (field defaults block slots on py39)
     """A processor with an id and a speed in work-units per time-unit."""
 
     ident: int

@@ -24,6 +24,14 @@ from repro.graphs.chain import Chain
 class TrafficReport:
     """Static per-item network demand of a chain partition."""
 
+    __slots__ = (
+        "boundary_volumes",
+        "total_demand",
+        "max_link_demand",
+        "processor_demands",
+        "max_processor_demand",
+    )
+
     boundary_volumes: tuple
     total_demand: float
     max_link_demand: float

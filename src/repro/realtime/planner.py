@@ -30,6 +30,17 @@ from repro.realtime.spec import RealTimeTask
 class RealTimePlan:
     """A complete plan: partition, mapping and verification verdicts."""
 
+    __slots__ = (
+        "task",
+        "objective",
+        "cut_indices",
+        "component_costs",
+        "mapping",
+        "traffic",
+        "meets_deadline",
+        "processors_used",
+    )
+
     task: RealTimeTask
     objective: str
     cut_indices: List[int]

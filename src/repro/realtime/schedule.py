@@ -21,6 +21,16 @@ from repro.realtime.planner import RealTimePlan
 class StageSchedule:
     """One pipeline stage's steady-state accounting."""
 
+    __slots__ = (
+        "processor",
+        "first_subtask",
+        "last_subtask",
+        "compute_time",
+        "send_volume",
+        "send_time",
+        "slack",
+    )
+
     processor: int
     first_subtask: int
     last_subtask: int

@@ -18,6 +18,8 @@ from repro.graphs.chain import Chain
 class RealTimeTask:
     """A deadline-constrained, maximally-divided linear task."""
 
+    __slots__ = ("name", "subtask_costs", "dependency_weights", "deadline")
+
     name: str
     subtask_costs: List[float]
     dependency_weights: List[float]

@@ -22,7 +22,11 @@ that observation into tooling:
 - :mod:`repro.verify.flow` — the process-pool hygiene dataflow pass
   (REPRO006-REPRO008);
 - :mod:`repro.verify.empirical` — the ``repro analyze --complexity``
-  gate fitting OpCounter telemetry against declared budgets (REPRO009).
+  gate fitting OpCounter telemetry against declared budgets (REPRO009);
+- :mod:`repro.verify.operators` / :mod:`repro.verify.sandbox` /
+  :mod:`repro.verify.mutate` — the mutation-analysis engine behind
+  ``repro mutate``: domain-aware AST fault seeding, fork-isolated kill
+  pipelines and the CI-gated kill matrix.
 
 Re-exports resolve lazily (PEP 562): solver modules apply
 ``@repro.verify.contracts.complexity`` decorators at import time, so
@@ -44,6 +48,13 @@ if TYPE_CHECKING:  # pragma: no cover - re-export types for checkers only
         check_tree_cut,
     )
     from repro.verify.contracts import ComplexityContract, complexity
+    from repro.verify.mutate import compare_to_baseline, run_mutation_analysis
+    from repro.verify.operators import (
+        MutationSite,
+        enumerate_sites,
+        apply_site,
+    )
+    from repro.verify.sandbox import run_sandboxed
     from repro.verify.runtime import (
         cross_check_chain_backends,
         verification_enabled,
@@ -61,6 +72,12 @@ _EXPORTS = {
     "check_tree_cut": "repro.verify.certificates",
     "ComplexityContract": "repro.verify.contracts",
     "complexity": "repro.verify.contracts",
+    "MutationSite": "repro.verify.operators",
+    "enumerate_sites": "repro.verify.operators",
+    "apply_site": "repro.verify.operators",
+    "run_mutation_analysis": "repro.verify.mutate",
+    "compare_to_baseline": "repro.verify.mutate",
+    "run_sandboxed": "repro.verify.sandbox",
     "cross_check_chain_backends": "repro.verify.runtime",
     "verification_enabled": "repro.verify.runtime",
     "verify_chain_result": "repro.verify.runtime",

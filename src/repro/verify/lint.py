@@ -14,10 +14,12 @@ REPRO001    No ``print()`` in library code — use the observability
             layer or return values.  CLI entry points (``cli.py``,
             ``__main__.py``) and the report-producing ``analysis``
             package are exempt.
-REPRO002    Classes defined under ``core/`` or ``engine/`` must declare
-            ``__slots__`` — these are the per-query hot paths.
-            Exception types, ``NamedTuple``/``TypedDict``/``Protocol``
-            classes and ``enum`` subclasses are exempt.
+REPRO002    Classes defined under ``core/``, ``engine/``, ``desim/``,
+            ``realtime/`` or ``machine/`` must declare ``__slots__`` —
+            the first two are per-query hot paths, the simulators
+            allocate per-event/per-message.  Exception types,
+            ``NamedTuple``/``TypedDict``/``Protocol`` classes and
+            ``enum`` subclasses are exempt.
 REPRO003    No bare ``time.time()`` outside ``instrumentation/`` and
             ``observability/`` — wall-clock reads belong behind the
             tracer/metrics layer (and should be ``perf_counter``).
@@ -61,7 +63,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 RULES: Dict[str, str] = {
     "REPRO001": "print() call in library code (use observability, or return data)",
-    "REPRO002": "class in core/ or engine/ without __slots__ (hot-path allocation)",
+    "REPRO002": "class in a slotted package without __slots__ (hot-path allocation)",
     "REPRO003": "bare time.time() outside the instrumentation/observability layer",
     "REPRO004": "mutable default argument",
     "REPRO005": "disabled OpCounter constructed directly (use NULL_COUNTER)",
@@ -72,8 +74,10 @@ RULES: Dict[str, str] = {
 _PRINT_EXEMPT_FILES = frozenset(("cli.py", "__main__.py", "lint.py"))
 _PRINT_EXEMPT_PACKAGES = frozenset(("analysis",))
 
-#: Packages whose classes must be slotted (REPRO002).
-_SLOTTED_PACKAGES = frozenset(("core", "engine"))
+#: Packages whose classes must be slotted (REPRO002): the per-query
+#: solver hot paths, plus the simulators — whose event/message/packet
+#: objects are allocated in the innermost loops of every demo run.
+_SLOTTED_PACKAGES = frozenset(("core", "engine", "desim", "realtime", "machine"))
 
 #: Packages allowed to read wall clocks directly (REPRO003).
 _CLOCK_PACKAGES = frozenset(("instrumentation", "observability"))

@@ -58,3 +58,28 @@ class TestAgreement:
             a = bandwidth_min_nlogn(chain, bound)
             b = bandwidth_min_dp(chain, bound)
             assert a.weight == pytest.approx(b.weight)
+
+
+class TestInstrumentation:
+    """The heap counters are part of the observable contract: the
+    empirical complexity gate fits them against the declared budget."""
+
+    def test_declared_contract_counters(self):
+        from repro.verify.contracts import get_contract
+
+        contract = get_contract(bandwidth_min_nlogn)
+        assert contract is not None
+        assert contract.counters == ("heap_pushes", "heap_pops")
+
+    def test_traced_heap_counters(self):
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+        chain = random_chain(30, rng=random.Random(5))
+        bandwidth_min_nlogn(chain, 1.5 * chain.max_vertex_weight(), tracer=tracer)
+        counts: dict = {}
+        for record in tracer.records():
+            for key, value in record["counts"].items():
+                counts[key] = counts.get(key, 0) + value
+        assert counts.get("heap_pushes", 0) > 0
+        assert counts.get("heap_pops", 0) > 0

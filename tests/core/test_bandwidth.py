@@ -156,3 +156,50 @@ class TestFeasibilityAlways:
         chain = Chain([6, 2, 6, 2], [1, 1, 1])
         result = bandwidth_min(chain, 6)
         assert result.is_feasible(6)
+
+
+class TestBoundaryBounds:
+    """Boundary cases exposed by mutation analysis: a bound that equals
+    a critical subpath weight exactly, the singleton chain, and the
+    all-equal chain where every comparison is a tie."""
+
+    def test_bound_exactly_at_prime_weight(self, small_chain):
+        # Primes under K=9 weigh 12, 10 and 13.  At K equal to a prime's
+        # weight the window becomes feasible (criticality is strict), so
+        # the prime disappears and the optimum can only improve.
+        from repro.baselines.exact_dp import bandwidth_min_dp
+
+        for bound in (10, 12, 13):
+            result = bandwidth_min(small_chain, bound)
+            assert result.is_feasible(bound)
+            assert result.weight == bandwidth_min_dp(small_chain, bound).weight
+
+    def test_singleton_chain(self):
+        chain = Chain([5.0], [])
+        for bound in (5.0, 7.5):
+            result = bandwidth_min(chain, bound)
+            assert result.cut_indices == []
+            assert result.weight == 0.0
+        with pytest.raises(InfeasibleBoundError):
+            bandwidth_min(chain, 4.9)
+
+    def test_all_equal_weights(self):
+        # 12 unit tasks, unit edges: K=3 forces a cut at least every
+        # three tasks; the optimum uses exactly three cuts.
+        chain = uniform_chain(12)
+        result = bandwidth_min(chain, 3.0)
+        assert result.is_feasible(3.0)
+        assert result.weight == 3.0
+
+    def test_declared_contract_counters(self):
+        from repro.verify.contracts import get_contract
+
+        contract = get_contract(bandwidth_min)
+        assert contract is not None
+        assert contract.counters == (
+            "prime_tasks_scanned",
+            "prime_window_advances",
+            "prime_candidates",
+            "prime_edge_scans",
+            "search_steps",
+        )

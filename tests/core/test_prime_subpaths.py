@@ -217,3 +217,66 @@ class TestPrimeStructure:
         assert structure.p == 0
         assert structure.q == 0.0
         assert structure.mean_prime_length() == 0.0
+
+
+class TestInstrumentationContracts:
+    """Counter declarations and counter emissions are contract surface:
+    the empirical complexity gate consumes both."""
+
+    def test_declared_contract_counters(self):
+        from repro.core.prime_subpaths import compute_prime_structure
+        from repro.verify.contracts import get_contract
+
+        assert get_contract(find_prime_subpaths).counters == (
+            "prime_tasks_scanned",
+            "prime_window_advances",
+            "prime_candidates",
+        )
+        assert get_contract(compute_prime_structure).counters == (
+            "prime_tasks_scanned",
+            "prime_window_advances",
+            "prime_candidates",
+            "prime_edge_scans",
+        )
+
+    def test_reduce_edges_counts_edge_scans(self):
+        from repro.instrumentation.counters import OpCounter
+
+        chain = Chain([4, 3, 5, 2, 6], [7, 1, 9, 2])
+        primes = find_prime_subpaths(chain, 9)
+        counter = OpCounter()
+        reduce_edges(chain, primes, counter=counter)
+        assert counter.get("prime_edge_scans") == chain.num_edges
+
+    def test_exact_counters_all_equal_chain(self):
+        # Pinned counter totals on a 6-task all-equal chain at a bound
+        # that keeps every window at a single task (b == a after every
+        # candidate).  The sweep must do exactly one window advance per
+        # task -- an extra or missing advance means the two-pointer
+        # bookkeeping drifted.
+        from repro.instrumentation.counters import OpCounter
+
+        chain = Chain([5.0] * 6, [1.0] * 5)
+        counter = OpCounter()
+        primes = find_prime_subpaths(chain, 5.0, counter)
+        assert [(p.first_task, p.last_task) for p in primes] == [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5),
+        ]
+        assert counter.as_dict() == {
+            "prime_tasks_scanned": 6,
+            "prime_window_advances": 6,
+            "prime_candidates": 5,
+        }
+
+    def test_cancellation_noise_never_yields_single_task_prime(self):
+        # Floating-point regression: prefix[a+1] - prefix[a] can exceed
+        # the bound even though the exact alpha[a] equals it (summation
+        # noise).  Here prefix = cumsum([0.06, 0.21, 0.33]) makes the
+        # last single task *look* critical at K = 0.33; the sweep must
+        # restart the window at two tasks whenever b == a (not just
+        # b < a), or it emits a spurious zero-edge prime (2, 2) that no
+        # cut can hit.
+        chain = Chain([0.06, 0.21, 0.33], [1.0, 1.0])
+        primes = find_prime_subpaths(chain, 0.33)
+        assert [(p.first_task, p.last_task) for p in primes] == [(1, 2)]
+        assert all(p.last_task > p.first_task for p in primes)

@@ -209,3 +209,13 @@ class TestInvariantChecker:
         list(q.rows())[1].w = 0.5  # corrupt
         with pytest.raises(AssertionError, match="increasing"):
             q.check_invariants()
+
+    def test_detects_equal_w(self):
+        # The W column must be STRICTLY increasing: a tie is a violation
+        # too, not just an inversion.
+        q = TempSQueue()
+        q.update(1.0, node(0, 1.0), 0, 0)
+        q.update(2.0, node(1, 2.0), 0, 1)
+        list(q.rows())[1].w = 1.0  # corrupt: duplicate W
+        with pytest.raises(AssertionError, match="increasing"):
+            q.check_invariants()

@@ -147,3 +147,61 @@ class TestEviction:
         cache.clear()
         assert len(cache) == 0
         assert cache.stats.lookups == 0
+
+
+class TestCacheAccounting:
+    """Accounting killers from mutation analysis: hit-rate arithmetic,
+    the interval's closed-left boundary, exact capacity, and the traced
+    outcome attribution."""
+
+    def test_hit_rate_combines_exact_and_interval_hits(self):
+        from repro.engine.cache import CacheStats
+
+        stats = CacheStats(hits=3, interval_hits=2, misses=5)
+        assert stats.hit_rate == 0.5
+
+    def test_cached_solve_interval_is_closed_on_the_left(self):
+        from repro.core.prime_subpaths import compute_prime_structure
+        from repro.engine.cache import _CachedSolve
+
+        chain = random_chain(40, rng=3)
+        bound = 1.5 * chain.max_vertex_weight()
+        cached = _CachedSolve(compute_prime_structure(chain, bound), bound)
+        assert cached.covers(bound)  # valid_from itself is covered
+        assert not cached.covers(cached.valid_until)
+        assert not cached.covers(bound - 1e-9)
+
+    def test_capacity_is_exact(self):
+        # Exactly max_structures_per_chain structures must fit without
+        # an eviction; the next distinct structure evicts one.
+        cache = PrimeStructureCache(max_structures_per_chain=3)
+        chain = random_chain(40, rng=3)
+        wmax = chain.max_vertex_weight()
+        # Descending bounds: none is covered by an earlier structure's
+        # validity interval, so each solve is a genuine miss.
+        for factor in (3.0, 2.5, 2.0):
+            cache.solve(chain, factor * wmax)
+        assert cache.stats.misses == 3
+        assert cache.stats.evictions == 0
+        cache.solve(chain, 1.5 * wmax)
+        assert cache.stats.evictions == 1
+
+    def test_span_outcome_after_interval_hit(self):
+        from repro.core.prime_subpaths import compute_prime_structure
+        from repro.observability import Tracer
+
+        chain = random_chain(40, rng=3)
+        bound = 1.5 * chain.max_vertex_weight()
+        structure = compute_prime_structure(chain, bound)
+        cache = PrimeStructureCache()
+        cache.solve(chain, bound)  # miss
+        cache.solve(chain, (bound + structure.min_prime_weight()) / 2.0)
+        assert cache.stats.interval_hits == 1
+        # An exact repeat AFTER an interval hit must still be reported
+        # as a pure hit: the span deltas are per-call, not cumulative.
+        tracer = Tracer()
+        cache.solve(chain, bound, tracer=tracer)
+        (record,) = [r for r in tracer.records() if r["name"] == "cache_solve"]
+        assert record["attrs"]["outcome"] == "hit"
+        assert record["counts"].get("cache_interval_hits", 0) == 0
+        assert record["counts"].get("cache_hits", 0) == 1

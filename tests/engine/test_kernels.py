@@ -153,3 +153,62 @@ class TestFeasibleComponents:
         prefix = kernels.prefix_array(chain)
         assert not kernels.feasible_components(prefix, [], 5.0)
         assert kernels.feasible_components(prefix, [0, 1], 5.0)
+
+    def test_feasible_components_boundary_blocks(self):
+        # The first and last blocks are the easiest to lose to an
+        # off-by-one: [1, 1, 10] with the cut after task 0 leaves a
+        # trailing block of weight 11.
+        prefix = np.array([0.0, 1.0, 2.0, 12.0])
+        assert kernels.feasible_components(prefix, [0], 11.0)
+        assert not kernels.feasible_components(prefix, [0], 2.0)
+        assert kernels.feasible_components(prefix, [1], 10.0)
+        # Middle-heavy twin: [1, 10, 1] with the same cut.
+        prefix_mid = np.array([0.0, 1.0, 11.0, 12.0])
+        assert not kernels.feasible_components(prefix_mid, [0], 2.0)
+
+    def test_feasible_components_unsorted_duplicate_cut(self):
+        # set([8, 1]) iterates as [8, 1] under CPython's small-int
+        # hashing, so a missing sort produces garbage block boundaries.
+        ones = np.arange(13, dtype=np.float64)  # twelve unit tasks
+        assert kernels.feasible_components(ones, [8, 1], 8.0)
+        assert kernels.feasible_components(ones, [8, 1, 8], 8.0)
+        assert not kernels.feasible_components(ones, [8, 1], 6.0)
+
+
+class TestSweepFixupLoops:
+    """Chains where ``prefix[j] <= starts + bound`` (searchsorted form)
+    and ``prefix[j] - starts <= bound`` (the reference's subtraction
+    form) disagree in float64, so the fix-up sweeps in
+    :func:`kernels.prime_windows` must actually run."""
+
+    DOWN_WEIGHTS = [
+        0.24, 0.1, 0.17, 0.31, 0.32, 0.29, 0.11, 0.31, 0.16, 0.26, 0.09, 0.34,
+    ]
+    UP_WEIGHTS = [0.2, 0.08, 0.17, 0.12, 0.15, 0.07, 0.25, 0.14, 0.3, 0.18]
+
+    def test_down_sweep_required(self):
+        chain = Chain(self.DOWN_WEIGHTS, [1.0] * (len(self.DOWN_WEIGHTS) - 1))
+        assert_structures_equal(chain, 0.82)
+
+    def test_up_sweep_required(self):
+        chain = Chain(self.UP_WEIGHTS, [1.0] * (len(self.UP_WEIGHTS) - 1))
+        assert_structures_equal(chain, 0.52)
+
+    def test_empty_prefix_returns_window_pair(self):
+        first, last = kernels.prime_windows(np.zeros(1), 5.0)
+        assert first.size == 0 and last.size == 0
+        assert first.dtype == np.int64 and last.dtype == np.int64
+
+    def test_validate_bound_zero_bound_message(self):
+        # bound == 0 must be rejected as non-positive even when
+        # alpha_max is also 0 (the degenerate all-zero chain).
+        with pytest.raises(ValueError, match="positive"):
+            kernels.validate_bound_array(0.0, 0.0)
+
+    def test_down_sweep_to_minimum_window(self):
+        # prefix[a+2] - prefix[a] > bound while prefix[a+2] <= prefix[a]
+        # + bound (at a = 2): the searchsorted seed lands at a + 3 and
+        # the down sweep must descend all the way to the two-task floor.
+        weights = [0.28, 0.35, 0.37, 0.35, 0.37]
+        chain = Chain(weights, [1.0] * (len(weights) - 1))
+        assert_structures_equal(chain, 0.72)

@@ -55,7 +55,17 @@ class TestRepro002Slots:
         assert codes(src, LIB) == []
 
     def test_outside_hot_packages_not_checked(self):
-        assert codes("class A:\n    pass\n", "src/repro/machine/gantt.py") == []
+        assert codes("class A:\n    pass\n", "src/repro/analysis/sweep.py") == []
+
+    def test_simulator_packages_are_checked(self):
+        # desim/realtime/machine allocate per-event and per-stage
+        # objects in hot loops; REPRO002 covers them too.
+        for path in (
+            "src/repro/desim/events.py",
+            "src/repro/realtime/schedule.py",
+            "src/repro/machine/executor.py",
+        ):
+            assert codes("class A:\n    pass\n", path) == ["REPRO002"]
 
     def test_exception_subclass_exempt(self):
         assert codes("class E(ValueError):\n    pass\n", LIB) == []

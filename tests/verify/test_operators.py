@@ -1,0 +1,186 @@
+"""Unit tests for the mutation operators (:mod:`repro.verify.operators`).
+
+Operators must (a) enumerate sites deterministically, (b) produce
+mutants that still compile, (c) leave annotated/typing-only constructs
+alone, and (d) make exactly the textual change they advertise.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.verify.operators import (
+    OPERATORS,
+    MutationSite,
+    apply_site,
+    enumerate_sites,
+    equivalent_annotations,
+    operator_catalog,
+    site_is_annotated,
+)
+
+FIXTURE = textwrap.dedent(
+    '''
+    """Fixture module for operator tests."""
+    import heapq
+    from typing import List, Tuple
+
+    __all__ = ["sweep"]
+
+
+    class Window:
+        __slots__ = ("lo", "hi")
+
+        def __init__(self, lo: int, hi: int) -> None:
+            self.lo = lo
+            self.hi = hi
+
+
+    def sweep(weights: List[float], bound: float) -> Tuple[int, float]:
+        total = 0.0
+        count = 0
+        picked: List[float] = []
+        heap: List[Tuple[float, int]] = []
+        for i, w in enumerate(weights):
+            if w < bound:
+                total = total + w
+                picked.append(w)
+                heapq.heappush(heap, (w, i))
+            elif w <= bound + 1:
+                count += 1
+        best = min(total, bound)
+        worst = max(total, bound)
+        order = sorted(picked, reverse=True)
+        return (count, best + worst + len(order))
+    '''
+)
+
+
+def fixture_tree() -> ast.Module:
+    return ast.parse(FIXTURE)
+
+
+def sites_by_operator(tree):
+    grouped = {}
+    for site in enumerate_sites(tree):
+        grouped.setdefault(site.operator, []).append(site)
+    return grouped
+
+
+class TestEnumeration:
+    def test_deterministic(self):
+        first = [s.key() for s in enumerate_sites(fixture_tree())]
+        second = [s.key() for s in enumerate_sites(fixture_tree())]
+        assert first == second
+        assert len(first) == len(set(first))
+
+    def test_expected_operator_coverage(self):
+        grouped = sites_by_operator(fixture_tree())
+        # w < bound, w <= bound + 1: two comparison sites.
+        assert len(grouped["flip-compare"]) == 2
+        # bound + 1 is a boundary-shift site.
+        assert len(grouped["shift-index"]) == 1
+        # total + w, best + worst + len(order): arithmetic swaps exist.
+        assert len(grouped["swap-arith"]) >= 2
+        # picked.append(w) is droppable.
+        assert len(grouped["drop-append"]) == 1
+        # heappush tuple argument can be order-inverted.
+        assert len(grouped["heap-invert"]) == 1
+        # sorted(picked, reverse=True) can lose its sort.
+        assert len(grouped["drop-sorted"]) == 1
+        assert len(grouped["flip-minmax"]) == 2
+
+    def test_skips_annotations_and_dunders(self):
+        # Tuples inside type annotations (Tuple[float, int]) and the
+        # __slots__/__all__ assignments must NOT be mutation sites; the
+        # only droppable tuples are the heappush argument and the
+        # return value.
+        grouped = sites_by_operator(fixture_tree())
+        tuple_sites = grouped.get("drop-tuple-field", [])
+        assert len(tuple_sites) == 2
+
+    def test_indices_are_per_operator_and_stable(self):
+        grouped = sites_by_operator(fixture_tree())
+        for sites in grouped.values():
+            assert [s.index for s in sites] == list(range(len(sites)))
+
+
+class TestApplication:
+    def test_every_mutant_compiles_and_differs(self):
+        pristine = ast.unparse(fixture_tree())
+        for site in enumerate_sites(fixture_tree()):
+            mutant_tree = apply_site(fixture_tree(), site)
+            source = ast.unparse(mutant_tree)
+            compile(source, "<mutant>", "exec")  # must stay syntactic
+            assert source != pristine, f"no-op mutant from {site}"
+
+    def test_flip_compare_textual_change(self):
+        grouped = sites_by_operator(fixture_tree())
+        site = grouped["flip-compare"][0]  # w < bound
+        source = ast.unparse(apply_site(fixture_tree(), site))
+        assert "w <= bound:" in source
+
+    def test_drop_sorted_textual_change(self):
+        grouped = sites_by_operator(fixture_tree())
+        source = ast.unparse(apply_site(fixture_tree(), grouped["drop-sorted"][0]))
+        assert "list(picked)" in source
+        assert "reverse" not in source
+
+    def test_flip_minmax_textual_change(self):
+        grouped = sites_by_operator(fixture_tree())
+        source = ast.unparse(apply_site(fixture_tree(), grouped["flip-minmax"][0]))
+        # min(total, bound) became max(...): the module now has two max calls.
+        assert source.count("max(") == 2
+
+    def test_heap_invert_negates_first_element(self):
+        grouped = sites_by_operator(fixture_tree())
+        source = ast.unparse(apply_site(fixture_tree(), grouped["heap-invert"][0]))
+        assert "(-w, i)" in source
+
+    def test_stale_site_rejected(self):
+        site = MutationSite(
+            operator="flip-compare",
+            index=999,
+            lineno=1,
+            col_offset=0,
+            description="stale",
+        )
+        with pytest.raises(LookupError):
+            apply_site(fixture_tree(), site)
+
+
+class TestAnnotations:
+    SOURCE = textwrap.dedent(
+        """
+        def f(x, y):
+            if x < y:  # repro-mutate: equivalent=flip-compare -- tie is harmless
+                return x
+            if x <= y + 1:  # repro-mutate: equivalent -- anything goes here
+                return y
+            return max(x, y)
+        """
+    )
+
+    def test_parse_ops(self):
+        notes = equivalent_annotations(self.SOURCE)
+        assert notes[3] == frozenset({"flip-compare"})
+        assert notes[5] == frozenset({"*"})
+
+    def test_site_filtering(self):
+        notes = equivalent_annotations(self.SOURCE)
+        tree = ast.parse(self.SOURCE)
+        flips = [s for s in enumerate_sites(tree) if s.operator == "flip-compare"]
+        annotated = [s for s in flips if site_is_annotated(s, notes)]
+        # Both the targeted line-3 pragma and the wildcard line-5 pragma
+        # suppress their flip sites.
+        assert len(annotated) == 2
+        minmax = [s for s in enumerate_sites(tree) if s.operator == "flip-minmax"]
+        assert not any(site_is_annotated(s, notes) for s in minmax)
+
+
+class TestCatalog:
+    def test_catalog_matches_registry(self):
+        catalog = operator_catalog()
+        assert [name for name, _ in catalog] == [op.name for op in OPERATORS]
+        assert all(summary for _, summary in catalog)
