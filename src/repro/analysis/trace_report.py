@@ -96,6 +96,40 @@ def figure2_line(records: Iterable[Dict[str, Any]]) -> str:
     return ""
 
 
+def plan_cache_line(records: Iterable[Dict[str, Any]]) -> str:
+    """One-line compiled-plan telemetry summary, when plans were used.
+
+    Reads the ``engine.plan.*`` instruments exported by
+    :meth:`repro.engine.PartitionEngine.snapshot_metrics`: the plan-cache
+    gauges (resident plans, hits/misses/evictions) and the sweep
+    counters, condensed into the number a capacity planner cares about —
+    how many queries each compiled plan amortized.
+    """
+    scalars = {
+        m["name"]: m["value"]
+        for m in metric_records(records)
+        if m["type"] in ("counter", "gauge")
+        and m["name"].startswith("engine.plan.")
+    }
+    if not scalars:
+        return ""
+    compiled = scalars.get("engine.plan.compiled", 0)
+    queries = scalars.get("engine.plan.queries", 0)
+    amortized = f"{queries / compiled:.1f}" if compiled else "-"
+    return (
+        "compiled plans: "
+        f"plans={scalars.get('engine.plan.cache.plans', 0):g} "
+        f"hits={scalars.get('engine.plan.cache.hits', 0):g} "
+        f"misses={scalars.get('engine.plan.cache.misses', 0):g} "
+        f"evictions={scalars.get('engine.plan.cache.evictions', 0):g} | "
+        f"sweeps={scalars.get('engine.plan.sweeps', 0):g} "
+        f"queries={queries:g} "
+        f"structures built={scalars.get('engine.plan.structures.built', 0):g} "
+        f"reused={scalars.get('engine.plan.structures.reused', 0):g} | "
+        f"{amortized} queries/plan"
+    )
+
+
 def render_trace_report(records: Iterable[Dict[str, Any]]) -> str:
     """The full ``repro report --trace`` output for a record list."""
     records = list(records)
@@ -115,6 +149,9 @@ def render_trace_report(records: Iterable[Dict[str, Any]]) -> str:
     line = figure2_line(records)
     if line:
         parts.append(line)
+    plans = plan_cache_line(records)
+    if plans:
+        parts.append(plans)
     parts.append(phase_table(records))
     metrics = metrics_table(records)
     if metrics:

@@ -392,9 +392,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"batch: cannot read {args.input}: {exc}", file=sys.stderr)
         return 2
+    # --sweep forces serial dispatch so same-fingerprint bandwidth
+    # queries are answered through one compiled-plan sweep per chain
+    # (the pool would re-pickle each query into a worker instead).
+    workers = 0 if args.sweep else args.workers
     try:
         results = engine.solve_jsonl(
-            lines, max_workers=args.workers, chunksize=args.chunksize
+            lines, max_workers=workers, chunksize=args.chunksize
         )
     except ValueError as exc:
         print(f"batch: {exc}", file=sys.stderr)
@@ -611,6 +615,42 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
     return 0 if report["passed"] else 1
 
 
+def _cmd_ratchet(args: argparse.Namespace) -> int:
+    """Benchmark-ratchet gate: fresh speedups must hold the baseline."""
+    import json
+
+    from repro.analysis.ratchet import compare_snapshots, render_comparison
+
+    snapshots = []
+    for label, path in (("baseline", args.baseline), ("fresh", args.fresh)):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                snapshots.append(json.load(handle))
+        except OSError as exc:
+            print(f"ratchet: cannot read {label} {path}: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"ratchet: invalid JSON in {path}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        rows, failures = compare_snapshots(
+            snapshots[0], snapshots[1], tolerance=args.tolerance
+        )
+    except ValueError as exc:
+        print(f"ratchet: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(
+            json.dumps(
+                {"rows": rows, "failures": failures, "passed": not failures},
+                indent=2,
+            )
+        )
+    else:
+        print(render_comparison(rows, failures))
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -734,6 +774,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process-pool width; 0 = serial in-process (default)")
     p.add_argument("--chunksize", type=int, default=None,
                    help="queries pickled per pool task (default: balanced)")
+    p.add_argument("--sweep", action="store_true",
+                   help="answer same-chain bandwidth queries through one "
+                        "compiled-plan sweep per chain (forces serial "
+                        "dispatch; plan routing is bypassed under --trace, "
+                        "which needs per-query spans)")
     p.add_argument("--backend", choices=["numpy", "python"], default=None,
                    help="kernel backend (default: numpy when available)")
     p.add_argument("--trace", default=None, metavar="FILE",
@@ -796,6 +841,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="workload seed for --complexity")
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "ratchet",
+        help="benchmark-ratchet gate: compare a fresh BENCH snapshot "
+             "against the committed baseline",
+        description=(
+            "Compare the speedup fields of a freshly measured benchmark "
+            "snapshot (REPRO_BENCH_SNAPSHOT=fresh.json python -m pytest "
+            "benchmarks -k engine) against the committed baseline and "
+            "exit 1 when any speedup fell more than --tolerance below "
+            "its baseline value.  Absolute medians are reported but "
+            "never gated — only host-relative ratios ratchet."
+        ),
+    )
+    p.add_argument("baseline", help="committed snapshot (BENCH_engine.json)")
+    p.add_argument("fresh", help="freshly measured snapshot")
+    p.add_argument("--tolerance", type=float, default=0.20,
+                   help="allowed relative drop per speedup (default 0.20)")
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.set_defaults(func=_cmd_ratchet)
 
     p = sub.add_parser(
         "mutate",

@@ -82,13 +82,15 @@ def chain_pareto_frontier(
     bottleneck bound at that budget and the minimum-bandwidth cut
     honouring it.  As with :class:`ChainBudgetPlan`, the ``components``
     column can exceed the budget — the cheapest cut under the bound may
-    use more, smaller blocks.  This is a min-K search repeated per
-    budget, so it
-    runs through a shared :class:`repro.engine.PartitionEngine` — by
-    default a fresh one — probing budgets from ``max_processors`` down
-    so the bounds arrive sorted ascending and the cache's monotone
-    warm-start can serve neighbouring probes from one prime structure
-    instead of re-deriving primes per probe.
+    use more, smaller blocks.  The per-budget bounds are derived first
+    (Hansen-Lih, ``O(n log n)`` each) and the whole vector is then
+    answered by **one** batched
+    :meth:`repro.engine.PartitionEngine.solve_sweep` call through the
+    chain's compiled plan: budgets probed from ``max_processors`` down
+    give ascending bounds, so neighbouring probes share one frozen
+    structure per stability interval instead of re-deriving primes per
+    probe.  Rows are identical to per-call
+    :func:`partition_chain_for_processors` answers.
     """
     if max_processors < 1:
         raise ValueError("need at least one processor")
@@ -96,16 +98,21 @@ def chain_pareto_frontier(
         from repro.engine import PartitionEngine
 
         engine = PartitionEngine()
+    alpha_floor = chain.max_vertex_weight()
+    budgets = list(range(max_processors, 0, -1))
+    bounds = [
+        max(ccp_hansen_lih(chain, budget).bottleneck, alpha_floor)
+        for budget in budgets
+    ]
+    weights, cuts = engine.solve_sweep(chain, bounds, return_cuts=True)
     rows: List[Dict[str, Any]] = []
-    for budget in range(max_processors, 0, -1):
-        plan = partition_chain_for_processors(chain, budget, engine=engine)
-        cut = plan.bandwidth_cut
+    for budget, bound, weight, cut in zip(budgets, bounds, weights, cuts):
         rows.append(
             {
                 "processors": budget,
-                "bound": plan.bound,
-                "components": cut.num_components,
-                "bandwidth": cut.weight,
+                "bound": bound,
+                "components": len(cut) + 1,
+                "bandwidth": float(weight),
             }
         )
     rows.reverse()

@@ -7,10 +7,15 @@ Layers on top of :mod:`repro.core`:
   membership intervals, the non-redundant-edge reduction), bit-identical
   to the pure-Python reference;
 - :mod:`repro.engine.cache` — content-fingerprinted prime-structure and
-  result caching with monotone warm-start for sorted-``K`` sweeps;
+  result caching with monotone warm-start for sorted-``K`` sweeps, plus
+  the compiled-plan LRU (:class:`PlanCache`);
+- :mod:`repro.engine.plan` — :class:`CompiledChainPlan`: freeze one
+  chain's preprocessing, answer whole vectors of bound/β queries in
+  batched sweeps (``compile_chain``/``solve_bounds``/``solve_beta_sweep``);
 - :mod:`repro.engine.batch` — :class:`PartitionEngine` with
-  ``solve``/``solve_many`` (process-pool fan-out, deterministic result
-  ordering) backing the ``repro batch`` CLI subcommand.
+  ``solve``/``solve_many``/``solve_sweep`` (process-pool fan-out,
+  fingerprint-grouped dispatch, deterministic result ordering) backing
+  the ``repro batch`` CLI subcommand.
 """
 
 from repro.engine.batch import (
@@ -20,16 +25,20 @@ from repro.engine.batch import (
     PartitionQuery,
     QueryResult,
 )
-from repro.engine.cache import CacheStats, PrimeStructureCache
+from repro.engine.cache import CacheStats, PlanCache, PrimeStructureCache
 from repro.engine.kernels import HAVE_NUMPY
+from repro.engine.plan import CompiledChainPlan, compile_chain
 
 __all__ = [
     "BatchStats",
     "CacheStats",
+    "CompiledChainPlan",
     "HAVE_NUMPY",
     "OBJECTIVES",
     "PartitionEngine",
     "PartitionQuery",
+    "PlanCache",
     "PrimeStructureCache",
     "QueryResult",
+    "compile_chain",
 ]

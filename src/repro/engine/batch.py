@@ -25,6 +25,7 @@ query order, into a :class:`BatchStats` left on
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -33,7 +34,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.feasibility import PartitioningError
 from repro.core.pipeline import partition_chain
-from repro.engine.cache import CacheStats, PrimeStructureCache
+from repro.engine.cache import CacheStats, PlanCache, PrimeStructureCache
 from repro.engine.kernels import HAVE_NUMPY
 from repro.graphs.chain import Chain
 from repro.instrumentation.counters import OpCounter
@@ -244,6 +245,7 @@ class PartitionEngine:
     __slots__ = (
         "backend",
         "cache",
+        "plans",
         "max_workers",
         "tracer",
         "metrics",
@@ -254,6 +256,7 @@ class PartitionEngine:
         self,
         backend: Optional[str] = None,
         cache: Optional[PrimeStructureCache] = None,
+        plans: Optional[PlanCache] = None,
         max_workers: Optional[int] = 0,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
@@ -264,6 +267,7 @@ class PartitionEngine:
             raise ValueError(f"unknown backend {backend!r}")
         self.backend = backend
         self.cache = cache or PrimeStructureCache(backend=backend)
+        self.plans = plans or PlanCache()
         self.max_workers = max_workers
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -316,6 +320,41 @@ class PartitionEngine:
         )
         return result
 
+    # ------------------------------------------------------------------
+    # Multi-query sweeps (compiled plans)
+    # ------------------------------------------------------------------
+    def solve_sweep(
+        self,
+        chain: Chain,
+        bounds: Sequence[float],
+        *,
+        return_cuts: bool = False,
+    ) -> Any:
+        """Optimal bandwidth for every bound in ``bounds``, one batched pass.
+
+        Routes through a :class:`~repro.engine.plan.CompiledChainPlan`
+        cached by chain fingerprint in :attr:`plans`, so repeated sweeps
+        over the same chain share frozen arrays and built structures.
+        Returns the per-bound weights (a float64 array on the NumPy
+        backend, a list on the Python fallback), or ``(weights, cuts)``
+        with ``return_cuts=True``.  Answers are bit-identical to
+        per-call :meth:`solve`; under ``REPRO_VERIFY=1`` every element
+        is certified against the pure-Python solver.
+
+        On ``backend="python"`` (or when NumPy is missing) the sweep
+        degrades to per-call solves through the structure cache — same
+        answers, no compiled fast path.
+        """
+        if self.backend != "numpy" or not HAVE_NUMPY:
+            results = [self.solve(chain, float(b)) for b in bounds]
+            weights = [r.weight for r in results]
+            if return_cuts:
+                return weights, [list(r.cut_indices) for r in results]
+            return weights
+        tracer = self.tracer if self.tracer.enabled else None
+        plan = self.plans.get(chain, tracer=tracer, metrics=self.metrics)
+        return plan.solve_bounds(bounds, return_cuts=return_cuts)
+
     def cache_stats(self) -> CacheStats:
         return self.cache.stats
 
@@ -333,6 +372,13 @@ class PartitionEngine:
         self.metrics.gauge("engine.cache.evictions").set(stats.evictions)
         self.metrics.gauge("engine.cache.hit_rate").set(stats.hit_rate)
         self.metrics.gauge("engine.cache.entries").set(len(self.cache))
+        plan_stats = self.plans.stats
+        self.metrics.gauge("engine.plan.cache.hits").set(plan_stats.hits)
+        self.metrics.gauge("engine.plan.cache.misses").set(plan_stats.misses)
+        self.metrics.gauge("engine.plan.cache.evictions").set(
+            plan_stats.evictions
+        )
+        self.metrics.gauge("engine.plan.cache.plans").set(len(self.plans))
         return self.metrics
 
     # ------------------------------------------------------------------
@@ -344,16 +390,19 @@ class PartitionEngine:
         *,
         max_workers: Optional[int] = None,
         chunksize: Optional[int] = None,
+        use_plans: bool = True,
     ) -> List[QueryResult]:
         """Solve independent queries, returning results in input order.
 
-        With ``max_workers`` in ``(0, 1)`` (or at most one query) the
-        batch runs serially through this engine's shared cache — the
-        right mode when many queries hit the same chains.  Otherwise the
-        batch fans out over a process pool: workers are seeded lazily
-        with a per-process engine, ``executor.map`` preserves submission
-        order, and ``chunksize`` (default: balanced across workers)
-        amortizes pickling.
+        Queries are grouped by chain content (the fingerprint
+        equivalence) before dispatch.  Serially, bandwidth groups with
+        two or more feasible bounds route through the compiled-plan
+        cache (:meth:`solve_sweep`) — one structural pass per stability
+        interval instead of one per query; ``use_plans=False`` restores
+        strictly per-call solves.  With a process pool, grouping keeps
+        same-chain queries in the same ``executor.map`` chunk so workers
+        stop re-deriving structures their neighbors already built;
+        results are re-sorted to input order afterwards.
         """
         if max_workers is None:
             max_workers = self.max_workers
@@ -367,19 +416,87 @@ class PartitionEngine:
         t0 = time.perf_counter()
         if max_workers in (0, 1) or len(queries) <= 1:
             workers = 0
-            results = [_solve_payload(p, self) for p in payloads]
+            results = self._solve_serial(payloads, use_plans)
         else:
             if max_workers is not None and max_workers < 0:
                 raise ValueError("max_workers must be >= 0")
             workers = max_workers or os.cpu_count() or 1
+            # Fingerprint grouping: same-chain (and near-same-bound)
+            # queries land in the same chunk, hence the same worker's
+            # structure cache.
+            grouped = sorted(payloads, key=lambda p: (p[1], p[2], p[3]))
             if chunksize is None:
                 chunksize = max(1, len(payloads) // (4 * workers))
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
                 results = list(
-                    pool.map(_solve_payload, payloads, chunksize=chunksize)
+                    pool.map(_solve_payload, grouped, chunksize=chunksize)
                 )
+            results.sort(key=lambda r: r.index)
         self._aggregate_batch(results, workers, time.perf_counter() - t0)
         return results
+
+    def _solve_serial(
+        self, payloads: List[tuple], use_plans: bool
+    ) -> List[QueryResult]:
+        """The serial batch path: plan-route bandwidth groups, per-call
+        everything else.
+
+        Bandwidth queries are grouped by chain content; groups with at
+        least two feasible finite bounds go through :meth:`solve_sweep`
+        (identical answers, shared structural work).  Infeasible or
+        non-finite bounds keep per-call error semantics, and any
+        group-level failure falls back to per-call solves so errors stay
+        per query.  Tracing disables plan routing — per-query spans are
+        the contract there.
+        """
+        if (
+            not use_plans
+            or self.backend != "numpy"
+            or not HAVE_NUMPY
+            or self.tracer.enabled
+        ):
+            return [_solve_payload(p, self) for p in payloads]
+        groups: Dict[Tuple[tuple, tuple], List[tuple]] = {}
+        for p in payloads:
+            if p[4] == "bandwidth":
+                groups.setdefault((p[1], p[2]), []).append(p)
+        results: List[Optional[QueryResult]] = [None] * len(payloads)
+        for (alpha, beta), members in groups.items():
+            alpha_max = max(alpha) if alpha else 0.0
+            eligible = [
+                p
+                for p in members
+                if math.isfinite(p[3]) and 0.0 < p[3] and alpha_max <= p[3]
+            ]
+            if len(eligible) < 2:
+                continue
+            chain = Chain(list(alpha), list(beta))
+            t0 = time.perf_counter()
+            try:
+                weights, cuts = self.solve_sweep(
+                    chain, [p[3] for p in eligible], return_cuts=True
+                )
+            except (PartitioningError, ValueError):
+                # e.g. a verification failure: re-run per call so the
+                # error lands on the offending query only.
+                for p in eligible:
+                    results[p[0]] = _solve_payload(p, self)
+                continue
+            share = (time.perf_counter() - t0) / len(eligible)
+            for p, weight, cut in zip(eligible, weights, cuts):
+                answer = QueryResult(
+                    p[0], p[5], p[4], p[3], list(cut), float(weight),
+                    len(cut) + 1,
+                )
+                answer.telemetry = {
+                    "duration_s": share,
+                    "plan_group": len(eligible),
+                }
+                results[p[0]] = answer
+        return [
+            result if result is not None else _solve_payload(p, self)
+            for p, result in zip(payloads, results)
+        ]
 
     def _aggregate_batch(
         self, results: List[QueryResult], workers: int, wall_s: float
@@ -414,6 +531,7 @@ class PartitionEngine:
         *,
         max_workers: Optional[int] = None,
         chunksize: Optional[int] = None,
+        use_plans: bool = True,
     ) -> List[QueryResult]:
         """Parse JSONL query records and solve them as one batch.
 
@@ -432,7 +550,8 @@ class PartitionEngine:
                     f"invalid query record on line {lineno}: {exc!s}"
                 ) from exc
         return self.solve_many(
-            queries, max_workers=max_workers, chunksize=chunksize
+            queries, max_workers=max_workers, chunksize=chunksize,
+            use_plans=use_plans,
         )
 
 

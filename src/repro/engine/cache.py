@@ -37,10 +37,11 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 from repro.core.bandwidth import ChainCutResult, bandwidth_min
 from repro.core.prime_subpaths import compute_prime_structure
 from repro.engine.kernels import validate_bound_array
+from repro.engine.plan import CompiledChainPlan, compile_chain
 from repro.graphs.chain import Chain
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
-    from repro.observability import Tracer
+    from repro.observability import MetricsRegistry, Tracer
 
 
 class CacheStats:
@@ -352,3 +353,63 @@ class PrimeStructureCache:
 
     def __len__(self) -> int:
         return sum(len(e.structures) for e in self._entries.values())
+
+
+class PlanCache:
+    """LRU of :class:`~repro.engine.plan.CompiledChainPlan` by fingerprint.
+
+    The compiled-plan twin of :class:`PrimeStructureCache`: repeated
+    sweeps over the same chain — successive ``solve_sweep`` calls,
+    fingerprint-grouped ``solve_many`` batches, the Pareto-frontier
+    probe loop — reuse one plan, so its frozen arrays *and* its memo of
+    built structures amortize across calls.  Sharing is exact for the
+    same reason the structure cache is: equal fingerprints mean equal
+    chain content, and a plan's answers are pure functions of that
+    content.
+
+    ``interval_hits`` on :attr:`stats` stays zero — stability-interval
+    reuse happens inside each plan's own memo, not at this layer.
+    """
+
+    __slots__ = ("max_plans", "stats", "_plans")
+
+    def __init__(self, max_plans: int = 16) -> None:
+        self.max_plans = max(1, int(max_plans))
+        self.stats = CacheStats()
+        self._plans: "OrderedDict[str, CompiledChainPlan]" = OrderedDict()
+
+    def get(
+        self,
+        chain: Chain,
+        *,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> CompiledChainPlan:
+        """The cached plan for ``chain``, compiling one on first sight.
+
+        A cache hit rebinds the plan's ``tracer``/``metrics`` to the
+        caller's so telemetry always lands in the live registry (plans
+        outlive the engines that created them when caches are shared).
+        """
+        key = chain.fingerprint()
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = compile_chain(chain, tracer=tracer, metrics=metrics)
+            self._plans[key] = plan
+            self.stats.misses += 1
+            if len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+                self.stats.evictions += 1
+        else:
+            self._plans.move_to_end(key)
+            plan.tracer = tracer
+            plan.metrics = metrics
+            self.stats.hits += 1
+        return plan
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._plans)

@@ -188,6 +188,51 @@ def reduced_edge_arrays(
     return sel, beta[sel], lo_c[first_min], hi_c[first_min]
 
 
+def reduced_class_arrays(
+    beta: "np.ndarray",
+    first_tasks: "np.ndarray",
+    last_tasks: "np.ndarray",
+    num_edges: int,
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Weight-only twin of :func:`reduced_edge_arrays`, built directly
+    from the prime windows.
+
+    The per-edge membership interval ``(lo, hi)`` is a pair of step
+    functions of the edge index: ``lo`` increments at ``last_edges + 1 ==
+    last_tasks`` and ``hi`` at ``first_edges == first_tasks``.  Merging
+    the ~``2p`` breakpoints therefore yields every maximal run of equal
+    ``(lo, hi)`` — the reduction classes — without materializing the
+    ``O(n)`` per-edge arrays at all.  Each class's weight is its member
+    minimum (``np.minimum.reduceat``), bit-identical to the
+    minimum-weight representative :func:`reduced_edge_arrays` selects,
+    because ``min`` over the same float multiset is order-independent.
+
+    Returns ``(weight, first_prime, last_prime)`` — no representative
+    edge index, which is exactly what the weight-only TEMP_S sweep
+    (:func:`sweep_min_weight`) consumes.  Cut extraction still goes
+    through :func:`reduced_edge_arrays`.
+    """
+    if first_tasks.shape[0] == 0:
+        empty_f = np.empty(0, dtype=np.float64)
+        empty_i = np.empty(0, dtype=np.int64)
+        return empty_f, empty_i, empty_i
+    boundaries = np.concatenate((first_tasks, last_tasks))
+    boundaries.sort()
+    if boundaries[-1] >= num_edges:  # repro-mutate: equivalent=flip-compare -- a final last_tasks == num_edges breakpoint opens an empty uncovered segment that the cover mask drops anyway
+        boundaries = boundaries[boundaries < num_edges]
+    keep = np.empty(boundaries.shape[0], dtype=bool)
+    keep[0] = True
+    keep[1:] = boundaries[1:] != boundaries[:-1]
+    seg_starts = boundaries[keep]
+    # Membership at each segment start; constant within the segment.
+    last_edges = last_tasks - 1
+    lo = np.searchsorted(last_edges, seg_starts, side="left")
+    hi = np.searchsorted(first_tasks, seg_starts, side="right") - 1
+    covered = lo <= hi
+    class_min = np.minimum.reduceat(beta, seg_starts)
+    return class_min[covered], lo[covered], hi[covered]
+
+
 class ArrayPrimeStructure:
     """Array-backed drop-in for :class:`repro.core.prime_subpaths.PrimeStructure`.
 
@@ -456,6 +501,98 @@ def sweep_min_cut(
         final = sol_prev[final]
     cut.reverse()
     return cut, weight
+
+
+@complexity("n + p log q")
+def sweep_min_weight(
+    edge_weight: List[float],
+    edge_first: List[int],
+    edge_last: List[int],
+    head_edges: int,
+) -> float:
+    """Weight of the optimal cut — :func:`sweep_min_cut` minus the cut.
+
+    The multi-query sweeps in :mod:`repro.engine.plan` only need the
+    bandwidth per bound (cuts are reconstructed on demand), and dropping
+    the solution arena plus per-row solution ids makes this the hottest
+    loop's cheapest faithful form: every float expression, comparison
+    and tie-break below mirrors :func:`sweep_min_cut` term for term, so
+    the returned weight is bit-identical to the reference's.
+
+    ``head_edges`` is the count of leading edges whose first prime is 0
+    (``edge_first`` is nondecreasing, so they form a prefix; callers
+    compute it with one ``searchsorted``).  For those edges the retire
+    loop cannot run (no row starts below prime 0) and the recurrence has
+    no predecessor term, so the loop body skips both — same arithmetic,
+    fewer branches.
+    """
+    row_lo: List[int] = []
+    row_hi: List[int] = []
+    row_w: List[float] = []
+    push_lo = row_lo.append
+    push_hi = row_hi.append
+    push_w = row_w.append
+    top = 0
+    size = 0
+    gamma_w = 0.0  # cumulative weight of S_{first_prime - 1}; 0 = empty
+    last_w = 0.0  # row_w[-1] / row_hi[-1], tracked to keep the hot
+    last_hi = -1  # branches off the list objects
+    t = 0
+    for bw, fp, lp in zip(edge_weight, edge_first, edge_last):
+        if t < head_edges:
+            wv = bw  # fp == 0: nothing to retire, no predecessor
+        else:
+            while top < size:
+                if row_lo[top] >= fp:
+                    break
+                gamma_w = row_w[top]
+                if row_hi[top] < fp:
+                    top += 1  # entire row retired
+                else:
+                    row_lo[top] = fp  # trim and stop
+                    break
+            wv = bw + gamma_w
+        t += 1
+        # First row (from TOP) whose W >= wv; replace it and everything
+        # below with one row carrying wv, then open new subpaths.  The
+        # bottom row holds the column maximum, so ``last_w < wv`` means
+        # the binary search would land past the end — skip it.
+        if (
+            top < size
+            and last_w >= wv  # repro-mutate: equivalent=flip-compare -- a last_w == wv tie replaces the bottom row with its own W; routing it through the extend branch opens a second row at the same W, which retire and replace read identically
+        ):
+            split = size - 1
+            if split > top and row_w[split - 1] >= wv:  # repro-mutate: equivalent=flip-compare -- at split == top the bisect over an empty range returns the same split, and splitting a run of equal-W rows is weight-inert (retire and replace read only W)
+                # Rare: wv displaces more than the bottom row.
+                split = bisect_left(row_w, wv, top, split)
+                del row_lo[split + 1 :]
+                del row_hi[split + 1 :]
+                del row_w[split + 1 :]
+                size = split + 1
+            if last_hi < lp:  # repro-mutate: equivalent=flip-compare -- max() tie: both branches store the same hi
+                last_hi = lp
+            row_hi[split] = last_hi
+            row_w[split] = wv
+            last_w = wv
+        elif top >= size:
+            # Queue drained: anchor a fresh row at this edge's range.
+            push_lo(fp)
+            push_hi(lp)
+            push_w(wv)
+            size += 1
+            last_w = wv
+            last_hi = lp
+        elif lp > last_hi:
+            push_lo(last_hi + 1)
+            push_hi(lp)
+            push_w(wv)
+            size += 1
+            last_w = wv
+            last_hi = lp
+        # else: wv exceeds every open minimum and opens nothing — no-op.
+    if top >= size:  # repro-mutate: equivalent=flip-compare -- every loop iteration leaves a live row, so top == size only on empty input, where last_w is still 0.0
+        return 0.0
+    return last_w
 
 
 @complexity("n + p log q")

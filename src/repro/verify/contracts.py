@@ -319,6 +319,9 @@ REQUIRED_CONTRACTS: Dict[str, FrozenSet[str]] = {
     "repro/engine/kernels.py": frozenset(
         {"compute_prime_structure_numpy", "bandwidth_sweep"}
     ),
+    "repro/engine/plan.py": frozenset(
+        {"compile_chain", "solve_bounds", "solve_beta_sweep"}
+    ),
 }
 
 

@@ -145,6 +145,11 @@ TARGETS: Dict[str, MutationTarget] = {
             ("chain", "engine"),
         ),
         MutationTarget(
+            "repro.engine.plan",
+            ("tests/engine/test_plan.py",),
+            ("plan",),
+        ),
+        MutationTarget(
             "repro.baselines.nicol",
             ("tests/baselines/test_nicol.py",),
             ("nicol",),
@@ -463,6 +468,42 @@ def _suite_tree() -> Any:
     return rows
 
 
+def _suite_plan() -> Any:
+    from repro.engine.kernels import HAVE_NUMPY
+
+    if not HAVE_NUMPY:  # pragma: no cover - minimal installs only
+        return [{"skipped": "numpy unavailable"}]
+    from repro.engine.plan import compile_chain
+
+    rows: List[Dict[str, Any]] = []
+    for name, chain, bound in _chain_cases():
+        # max_structures=4 against 5+ distinct intervals exercises the
+        # memo's eviction path; unsorted/duplicated bounds exercise the
+        # argsort + stability-interval group walk.
+        plan = compile_chain(chain, max_structures=4)
+        ks = [2.0 * bound, bound, bound, 1.25 * bound, 4.0 * bound,
+              3.0 * bound, bound]
+        weights, cuts = plan.solve_bounds(ks, return_cuts=True)
+        rows.append(
+            {
+                "case": name,
+                "weights": weights.tolist(),
+                "cuts": cuts,
+                "structures": len(plan),
+            }
+        )
+        if chain.num_edges:
+            betas = [
+                list(chain.beta),
+                [2.0 * b for b in chain.beta],
+                [0.5 * b + 1.0 for b in chain.beta],
+                list(reversed(chain.beta)),
+            ]
+            swept = plan.solve_beta_sweep(betas, 2.0 * bound)
+            rows.append({"case": name, "beta_weights": swept.tolist()})
+    return rows
+
+
 def _suite_nicol() -> Any:
     from repro.baselines.nicol import bandwidth_min_nlogn
     from repro.core.bandwidth import bandwidth_min
@@ -485,6 +526,7 @@ _SUITES: Dict[str, Callable[[], Any]] = {
     "chain": _suite_chain,
     "prime": _suite_prime,
     "engine": _suite_engine,
+    "plan": _suite_plan,
     "tree": _suite_tree,
     "nicol": _suite_nicol,
 }
@@ -538,6 +580,36 @@ def _certify_engine() -> None:
         verify_cache_solve(chain, bound, result)
 
 
+def _certify_plan() -> None:
+    from repro.engine.kernels import HAVE_NUMPY
+
+    if not HAVE_NUMPY:  # pragma: no cover - minimal installs only
+        return
+    from repro.core.bandwidth import ChainCutResult, bandwidth_min
+    from repro.engine.plan import compile_chain
+    from repro.graphs.chain import Chain
+    from repro.verify.runtime import verify_cache_solve
+
+    for _name, chain, bound in _chain_cases():
+        plan = compile_chain(chain)
+        ks = [bound, 1.5 * bound, bound]
+        weights, cuts = plan.solve_bounds(ks, return_cuts=True)
+        for k, weight, cut in zip(ks, weights, cuts):
+            verify_cache_solve(
+                chain, float(k), ChainCutResult(chain, list(cut), float(weight))
+            )
+        if chain.num_edges:
+            betas = [list(chain.beta), [3.0 * b for b in chain.beta]]
+            swept = plan.solve_beta_sweep(betas, 2.0 * bound)
+            for row, claimed in zip(betas, swept):
+                reference = bandwidth_min(Chain(chain.alpha, row), 2.0 * bound)
+                if float(claimed) != reference.weight:
+                    raise AssertionError(
+                        f"beta-sweep weight {claimed!r} diverged from the "
+                        f"scalar reference {reference.weight!r}"
+                    )
+
+
 def _certify_tree() -> None:
     from repro.core.bottleneck import bottleneck_min
     from repro.verify.certificates import check_tree_cut
@@ -562,6 +634,7 @@ _CERTIFIERS: Dict[str, Callable[[], None]] = {
     "chain": _certify_chain,
     "prime": _certify_prime,
     "engine": _certify_engine,
+    "plan": _certify_plan,
     "tree": _certify_tree,
     "nicol": _certify_nicol,
 }

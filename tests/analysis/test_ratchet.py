@@ -1,0 +1,111 @@
+"""Unit tests for the benchmark ratchet and its CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.analysis.ratchet import compare_snapshots, render_comparison
+from repro.cli import main
+
+
+def snapshot(**benchmarks):
+    return {"version": 1, "benchmarks": benchmarks}
+
+
+class TestCompareSnapshots:
+    def test_holding_the_baseline_passes(self):
+        base = snapshot(sweep={"median_ns": 500, "speedup": 10.0})
+        fresh = snapshot(sweep={"median_ns": 900, "speedup": 9.0})
+        rows, failures = compare_snapshots(base, fresh, tolerance=0.20)
+        assert failures == []
+        assert [r["passed"] for r in rows] == [True]
+        assert rows[0]["floor"] == 8.0
+
+    def test_regression_beyond_tolerance_fails(self):
+        base = snapshot(sweep={"speedup": 10.0})
+        fresh = snapshot(sweep={"speedup": 7.9})
+        rows, failures = compare_snapshots(base, fresh, tolerance=0.20)
+        assert len(failures) == 1
+        assert "regressed" in failures[0]
+        assert rows[0]["passed"] is False
+
+    def test_median_ns_never_gates(self):
+        base = snapshot(sweep={"median_ns": 100, "speedup": 5.0})
+        fresh = snapshot(sweep={"median_ns": 100_000, "speedup": 5.0})
+        _, failures = compare_snapshots(base, fresh)
+        assert failures == []
+
+    def test_missing_benchmark_fails(self):
+        base = snapshot(sweep={"speedup": 5.0})
+        _, failures = compare_snapshots(base, snapshot())
+        assert failures == ["benchmark sweep is in the baseline but missing "
+                            "from the fresh snapshot"]
+
+    def test_missing_field_fails(self):
+        base = snapshot(sweep={"speedup": 5.0})
+        fresh = snapshot(sweep={"median_ns": 100})
+        _, failures = compare_snapshots(base, fresh)
+        assert len(failures) == 1
+        assert "no measurement" in failures[0]
+
+    def test_new_fresh_benchmarks_are_ignored(self):
+        base = snapshot(sweep={"speedup": 5.0})
+        fresh = snapshot(sweep={"speedup": 5.0}, extra={"speedup": 1.0})
+        rows, failures = compare_snapshots(base, fresh)
+        assert failures == []
+        assert len(rows) == 1  # the baseline drives the comparison
+
+    def test_schema_and_tolerance_validation(self):
+        good = snapshot()
+        with pytest.raises(ValueError, match="version"):
+            compare_snapshots({"benchmarks": {}}, good)
+        with pytest.raises(ValueError, match="benchmarks"):
+            compare_snapshots(good, {"version": 1})
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_snapshots(good, good, tolerance=1.5)
+
+    def test_render_mentions_verdicts(self):
+        base = snapshot(sweep={"speedup": 10.0}, other={"speedup": 2.0})
+        fresh = snapshot(sweep={"speedup": 1.0}, other={"speedup": 2.0})
+        text = render_comparison(*compare_snapshots(base, fresh))
+        assert "FAIL" in text and "ok" in text
+        assert "ratchet: FAIL (1/2 gates held)" in text
+
+
+class TestRatchetCli:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_pass_and_fail_exit_codes(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", snapshot(s={"speedup": 4.0}))
+        good = self.write(tmp_path, "good.json", snapshot(s={"speedup": 4.5}))
+        bad = self.write(tmp_path, "bad.json", snapshot(s={"speedup": 1.0}))
+        assert main(["ratchet", base, good]) == 0
+        assert main(["ratchet", base, bad]) == 1
+        assert main(["ratchet", base, bad, "--tolerance", "0.9"]) == 0
+        capsys.readouterr()
+        assert main(["ratchet", base, good, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["passed"] is True
+
+    def test_unreadable_inputs_exit_two(self, tmp_path):
+        base = self.write(tmp_path, "base.json", snapshot())
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        assert main(["ratchet", base, str(tmp_path / "missing.json")]) == 2
+        assert main(["ratchet", base, str(garbage)]) == 2
+
+    def test_committed_baseline_is_valid(self):
+        from pathlib import Path
+
+        import repro
+
+        root = Path(repro.__file__).resolve().parents[2]
+        committed = json.loads((root / "BENCH_engine.json").read_text())
+        rows, failures = compare_snapshots(committed, committed)
+        assert failures == []
+        names = {row["benchmark"] for row in rows}
+        assert "plan_sweep_100_bounds_warm" in names
+        assert "plan_sweep_100_bounds_cold" in names

@@ -142,6 +142,27 @@ class TestBatchCli:
         )
         assert "error" in rows[1]
 
+    def test_batch_sweep_flag_matches_default(self, tmp_path):
+        chain = random_chain(20, rng=61)
+        records = [
+            {
+                "alpha": list(chain.alpha),
+                "beta": list(chain.beta),
+                "bound": (1.5 + 0.5 * i) * chain.max_vertex_weight(),
+                "tag": f"s{i}",
+            }
+            for i in range(4)
+        ]
+        inp = tmp_path / "queries.jsonl"
+        inp.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        plain_out = tmp_path / "plain.jsonl"
+        sweep_out = tmp_path / "sweep.jsonl"
+        assert main(["batch", "--input", str(inp), "--output", str(plain_out)]) == 0
+        assert main(
+            ["batch", "--sweep", "--input", str(inp), "--output", str(sweep_out)]
+        ) == 0
+        assert sweep_out.read_text() == plain_out.read_text()
+
     def test_batch_all_ok_exit_zero(self, tmp_path):
         inp = tmp_path / "q.jsonl"
         out = tmp_path / "r.jsonl"
@@ -149,6 +170,71 @@ class TestBatchCli:
             json.dumps({"alpha": [1, 1, 1], "beta": [1, 1], "bound": 2}) + "\n"
         )
         assert main(["batch", "--input", str(inp), "--output", str(out)]) == 0
+
+
+class TestPlanGrouping:
+    """solve_many's fingerprint grouping through compiled plans."""
+
+    def make_grouped_queries(self, num=12, chains=3, seed=200):
+        queries = []
+        pool = [random_chain(25 + 10 * c, rng=seed + c) for c in range(chains)]
+        for i in range(num):
+            chain = pool[i % chains]
+            bound = (1.2 + 0.4 * (i % 5)) * chain.max_vertex_weight()
+            queries.append(PartitionQuery.from_chain(chain, bound, tag=f"g{i}"))
+        return queries
+
+    def test_serial_plan_routing_matches_per_call(self):
+        queries = self.make_grouped_queries()
+        routed = PartitionEngine().solve_many(queries, max_workers=0)
+        direct = PartitionEngine().solve_many(
+            queries, max_workers=0, use_plans=False
+        )
+        assert [r.to_json() for r in routed] == [r.to_json() for r in direct]
+
+    def test_plan_routing_shares_one_plan_per_chain(self):
+        engine = PartitionEngine()
+        engine.solve_many(self.make_grouped_queries(chains=3), max_workers=0)
+        assert len(engine.plans) == 3
+        assert engine.plans.stats.misses == 3
+
+    def test_mixed_feasibility_and_objectives(self):
+        chain = random_chain(20, rng=210)
+        wmax = chain.max_vertex_weight()
+        queries = [
+            PartitionQuery.from_chain(chain, 2.0 * wmax, tag="ok-1"),
+            PartitionQuery.from_chain(chain, 0.5 * wmax, tag="infeasible"),
+            PartitionQuery.from_chain(
+                chain, 2.0 * wmax, objective="processors", tag="procs"
+            ),
+            PartitionQuery.from_chain(chain, 3.0 * wmax, tag="ok-2"),
+        ]
+        routed = PartitionEngine().solve_many(queries, max_workers=0)
+        direct = PartitionEngine().solve_many(
+            queries, max_workers=0, use_plans=False
+        )
+        assert [r.ok for r in routed] == [True, False, True, True]
+        assert [r.to_json() for r in routed] == [r.to_json() for r in direct]
+
+    def test_pool_grouping_preserves_input_order(self):
+        # The pool path submits queries sorted by chain payload so one
+        # worker's cache sees a chain's queries back to back; results
+        # must still come home in input order.
+        queries = self.make_grouped_queries(num=9, chains=3)
+        parallel = PartitionEngine().solve_many(
+            queries, max_workers=2, chunksize=1
+        )
+        serial = PartitionEngine().solve_many(queries, max_workers=0)
+        assert [r.index for r in parallel] == list(range(len(queries)))
+        assert [r.to_json() for r in parallel] == [r.to_json() for r in serial]
+
+    def test_single_query_groups_stay_on_per_call_path(self):
+        engine = PartitionEngine()
+        chain = random_chain(18, rng=220)
+        one = [PartitionQuery.from_chain(chain, 2.0 * chain.max_vertex_weight())]
+        results = engine.solve_many(one, max_workers=0)
+        assert results[0].ok
+        assert len(engine.plans) == 0  # a lone query never pays compilation
 
 
 class TestBatchTelemetry:

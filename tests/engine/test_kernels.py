@@ -113,6 +113,188 @@ class TestFastSweep:
         assert kernels.sweep_min_cut([], [], [], []) == ([], 0.0)
 
 
+class TestWeightOnlyFastPath:
+    """The compiled-plan weight pipeline, pinned kernel by kernel.
+
+    ``reduced_class_arrays`` + ``sweep_min_weight`` are the hottest form
+    of Algorithm 4.1 (no per-edge arrays, no solution arena); both claim
+    bit-identical results to the cut-capable path, so assert exactly
+    that over a tie-heavy battery.
+    """
+
+    @staticmethod
+    def battery():
+        chains = [FIGURE1, uniform_chain(2), uniform_chain(25, 3.0, 5.0)]
+        for n, seed in ((3, 1), (5, 2), (8, 3), (13, 4), (21, 5), (34, 6)):
+            chains.append(random_chain(n, rng=seed))
+            chains.append(random_chain(n, rng=seed + 100, integer_weights=True))
+        chains.append(
+            random_chain(
+                80,
+                rng=9,
+                vertex_range=(1, 4),
+                edge_range=(1, 3),
+                integer_weights=True,
+            )
+        )
+        return chains
+
+    @staticmethod
+    def bounds_for(chain):
+        wmax = chain.max_vertex_weight()
+        total = float(np.sum(np.asarray(chain.alpha, dtype=np.float64)))
+        return (wmax, 1.1 * wmax, 1.5 * wmax, 2.0 * wmax, 3.0 * wmax, total)
+
+    @staticmethod
+    def class_arrays(chain, bound):
+        prefix = kernels.prefix_array(chain)
+        first_tasks, last_tasks = kernels.prime_windows(prefix, bound)
+        if first_tasks.shape[0] == 0:
+            return None
+        beta = kernels.beta_array(chain)
+        return kernels.reduced_class_arrays(
+            beta, first_tasks, last_tasks, chain.num_edges
+        )
+
+    def test_pipeline_matches_bandwidth_min(self):
+        for chain in self.battery():
+            for bound in self.bounds_for(chain):
+                arrays = self.class_arrays(chain, bound)
+                if arrays is None:
+                    weight = 0.0
+                else:
+                    class_w, class_first, class_last = arrays
+                    head = int(np.searchsorted(class_first, 1))
+                    weight = kernels.sweep_min_weight(
+                        class_w.tolist(),
+                        class_first.tolist(),
+                        class_last.tolist(),
+                        head,
+                    )
+                assert weight == bandwidth_min(chain, bound).weight
+
+    def test_weight_sweep_matches_cut_sweep(self):
+        # Identical reduced columns through both sweeps: the weight-only
+        # recurrence must agree with the arena-building one everywhere.
+        for chain in self.battery():
+            for bound in self.bounds_for(chain):
+                arrays = self.class_arrays(chain, bound)
+                if arrays is None:
+                    continue
+                class_w, class_first, class_last = arrays
+                cols = (
+                    class_w.tolist(),
+                    class_first.tolist(),
+                    class_last.tolist(),
+                )
+                head = int(np.searchsorted(class_first, 1))
+                _, cut_weight = kernels.sweep_min_cut(
+                    list(range(class_w.shape[0])), *cols
+                )
+                assert kernels.sweep_min_weight(*cols, head) == cut_weight
+
+    def test_classes_match_reduced_edge_representatives(self):
+        # Class weights/windows must equal the minimum-weight
+        # representatives the per-edge reduction selects.
+        for chain in self.battery():
+            beta = kernels.beta_array(chain)
+            prefix = kernels.prefix_array(chain)
+            for bound in self.bounds_for(chain):
+                first_tasks, last_tasks = kernels.prime_windows(prefix, bound)
+                if first_tasks.shape[0] == 0:
+                    continue
+                lo, hi = kernels.membership_intervals(
+                    first_tasks, last_tasks - 1, chain.num_edges
+                )
+                _, edge_weight, edge_first, edge_last = (
+                    kernels.reduced_edge_arrays(
+                        beta, lo, hi, apply_reduction=True
+                    )
+                )
+                class_w, class_first, class_last = kernels.reduced_class_arrays(
+                    beta, first_tasks, last_tasks, chain.num_edges
+                )
+                assert class_w.tolist() == list(edge_weight)
+                assert class_first.tolist() == list(edge_first)
+                assert class_last.tolist() == list(edge_last)
+
+    @classmethod
+    def pipeline_weight(cls, chain, bound):
+        arrays = cls.class_arrays(chain, bound)
+        if arrays is None:
+            return 0.0
+        class_w, class_first, class_last = arrays
+        head = int(np.searchsorted(class_first, 1))
+        return kernels.sweep_min_weight(
+            class_w.tolist(), class_first.tolist(), class_last.tolist(), head
+        )
+
+    def test_extension_row_start_regression(self):
+        # The extension push must anchor its row at last_hi + 1: an
+        # off-by-one start makes a later retire break early and reuse a
+        # stale predecessor weight (found by mutation analysis).
+        chain = Chain(
+            [1, 1, 6, 3, 2, 2, 2, 6, 1, 6, 6, 5],
+            [1, 5, 4, 1, 1, 1, 2, 2, 5, 5, 1],
+        )
+        ref = bandwidth_min(chain, 12.0)
+        assert ref.weight == 8.0
+        assert self.pipeline_weight(chain, 12.0) == ref.weight
+
+    def test_drained_queue_with_zero_weight_edges(self):
+        # Zero-weight edges are legal (beta >= 0): after a full retire a
+        # fresh candidate can tie the drained bottom row's W, so the
+        # replace guard must test the live-row count strictly (found by
+        # mutation analysis).
+        chain = Chain([2, 4, 6, 1, 1, 5, 1], [2, 4, 0, 4, 1, 0])
+        bound = 1.2 * 6.0
+        ref = bandwidth_min(chain, bound)
+        assert ref.weight == 4.0
+        assert self.pipeline_weight(chain, bound) == ref.weight
+
+    def test_synthetic_columns_match_cut_sweep(self):
+        # Stress columns with coverage gaps and zero weights: the
+        # drained-queue anchor must start at the class's own first prime
+        # (found by mutation analysis), and a seeded fuzz keeps both
+        # sweeps pinned together over shapes no single chain produces.
+        weights = [4.0, 2.0, 3.0, 4.0, 4.0, 1.0]
+        firsts = [0, 3, 3, 3, 4, 6]
+        lasts = [1, 4, 5, 7, 7, 7]
+        _, ref = kernels.sweep_min_cut(
+            list(range(len(weights))), weights, firsts, lasts
+        )
+        assert ref == 8.0
+        assert kernels.sweep_min_weight(weights, firsts, lasts, 1) == ref
+        rng = np.random.default_rng(20260808)
+        for _ in range(500):
+            r = int(rng.integers(1, 10))
+            firsts, lasts, weights = [], [], []
+            fp = int(rng.integers(0, 2))
+            lp = fp + int(rng.integers(0, 3))
+            for _ in range(r):
+                if firsts and (fp, lp) == (firsts[-1], lasts[-1]):
+                    lp += 1
+                firsts.append(fp)
+                lasts.append(lp)
+                weights.append(float(rng.integers(0, 5)))
+                fp += int(rng.integers(0, 4))
+                lp = max(lp, fp) + int(rng.integers(0, 3))
+            head = int(np.searchsorted(np.asarray(firsts), 1))
+            _, ref = kernels.sweep_min_cut(
+                list(range(r)), weights, firsts, lasts
+            )
+            got = kernels.sweep_min_weight(weights, firsts, lasts, head)
+            assert got == ref, (weights, firsts, lasts)
+
+    def test_empty_windows_return_empty_classes(self):
+        empty_i = np.empty(0, dtype=np.int64)
+        class_w, class_first, class_last = kernels.reduced_class_arrays(
+            np.empty(0, dtype=np.float64), empty_i, empty_i, 0
+        )
+        for arr in (class_w, class_first, class_last):
+            assert arr.shape == (0,)
+
+
 class TestBandwidthBackendFlag:
     def test_numpy_backend_same_result(self):
         chain = random_chain(120, rng=6)

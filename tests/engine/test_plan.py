@@ -1,0 +1,313 @@
+"""Unit tests for compiled chain plans and their engine wiring.
+
+A :class:`~repro.engine.plan.CompiledChainPlan` is an optimization, not
+an alternative algorithm, so the contract throughout is exact equality
+with per-call :func:`repro.core.bandwidth.bandwidth_min` — the same
+floats and the same cut lists, never approximations.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.bandwidth import bandwidth_min
+from repro.core.feasibility import InfeasibleBoundError
+from repro.engine import PartitionEngine, PlanCache, compile_chain
+from repro.engine.plan import CompiledChainPlan
+from repro.graphs.chain import Chain
+from repro.graphs.generators import random_chain
+from repro.observability import MetricsRegistry, Tracer
+
+
+def bounds_for(chain, count=12, seed=0):
+    """Unsorted, duplicate-heavy feasible bounds including K = max alpha."""
+    import random
+
+    rng = random.Random(seed)
+    wmax = chain.max_vertex_weight()
+    ks = [wmax * (1.0 + 3.0 * rng.random()) for _ in range(count - 3)]
+    ks += [float(wmax), ks[0], float(wmax)]  # tight bound + duplicates
+    rng.shuffle(ks)
+    return ks
+
+
+class TestCompile:
+    def test_basics(self):
+        chain = random_chain(40, rng=1)
+        plan = compile_chain(chain)
+        assert isinstance(plan, CompiledChainPlan)
+        assert plan.fingerprint == chain.fingerprint()
+        assert len(plan) == 0  # nothing built until queried
+        assert "CompiledChainPlan" in repr(plan)
+
+    def test_rejects_python_backend(self):
+        with pytest.raises(ValueError, match="array backend"):
+            compile_chain(random_chain(5, rng=2), backend="python")
+
+    def test_compile_counter_and_span(self):
+        metrics = MetricsRegistry()
+        tracer = Tracer()
+        compile_chain(random_chain(10, rng=3), tracer=tracer, metrics=metrics)
+        assert metrics.counter("engine.plan.compiled").value == 1
+        assert tracer.find("plan_compile") is not None
+
+
+class TestSolveBounds:
+    def test_matches_per_call_solves(self):
+        chain = random_chain(120, rng=4)
+        ks = bounds_for(chain)
+        weights = compile_chain(chain).solve_bounds(ks)
+        assert weights.shape == (len(ks),)
+        for k, weight in zip(ks, weights):
+            assert weight == bandwidth_min(chain, k).weight
+
+    def test_return_cuts_matches_per_call(self):
+        chain = random_chain(90, rng=5)
+        ks = bounds_for(chain, seed=5)
+        weights, cuts = compile_chain(chain).solve_bounds(ks, return_cuts=True)
+        for k, weight, cut in zip(ks, weights, cuts):
+            ref = bandwidth_min(chain, k)
+            assert cut == list(ref.cut_indices)
+            assert weight == ref.weight
+
+    def test_cut_lists_are_fresh(self):
+        chain = random_chain(30, rng=6)
+        bound = 2.0 * chain.max_vertex_weight()
+        _, cuts = compile_chain(chain).solve_bounds(
+            [bound, bound], return_cuts=True
+        )
+        cuts[0].append(-1)
+        assert cuts[1] == cuts[0][:-1]  # sibling entry unharmed
+
+    def test_singleton_chain(self):
+        plan = compile_chain(Chain([5.0], []))
+        weights, cuts = plan.solve_bounds([5.0, 7.5], return_cuts=True)
+        assert weights.tolist() == [0.0, 0.0]
+        assert cuts == [[], []]
+
+    def test_numpy_input_accepted(self):
+        chain = random_chain(25, rng=7)
+        ks = np.asarray(bounds_for(chain, count=6, seed=7))
+        weights = compile_chain(chain).solve_bounds(ks)
+        assert weights.tolist() == [
+            bandwidth_min(chain, float(k)).weight for k in ks
+        ]
+
+    def test_input_validation(self):
+        plan = compile_chain(random_chain(10, rng=8))
+        with pytest.raises(ValueError, match="at least one"):
+            plan.solve_bounds([])
+        with pytest.raises(ValueError, match="one-dimensional"):
+            plan.solve_bounds([[2.0, 3.0]])
+        with pytest.raises(ValueError, match="finite"):
+            plan.solve_bounds([2.0, float("inf")])
+        with pytest.raises(ValueError, match="finite"):
+            plan.solve_bounds([float("nan")])
+
+    def test_infeasible_bound_raises(self):
+        chain = random_chain(10, rng=9)
+        plan = compile_chain(chain)
+        feasible = 2.0 * chain.max_vertex_weight()
+        with pytest.raises(InfeasibleBoundError):
+            plan.solve_bounds([feasible, 0.5 * chain.max_vertex_weight()])
+
+    def test_structures_memoized_across_calls(self):
+        chain = random_chain(60, rng=10)
+        metrics = MetricsRegistry()
+        plan = compile_chain(chain, metrics=metrics)
+        bound = 2.0 * chain.max_vertex_weight()
+        plan.solve_bounds([bound])
+        built_once = metrics.counter("engine.plan.structures.built").value
+        plan.solve_bounds([bound, bound])
+        assert metrics.counter("engine.plan.structures.built").value == built_once
+        assert metrics.counter("engine.plan.structures.reused").value >= 1
+        assert metrics.counter("engine.plan.queries").value == 3
+        assert metrics.counter("engine.plan.sweeps").value == 2
+
+    def test_lookup_survives_descending_insertion_order(self):
+        # Structures remembered high-bound-first must still be found by
+        # the bisect lookup: _starts has to stay sorted even when the
+        # memo's insertion order is not.
+        chain = random_chain(60, rng=11)
+        metrics = MetricsRegistry()
+        plan = compile_chain(chain, metrics=metrics)
+        wmax = chain.max_vertex_weight()
+        plan.solve_bounds([6.0 * wmax])
+        plan.solve_bounds([wmax])
+        built = metrics.counter("engine.plan.structures.built").value
+        weights = plan.solve_bounds([wmax, 6.0 * wmax])
+        assert metrics.counter("engine.plan.structures.built").value == built
+        assert metrics.counter("engine.plan.structures.reused").value >= 2
+        assert weights[0] == bandwidth_min(chain, wmax).weight
+        assert weights[1] == bandwidth_min(chain, 6.0 * wmax).weight
+
+    def test_build_arrays_handles_primeless_bounds(self):
+        # The cut-capable array build is only reached lazily, so pin the
+        # shape of its empty (no prime subpaths) result directly.
+        chain = random_chain(20, rng=12)
+        plan = compile_chain(chain)
+        bound = 2.0 * float(np.sum(chain.alpha))
+        edge_index, edge_weight, edge_first, edge_last, p, valid_until = (
+            plan._build_arrays(bound)
+        )
+        assert p == 0
+        assert valid_until == float("inf")
+        for arr in (edge_index, edge_weight, edge_first, edge_last):
+            assert arr.shape == (0,)
+
+    def test_memo_eviction_keeps_answers_exact(self):
+        chain = random_chain(80, rng=11)
+        plan = compile_chain(chain, max_structures=2)
+        ks = bounds_for(chain, count=16, seed=11)
+        weights = plan.solve_bounds(ks)
+        assert len(plan) <= 2
+        for k, weight in zip(ks, weights):
+            assert weight == bandwidth_min(chain, k).weight
+
+    def test_traced_sweep_records_span(self):
+        chain = random_chain(30, rng=12)
+        tracer = Tracer()
+        plan = compile_chain(chain, tracer=tracer)
+        ks = bounds_for(chain, count=5, seed=12)
+        weights = plan.solve_bounds(ks)
+        span = tracer.find("plan_solve_bounds")
+        assert span is not None
+        assert span.attrs["queries"] == 5
+        assert span.attrs["structures_built"] >= 1
+        assert weights.tolist() == [bandwidth_min(chain, k).weight for k in ks]
+
+    def test_verify_mode_certifies_every_answer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        chain = random_chain(40, rng=13)
+        ks = bounds_for(chain, count=6, seed=13)
+        weights = compile_chain(chain).solve_bounds(ks)
+        for k, weight in zip(ks, weights):
+            assert weight == bandwidth_min(chain, k).weight
+
+    def test_verify_mode_rejects_corrupted_structure(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        from repro.verify import VerificationError
+
+        chain = random_chain(40, rng=14)
+        plan = compile_chain(chain)
+        bound = 2.0 * chain.max_vertex_weight()
+        plan.solve_bounds([bound])  # build honestly, then corrupt the memo
+        frozen = next(iter(plan._memo.values()))
+        frozen.weight += 1.0
+        with pytest.raises(VerificationError):
+            plan.solve_bounds([bound])
+
+
+class TestSolveBetaSweep:
+    def test_matches_per_call_on_perturbed_chains(self):
+        chain = random_chain(60, rng=20)
+        bound = 2.5 * chain.max_vertex_weight()
+        betas = [
+            list(chain.beta),
+            [2.0 * b for b in chain.beta],
+            [0.25 * b + 1.0 for b in chain.beta],
+            list(reversed(chain.beta)),
+            [0.0] * chain.num_edges,
+        ]
+        out = compile_chain(chain).solve_beta_sweep(betas, bound)
+        assert out.shape == (len(betas),)
+        for row, weight in zip(betas, out):
+            assert weight == bandwidth_min(Chain(chain.alpha, row), bound).weight
+
+    def test_tight_bound(self):
+        chain = random_chain(40, rng=21)
+        bound = float(chain.max_vertex_weight())
+        betas = [list(chain.beta), [3.0 * b for b in chain.beta]]
+        out = compile_chain(chain).solve_beta_sweep(betas, bound)
+        for row, weight in zip(betas, out):
+            assert weight == bandwidth_min(Chain(chain.alpha, row), bound).weight
+
+    def test_uncut_chain_returns_zeros(self):
+        chain = Chain([1.0, 1.0], [4.0])
+        out = compile_chain(chain).solve_beta_sweep([[4.0], [9.0]], 2.0)
+        assert out.tolist() == [0.0, 0.0]
+
+    def test_input_validation(self):
+        chain = random_chain(10, rng=22)
+        plan = compile_chain(chain)
+        bound = 2.0 * chain.max_vertex_weight()
+        with pytest.raises(ValueError, match="shape"):
+            plan.solve_beta_sweep([[1.0, 2.0]], bound)
+        with pytest.raises(ValueError, match="at least one"):
+            plan.solve_beta_sweep(np.empty((0, chain.num_edges)), bound)
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            plan.solve_beta_sweep([[-1.0] * chain.num_edges], bound)
+        with pytest.raises(InfeasibleBoundError):
+            plan.solve_beta_sweep(
+                [list(chain.beta)], 0.5 * chain.max_vertex_weight()
+            )
+
+    def test_verify_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        chain = random_chain(25, rng=23)
+        bound = 2.0 * chain.max_vertex_weight()
+        betas = [list(chain.beta), [1.5 * b for b in chain.beta]]
+        out = compile_chain(chain).solve_beta_sweep(betas, bound)
+        for row, weight in zip(betas, out):
+            assert weight == bandwidth_min(Chain(chain.alpha, row), bound).weight
+
+
+class TestPlanCache:
+    def test_hit_miss_eviction(self):
+        cache = PlanCache(max_plans=2)
+        chains = [random_chain(20, rng=30 + i) for i in range(3)]
+        first = cache.get(chains[0])
+        assert cache.get(chains[0]) is first
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+        cache.get(chains[1])
+        cache.get(chains[2])  # evicts chains[0]
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+        assert cache.get(chains[0]) is not first
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rebinds_telemetry_on_hit(self):
+        cache = PlanCache()
+        chain = random_chain(15, rng=33)
+        cache.get(chain)
+        tracer, metrics = Tracer(), MetricsRegistry()
+        plan = cache.get(chain, tracer=tracer, metrics=metrics)
+        assert plan.tracer is tracer
+        assert plan.metrics is metrics
+
+
+class TestEngineSolveSweep:
+    def test_matches_per_call_and_counts_cache(self):
+        engine = PartitionEngine()
+        chain = random_chain(70, rng=40)
+        ks = bounds_for(chain, seed=40)
+        weights, cuts = engine.solve_sweep(chain, ks, return_cuts=True)
+        for k, weight, cut in zip(ks, weights, cuts):
+            ref = bandwidth_min(chain, k)
+            assert (cut, weight) == (list(ref.cut_indices), ref.weight)
+        engine.solve_sweep(chain, ks[:3])
+        assert engine.plans.stats.misses == 1
+        assert engine.plans.stats.hits == 1
+
+    def test_python_backend_falls_back_to_per_call(self):
+        engine = PartitionEngine(backend="python")
+        chain = random_chain(30, rng=41)
+        ks = bounds_for(chain, count=5, seed=41)
+        weights, cuts = engine.solve_sweep(chain, ks, return_cuts=True)
+        assert len(engine.plans) == 0  # no plan compiled on the python path
+        for k, weight, cut in zip(ks, weights, cuts):
+            ref = bandwidth_min(chain, k)
+            assert (cut, weight) == (list(ref.cut_indices), ref.weight)
+        just_weights = engine.solve_sweep(chain, ks)
+        assert list(just_weights) == list(weights)
+
+    def test_snapshot_metrics_exports_plan_gauges(self):
+        engine = PartitionEngine()
+        chain = random_chain(20, rng=42)
+        engine.solve_sweep(chain, bounds_for(chain, count=4, seed=42))
+        metrics = engine.snapshot_metrics()
+        names = {r["name"] for r in metrics.records()}
+        assert "engine.plan.cache.misses" in names
+        assert "engine.plan.cache.plans" in names
+        assert metrics.gauge("engine.plan.cache.plans").value == 1

@@ -90,6 +90,48 @@ def test_cache_identical_to_fresh_python(data, slacks):
         assert got.weight == ref.weight
 
 
+@settings(max_examples=100, deadline=None)
+@given(
+    chain_and_bound(),
+    st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=10),
+    st.randoms(use_true_random=False),
+)
+def test_plan_solve_bounds_identical_to_per_call(data, slacks, shuffler):
+    from repro.engine.plan import compile_chain
+
+    chain, base_bound = data
+    # Unsorted bounds with duplicates, always including the tightest
+    # feasible bound K = max(alpha) — the boundary the stability-interval
+    # grouping must get exactly right.
+    ks = [base_bound + s * 0.5 for s in slacks]
+    ks += [chain.max_vertex_weight(), ks[0]]
+    shuffler.shuffle(ks)
+    weights, cuts = compile_chain(chain).solve_bounds(ks, return_cuts=True)
+    for k, weight, cut in zip(ks, weights, cuts):
+        ref = bandwidth_min(chain, k)
+        assert weight == ref.weight  # exact, not approximate
+        assert cut == list(ref.cut_indices)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    chain_and_bound(max_tasks=16),
+    st.lists(
+        st.integers(min_value=0, max_value=4), min_size=1, max_size=4
+    ),
+)
+def test_plan_beta_sweep_identical_to_per_call(data, scales):
+    from repro.engine.plan import compile_chain
+
+    chain, bound = data
+    betas = [[s * 0.5 * b for b in chain.beta] for s in scales]
+    if chain.num_edges == 0:
+        betas = [[] for _ in scales]
+    out = compile_chain(chain).solve_beta_sweep(betas, bound)
+    for row, weight in zip(betas, out):
+        assert weight == bandwidth_min(Chain(chain.alpha, row), bound).weight
+
+
 @settings(max_examples=50, deadline=None)
 @given(st.lists(chain_and_bound(max_tasks=12), min_size=1, max_size=6))
 def test_solve_many_preserves_input_order(batches):

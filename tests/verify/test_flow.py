@@ -239,16 +239,19 @@ class TestSeededRegressions:
         # Mutation (c): solve_many submits a closure over a live Tracer
         # instead of the module-level payload worker.
         source = self._source()
-        pool_line = "        with ProcessPoolExecutor(max_workers=max_workers) as pool:"
-        map_call = "pool.map(_solve_payload, payloads, chunksize=chunksize)"
+        pool_line = (
+            "            with ProcessPoolExecutor(max_workers=max_workers)"
+            " as pool:"
+        )
+        map_call = "pool.map(_solve_payload, grouped, chunksize=chunksize)"
         assert pool_line in source and map_call in source
         source = source.replace(
             pool_line,
-            "        from repro.observability.spans import Tracer\n"
-            "        tracer = Tracer()\n" + pool_line,
+            "            from repro.observability.spans import Tracer\n"
+            "            tracer = Tracer()\n" + pool_line,
         )
         source = source.replace(
-            map_call, "pool.map(lambda p: _solve_payload(p, tracer), payloads)"
+            map_call, "pool.map(lambda p: _solve_payload(p, tracer), grouped)"
         )
         findings = flow_check_source(source, BATCH)
         assert "REPRO007" in [f.code for f in findings]
