@@ -63,8 +63,9 @@ def metrics_table(records: Iterable[Dict[str, Any]]) -> str:
     ]
     histo_rows = [
         [m["name"], m["summary"]["count"], m["summary"]["mean"],
-         m["summary"]["p50"], m["summary"]["p90"], m["summary"]["p99"],
-         m["summary"]["max"]]
+         m["summary"]["p50"], m["summary"]["p90"],
+         m["summary"].get("p95", "-"),  # v1 traces predate the column
+         m["summary"]["p99"], m["summary"]["max"]]
         for m in metrics
         if m["type"] == "histogram"
     ]
@@ -76,7 +77,8 @@ def metrics_table(records: Iterable[Dict[str, Any]]) -> str:
     if histo_rows:
         parts.append(
             render_table(
-                ["histogram", "count", "mean", "p50", "p90", "p99", "max"],
+                ["histogram", "count", "mean", "p50", "p90", "p95", "p99",
+                 "max"],
                 histo_rows,
                 "Latency / distribution metrics",
             )
@@ -152,6 +154,13 @@ def render_trace_report(records: Iterable[Dict[str, Any]]) -> str:
     plans = plan_cache_line(records)
     if plans:
         parts.append(plans)
+    # Streamed (schema v2) traces carry per-query events; summarize
+    # them with the same math ``repro top`` uses so both agree.
+    from repro.analysis.top import events_line
+
+    events = events_line(records)
+    if events:
+        parts.append(events)
     parts.append(phase_table(records))
     metrics = metrics_table(records)
     if metrics:

@@ -25,6 +25,11 @@ Production entry points:
 - ``report --trace FILE`` — re-render a previously captured trace
   (from ``run --trace`` or ``batch --trace``) without re-running
   anything.
+- ``top --trace FILE`` — live dashboard over a streaming trace
+  (``batch --stream``): throughput, windowed latency percentiles,
+  cache/plan gauges.  ``--once`` prints a single frame.
+- ``metrics export --trace FILE`` — Prometheus text-format rendering
+  of a trace's instruments.
 """
 
 from __future__ import annotations
@@ -329,9 +334,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     chain = random_chain(args.n, rng=args.seed)
     bound = args.k_ratio * chain.max_vertex_weight()
     tracer = Tracer()
-    result = bandwidth_min(
-        chain, bound, backend=args.backend, search=args.search, tracer=tracer
-    )
+    sampler = None
+    if args.profile:
+        from repro.observability import ProfileSampler
+
+        sampler = ProfileSampler()
+        sampler.start()
+    try:
+        result = bandwidth_min(
+            chain, bound, backend=args.backend, search=args.search,
+            tracer=tracer,
+        )
+    finally:
+        if sampler is not None:
+            sampler.stop()
     if args.verify:
         from repro.verify import VerificationError
         from repro.verify.runtime import verify_cache_solve
@@ -364,6 +380,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.trace:
         count = write_trace(args.trace, tracer=tracer, meta=meta)
         print(f"\nwrote {count} trace records to {args.trace}", file=sys.stderr)
+    if sampler is not None:
+        stacks = sampler.write_collapsed(args.profile)
+        print(
+            f"wrote {stacks} collapsed stacks ({sampler.samples} samples) "
+            f"to {args.profile}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -377,12 +400,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         from repro.verify.runtime import enable_verification
 
         enable_verification()
+    hub = sink = None
+    if args.stream:
+        from repro.observability import StreamingJsonlSink, TelemetryHub
+
+        try:
+            sink = StreamingJsonlSink(
+                args.stream,
+                meta={"workload": "batch", "input": args.input},
+            )
+        except OSError as exc:
+            print(f"batch: cannot stream to {args.stream}: {exc}",
+                  file=sys.stderr)
+            return 2
+        hub = TelemetryHub([sink])
     if args.trace:
         from repro.observability import Tracer
 
-        engine = PartitionEngine(backend=args.backend, tracer=Tracer())
+        engine = PartitionEngine(backend=args.backend, tracer=Tracer(),
+                                 hub=hub)
     else:
-        engine = PartitionEngine(backend=args.backend)
+        engine = PartitionEngine(backend=args.backend, hub=hub)
     try:
         if args.input == "-":
             lines = sys.stdin.readlines()
@@ -403,6 +441,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"batch: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if hub is not None and sink is not None:
+            hub.close()
+            print(
+                f"batch: streamed {sink.lines_written} events to "
+                f"{args.stream}",
+                file=sys.stderr,
+            )
     payload = "\n".join(r.to_json() for r in results)
     if args.output == "-":
         if payload:
@@ -455,6 +501,108 @@ def _cmd_report(args: argparse.Namespace) -> int:
     claims = run_report(quick=not args.full)
     print(render_report(claims))
     return 0 if all(c.passed for c in claims) else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over a streaming trace (or one frame with --once)."""
+    import json
+    import time
+
+    from repro.analysis.top import (
+        DashboardState,
+        follow_trace,
+        render_dashboard,
+    )
+
+    state = DashboardState(window_s=args.window)
+    if args.once:
+        from repro.observability import read_trace
+
+        try:
+            records = read_trace(args.trace)
+        except OSError as exc:
+            print(f"top: cannot read {args.trace}: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"top: {exc}", file=sys.stderr)
+            return 2
+        state.ingest_all(records)
+        print(render_dashboard(state))
+        return 0
+    try:
+        handle = open(args.trace, "r", encoding="utf-8")
+    except OSError as exc:
+        print(f"top: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    next_draw = 0.0
+    try:
+        with handle:
+            for line in follow_trace(
+                handle,
+                poll_s=min(args.interval, 0.5),
+                idle_limit=args.idle_limit,
+            ):
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    state.ingest(record)
+                now = time.monotonic()
+                if now >= next_draw:
+                    # ANSI clear + home, then the fresh frame.
+                    print("\x1b[2J\x1b[H" + render_dashboard(state),
+                          flush=True)
+                    next_draw = now + args.interval
+    except KeyboardInterrupt:
+        pass
+    print(render_dashboard(state))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Render a trace's instruments in Prometheus text format."""
+    from repro.observability import (
+        MetricsRegistry,
+        event_records,
+        metric_records,
+        read_trace,
+        render_prometheus_records,
+    )
+
+    try:
+        records = read_trace(args.trace)
+    except OSError as exc:
+        print(f"metrics: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"metrics: {exc}", file=sys.stderr)
+        return 2
+    # Post-hoc traces carry rendered "metric" records; streamed traces
+    # carry per-observation metric *events*.  Fold the events back into
+    # instruments and render both, preferring the post-hoc record when
+    # a name appears in each.
+    registry = MetricsRegistry()
+    for event in event_records(records):
+        if event.get("event") != "metric":
+            continue
+        name, value = event.get("name"), event.get("value")
+        if not isinstance(name, str) or not isinstance(value, (int, float)):
+            continue
+        if event.get("metric") == "observe":
+            registry.histogram(name).observe(float(value))
+        elif event.get("metric") == "inc":
+            registry.counter(name).inc(float(value))
+        elif event.get("metric") == "set":
+            registry.gauge(name).set(float(value))
+    rendered = metric_records(records)
+    seen = {record["name"] for record in rendered}
+    rendered += [r for r in registry.records() if r["name"] not in seen]
+    if not rendered:
+        print(f"metrics: no metric records in {args.trace}", file=sys.stderr)
+        return 1
+    sys.stdout.write(render_prometheus_records(rendered))
+    return 0
 
 
 def _cmd_fig2plot(args: argparse.Namespace) -> int:
@@ -755,6 +903,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="self-certify the solve (REPRO_VERIFY=1): check "
                         "the paper-invariant certificate and cross-check "
                         "against the pure-Python reference")
+    p.add_argument("--profile", default=None, metavar="FILE",
+                   help="sample thread stacks during the solve and write "
+                        "collapsed-stack flamegraph input to FILE")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(
@@ -786,6 +937,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="self-certify every query (sets REPRO_VERIFY=1; "
                         "failures land in per-query 'error' fields)")
+    p.add_argument("--stream", default=None, metavar="FILE",
+                   help="stream schema-v2 telemetry events to FILE as the "
+                        "batch runs (watch live with 'repro top --trace')")
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser(
@@ -799,6 +953,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render the per-phase breakdown of a trace JSONL "
                         "instead of running experiments")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "top",
+        help="live dashboard over a streaming trace file",
+        description=(
+            "Follow a (possibly still-growing) schema-v2 trace JSONL and "
+            "render throughput, windowed latency percentiles, cache hit "
+            "ratio, plan-cache occupancy and the optimality-gap gauge.  "
+            "--once reads the file once and prints a single frame; the "
+            "windowed percentiles use the same nearest-rank definition "
+            "as 'repro report --trace', so the two agree on a finished "
+            "run."
+        ),
+    )
+    p.add_argument("--trace", required=True, metavar="FILE",
+                   help="trace JSONL to follow (e.g. from batch --stream)")
+    p.add_argument("--once", action="store_true",
+                   help="render one frame from the current file and exit")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between redraws when following (default 1)")
+    p.add_argument("--window", type=float, default=30.0,
+                   help="sliding-window width in seconds (default 30)")
+    p.add_argument("--idle-limit", type=float, default=None, metavar="S",
+                   help="stop after S seconds without new data "
+                        "(default: follow until interrupted)")
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "metrics",
+        help="export a trace's instruments (Prometheus text format)",
+        description=(
+            "Render the metric records of a trace JSONL — including "
+            "per-observation metric events from a streamed trace — as "
+            "Prometheus text exposition format on stdout."
+        ),
+    )
+    p.add_argument("action", choices=["export"],
+                   help="'export' renders Prometheus text format")
+    p.add_argument("--trace", required=True, metavar="FILE",
+                   help="trace JSONL (from run/batch --trace or --stream)")
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("fig2plot", help="ASCII plot of the Figure-2 curves")
     p.add_argument("--n", nargs="+", default=["2000"])

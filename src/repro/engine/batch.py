@@ -37,9 +37,11 @@ from repro.core.pipeline import partition_chain
 from repro.engine.cache import CacheStats, PlanCache, PrimeStructureCache
 from repro.engine.kernels import HAVE_NUMPY
 from repro.graphs.chain import Chain
+from repro.graphs.metrics import chain_bandwidth_lower_bound, optimality_gap
 from repro.instrumentation.counters import OpCounter
+from repro.observability.live import NULL_HUB
 from repro.observability.metrics import Histogram, MetricsRegistry
-from repro.observability.spans import NULL_TRACER, Tracer
+from repro.observability.spans import NULL_TRACER, HubLike, Tracer
 
 #: Objectives accepted by the engine — the same vocabulary as
 #: :func:`repro.core.pipeline.partition_chain`.
@@ -151,6 +153,7 @@ class BatchStats:
         "cache",
         "counter",
         "latency",
+        "gap",
         "trace_records",
         "wall_s",
         "workers",
@@ -165,6 +168,10 @@ class BatchStats:
         self.counter = OpCounter()
         #: Per-query wall-clock, measured in the solving process.
         self.latency = Histogram("batch.query_latency_s")
+        #: Per-query optimality gap vs the combinatorial lower bound —
+        #: populated only under ``REPRO_VERIFY`` (see
+        #: :func:`repro.graphs.metrics.chain_bandwidth_lower_bound`).
+        self.gap = Histogram("solve.optimality_gap")
         #: Worker span records in query order, each tagged ``query_index``.
         self.trace_records: List[Dict[str, Any]] = []
         self.wall_s = 0.0
@@ -179,6 +186,8 @@ class BatchStats:
         if not telemetry:
             return
         self.latency.observe(telemetry.get("duration_s", 0.0))
+        if "optimality_gap" in telemetry:
+            self.gap.observe(telemetry["optimality_gap"])
         delta = telemetry.get("cache")
         if delta:
             self.cache.hits += delta.get("hits", 0)
@@ -207,6 +216,9 @@ class BatchStats:
             },
             "counts": self.counter.as_dict(),
             "latency": self.latency.summary(),
+            "optimality_gap": (
+                self.gap.summary() if self.gap.count else None
+            ),
         }
 
     def __repr__(self) -> str:
@@ -240,6 +252,13 @@ class PartitionEngine:
         A :class:`repro.observability.MetricsRegistry` to share, or
         ``None`` to own a private one.  Batch aggregates always land
         here (they cost nothing on the single-query path).
+    hub:
+        A :class:`repro.observability.TelemetryHub` for live telemetry,
+        or ``None`` for the zero-overhead :data:`NULL_HUB`.  With a
+        live hub, every solve publishes a ``solve`` event *as it
+        completes* (batch paths stream results incrementally, not at
+        batch end) and every batch publishes a closing ``batch`` event
+        — the feed behind ``repro batch --stream`` and ``repro top``.
     """
 
     __slots__ = (
@@ -249,6 +268,7 @@ class PartitionEngine:
         "max_workers",
         "tracer",
         "metrics",
+        "hub",
         "last_batch_stats",
     )
 
@@ -260,13 +280,15 @@ class PartitionEngine:
         max_workers: Optional[int] = 0,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        hub: Optional[HubLike] = None,
     ) -> None:
         if backend is None:
             backend = "numpy" if HAVE_NUMPY else "python"
         if backend not in ("python", "numpy"):
             raise ValueError(f"unknown backend {backend!r}")
         self.backend = backend
-        self.cache = cache or PrimeStructureCache(backend=backend)
+        self.hub = hub if hub is not None else NULL_HUB
+        self.cache = cache or PrimeStructureCache(backend=backend, hub=self.hub)
         self.plans = plans or PlanCache()
         self.max_workers = max_workers
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -292,7 +314,7 @@ class PartitionEngine:
         :func:`repro.core.pipeline.partition_chain` (tree algorithms,
         uncached).
         """
-        if not self.tracer.enabled:
+        if not self.tracer.enabled and not self.hub.enabled:
             if objective == "bandwidth":
                 return self.cache.solve(chain, bound, search=search)
             if objective not in OBJECTIVES:
@@ -314,10 +336,34 @@ class PartitionEngine:
                 )
             else:
                 result = partition_chain(chain, bound, objective)
+        duration = time.perf_counter() - t0
         self.metrics.counter("engine.queries").inc()
-        self.metrics.histogram("engine.query_latency_s").observe(
-            time.perf_counter() - t0
-        )
+        self.metrics.histogram("engine.query_latency_s").observe(duration)
+        gap: Optional[float] = None
+        if "REPRO_VERIFY" in os.environ and objective == "bandwidth":
+            # Verification runs already pay for a pure-Python re-solve;
+            # the combinatorial lower bound is noise next to that, and
+            # turns every verified solve into a quality sample.
+            gap = optimality_gap(
+                result.weight, chain_bandwidth_lower_bound(chain, bound)
+            )
+            self.metrics.histogram("solve.optimality_gap").observe(gap)
+        if self.hub.enabled:
+            self.hub.publish(
+                {
+                    "kind": "event",
+                    "event": "solve",
+                    "objective": objective,
+                    "n": chain.num_tasks,
+                    "bound": bound,
+                    "weight": result.weight,
+                    "ok": True,
+                    "duration_s": duration,
+                }
+            )
+            self.hub.publish_metric("engine.query_latency_s", "observe", duration)
+            if gap is not None:
+                self.hub.publish_metric("solve.optimality_gap", "observe", gap)
         return result
 
     # ------------------------------------------------------------------
@@ -352,7 +398,9 @@ class PartitionEngine:
                 return weights, [list(r.cut_indices) for r in results]
             return weights
         tracer = self.tracer if self.tracer.enabled else None
-        plan = self.plans.get(chain, tracer=tracer, metrics=self.metrics)
+        plan = self.plans.get(
+            chain, tracer=tracer, metrics=self.metrics, hub=self.hub
+        )
         return plan.solve_bounds(bounds, return_cuts=return_cuts)
 
     def cache_stats(self) -> CacheStats:
@@ -379,6 +427,9 @@ class PartitionEngine:
             plan_stats.evictions
         )
         self.metrics.gauge("engine.plan.cache.plans").set(len(self.plans))
+        self.metrics.gauge("engine.plan.cache.occupancy").set(
+            self.plans.occupancy
+        )
         return self.metrics
 
     # ------------------------------------------------------------------
@@ -427,10 +478,18 @@ class PartitionEngine:
             grouped = sorted(payloads, key=lambda p: (p[1], p[2], p[3]))
             if chunksize is None:
                 chunksize = max(1, len(payloads) // (4 * workers))
+            # Consume the pool lazily: each result streams to the live
+            # hub the moment its chunk lands, not at batch end.  The
+            # deterministic aggregate still folds in query-index order
+            # below — live events are telemetry, not a contract.
+            results = []
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                results = list(
-                    pool.map(_solve_payload, grouped, chunksize=chunksize)
-                )
+                for result in pool.map(
+                    _solve_payload, grouped, chunksize=chunksize
+                ):
+                    if self.hub.enabled:
+                        self._publish_result(result)
+                    results.append(result)
             results.sort(key=lambda r: r.index)
         self._aggregate_batch(results, workers, time.perf_counter() - t0)
         return results
@@ -455,7 +514,13 @@ class PartitionEngine:
             or not HAVE_NUMPY
             or self.tracer.enabled
         ):
-            return [_solve_payload(p, self) for p in payloads]
+            answers = []
+            for p in payloads:
+                answer = _solve_payload(p, self)
+                if self.hub.enabled:
+                    self._publish_result(answer)
+                answers.append(answer)
+            return answers
         groups: Dict[Tuple[tuple, tuple], List[tuple]] = {}
         for p in payloads:
             if p[4] == "bandwidth":
@@ -481,8 +546,11 @@ class PartitionEngine:
                 # error lands on the offending query only.
                 for p in eligible:
                     results[p[0]] = _solve_payload(p, self)
+                    if self.hub.enabled:
+                        self._publish_result(results[p[0]])
                 continue
             share = (time.perf_counter() - t0) / len(eligible)
+            verify = "REPRO_VERIFY" in os.environ
             for p, weight, cut in zip(eligible, weights, cuts):
                 answer = QueryResult(
                     p[0], p[5], p[4], p[3], list(cut), float(weight),
@@ -492,11 +560,53 @@ class PartitionEngine:
                     "duration_s": share,
                     "plan_group": len(eligible),
                 }
+                if verify:
+                    answer.telemetry["optimality_gap"] = optimality_gap(
+                        float(weight),
+                        chain_bandwidth_lower_bound(chain, p[3]),
+                    )
                 results[p[0]] = answer
-        return [
-            result if result is not None else _solve_payload(p, self)
-            for p, result in zip(payloads, results)
-        ]
+                if self.hub.enabled:
+                    self._publish_result(answer)
+        out: List[QueryResult] = []
+        for p, result in zip(payloads, results):
+            if result is None:
+                result = _solve_payload(p, self)
+                if self.hub.enabled:
+                    self._publish_result(result)
+            out.append(result)
+        return out
+
+    def _publish_result(self, result: QueryResult) -> None:
+        """Stream one finished query to the live hub (call sites guard
+        on ``hub.enabled`` — REPRO012 — so the disabled path never gets
+        here)."""
+        hub = self.hub
+        if hub.enabled:
+            telemetry = result.telemetry or {}
+            duration = telemetry.get("duration_s", 0.0)
+            hub.publish(
+                {
+                    "kind": "event",
+                    "event": "solve",
+                    "index": result.index,
+                    "tag": result.tag,
+                    "objective": result.objective,
+                    "bound": result.bound,
+                    "ok": result.ok,
+                    "weight": result.weight,
+                    "error": result.error,
+                    "duration_s": duration,
+                }
+            )
+            hub.publish_metric(
+                "engine.batch.query_latency_s", "observe", duration
+            )
+            if "optimality_gap" in telemetry:
+                hub.publish_metric(
+                    "solve.optimality_gap", "observe",
+                    telemetry["optimality_gap"],
+                )
 
     def _aggregate_batch(
         self, results: List[QueryResult], workers: int, wall_s: float
@@ -521,9 +631,23 @@ class PartitionEngine:
         metrics.gauge("engine.batch.workers").set(workers)
         metrics.gauge("engine.batch.queue_depth").set(batch.queries)
         metrics.histogram("engine.batch.wall_s").observe(wall_s)
-        metrics.histogram("engine.batch.query_latency_s").values.extend(
-            batch.latency.values
-        )
+        metrics.histogram("engine.batch.query_latency_s").merge(batch.latency)
+        if batch.gap.count:
+            metrics.histogram("solve.optimality_gap").merge(batch.gap)
+        if self.hub.enabled:
+            self.hub.publish(
+                {
+                    "kind": "event",
+                    "event": "batch",
+                    "queries": batch.queries,
+                    "failures": batch.failures,
+                    "workers": workers,
+                    "wall_s": wall_s,
+                    "cache_hit_rate": batch.cache.hit_rate,
+                    "plan_occupancy": self.plans.occupancy,
+                    "latency": batch.latency.summary(),
+                }
+            )
 
     def solve_jsonl(
         self,
@@ -605,6 +729,7 @@ def _solve_payload(
     before = (stats.hits, stats.interval_hits, stats.misses, stats.evictions)
     tracer = Tracer() if trace else None
     t0 = time.perf_counter()
+    gap: Optional[float] = None
     try:
         chain = Chain(list(alpha), list(beta))
         result = _solve_one(engine, chain, bound, objective, tracer)
@@ -617,6 +742,10 @@ def _solve_payload(
             result.weight,
             result.num_components,
         )
+        if "REPRO_VERIFY" in os.environ and objective == "bandwidth":
+            gap = optimality_gap(
+                result.weight, chain_bandwidth_lower_bound(chain, bound)
+            )
     except (PartitioningError, ValueError) as exc:
         answer = QueryResult(index, tag, objective, bound, error=str(exc))
     duration = time.perf_counter() - t0
@@ -630,6 +759,8 @@ def _solve_payload(
             "evictions": stats.evictions - before[3],
         },
     }
+    if gap is not None:
+        telemetry["optimality_gap"] = gap
     if tracer is not None:
         telemetry["spans"] = tracer.records()
     answer.telemetry = telemetry

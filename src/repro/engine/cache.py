@@ -39,9 +39,11 @@ from repro.core.prime_subpaths import compute_prime_structure
 from repro.engine.kernels import validate_bound_array
 from repro.engine.plan import CompiledChainPlan, compile_chain
 from repro.graphs.chain import Chain
+from repro.observability.live import NULL_HUB
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.observability import MetricsRegistry, Tracer
+    from repro.observability.spans import HubLike
 
 
 class CacheStats:
@@ -142,6 +144,11 @@ class PrimeStructureCache:
     backend:
         ``"numpy"`` (default when available) or ``"python"`` — which
         kernels build structures on a miss.
+    hub:
+        A live :class:`~repro.observability.TelemetryHub`, or ``None``
+        for the no-op default.  With a live hub, structure builds
+        (misses) and evictions publish ``cache`` events — the feed the
+        ``repro top`` cache panel and capacity planning watch.
     """
 
     __slots__ = (
@@ -149,6 +156,7 @@ class PrimeStructureCache:
         "max_chains",
         "max_structures_per_chain",
         "stats",
+        "hub",
         "_entries",
     )
 
@@ -157,6 +165,7 @@ class PrimeStructureCache:
         max_chains: int = 64,
         max_structures_per_chain: int = 32,
         backend: Optional[str] = None,
+        hub: Optional["HubLike"] = None,
     ) -> None:
         if backend is None:
             from repro.engine.kernels import HAVE_NUMPY
@@ -168,7 +177,25 @@ class PrimeStructureCache:
         self.max_chains = max_chains
         self.max_structures_per_chain = max_structures_per_chain
         self.stats = CacheStats()
+        self.hub = hub if hub is not None else NULL_HUB
         self._entries: "OrderedDict[str, _ChainEntry]" = OrderedDict()
+
+    def _publish_cache_event(self, action: str, bound: float) -> None:
+        """Publish one ``cache`` event (callers guard on ``hub.enabled``)."""
+        if self.hub.enabled:
+            self.hub.publish(
+                {
+                    "kind": "event",
+                    "event": "cache",
+                    "action": action,
+                    "bound": bound,
+                    "hits": self.stats.hits,
+                    "interval_hits": self.stats.interval_hits,
+                    "misses": self.stats.misses,
+                    "evictions": self.stats.evictions,
+                    "hit_rate": self.stats.hit_rate,
+                }
+            )
 
     # ------------------------------------------------------------------
     # Internal plumbing
@@ -182,6 +209,8 @@ class PrimeStructureCache:
             if len(self._entries) > self.max_chains:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                if self.hub.enabled:
+                    self._publish_cache_event("evict_chain", 0.0)
         else:
             self._entries.move_to_end(key)
         return entry
@@ -227,10 +256,16 @@ class PrimeStructureCache:
             )
         cached = _CachedSolve(structure, bound)
         entry.structures[(bound, apply_reduction)] = cached
+        evicted = False
         if len(entry.structures) > self.max_structures_per_chain:
             entry.structures.popitem(last=False)
             self.stats.evictions += 1
+            evicted = True
         self.stats.misses += 1
+        if self.hub.enabled:
+            self._publish_cache_event("miss", bound)
+            if evicted:
+                self._publish_cache_event("evict", bound)
         return cached
 
     # ------------------------------------------------------------------
@@ -384,17 +419,19 @@ class PlanCache:
         *,
         tracer: Optional["Tracer"] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        hub: Optional["HubLike"] = None,
     ) -> CompiledChainPlan:
         """The cached plan for ``chain``, compiling one on first sight.
 
-        A cache hit rebinds the plan's ``tracer``/``metrics`` to the
-        caller's so telemetry always lands in the live registry (plans
-        outlive the engines that created them when caches are shared).
+        A cache hit rebinds the plan's ``tracer``/``metrics``/``hub`` to
+        the caller's so telemetry always lands in the live registry
+        (plans outlive the engines that created them when caches are
+        shared).
         """
         key = chain.fingerprint()
         plan = self._plans.get(key)
         if plan is None:
-            plan = compile_chain(chain, tracer=tracer, metrics=metrics)
+            plan = compile_chain(chain, tracer=tracer, metrics=metrics, hub=hub)
             self._plans[key] = plan
             self.stats.misses += 1
             if len(self._plans) > self.max_plans:
@@ -404,6 +441,7 @@ class PlanCache:
             self._plans.move_to_end(key)
             plan.tracer = tracer
             plan.metrics = metrics
+            plan.hub = hub or NULL_HUB
             self.stats.hits += 1
         return plan
 
@@ -413,3 +451,9 @@ class PlanCache:
 
     def __len__(self) -> int:
         return len(self._plans)
+
+    @property
+    def occupancy(self) -> float:
+        """Fill fraction ``len / max_plans`` in ``[0, 1]`` — the
+        plan-cache gauge ``repro top`` renders."""
+        return len(self._plans) / self.max_plans

@@ -59,6 +59,7 @@ from repro.engine.kernels import (
     validate_bound_array,
 )
 from repro.graphs.chain import Chain
+from repro.observability.live import NULL_HUB
 from repro.verify.contracts import complexity
 
 try:  # pragma: no cover - exercised implicitly by every import
@@ -127,6 +128,7 @@ class CompiledChainPlan:
         "backend",
         "tracer",
         "metrics",
+        "hub",
         "max_structures",
         "_prefix",
         "_beta",
@@ -142,6 +144,7 @@ class CompiledChainPlan:
         backend: str = "numpy",
         tracer: Optional["Tracer"] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        hub: Any = None,
         max_structures: int = DEFAULT_MAX_STRUCTURES,
     ) -> None:
         require_numpy()
@@ -153,6 +156,7 @@ class CompiledChainPlan:
         self.backend = backend
         self.tracer = tracer
         self.metrics = metrics
+        self.hub = hub or NULL_HUB
         self.max_structures = max(1, int(max_structures))
         self._prefix = prefix_array(chain)
         self._beta = beta_array(chain)
@@ -250,6 +254,17 @@ class CompiledChainPlan:
             frozen.cut = []
         self._remember(frozen)
         self._count("engine.plan.structures.built")
+        if self.hub.enabled:
+            self.hub.publish(
+                {
+                    "kind": "event",
+                    "event": "plan",
+                    "action": "structure_built",
+                    "bound": bound,
+                    "n": self.chain.num_tasks,
+                    "structures": len(self._memo),
+                }
+            )
         return frozen
 
     def _remember(self, frozen: _FrozenStructure) -> None:
@@ -386,6 +401,18 @@ class CompiledChainPlan:
         self._count("engine.plan.structures.reused", reused)
         if self.metrics is not None:
             self.metrics.histogram("engine.plan.sweep_batch_size").observe(total)
+        if self.hub.enabled:
+            self.hub.publish(
+                {
+                    "kind": "event",
+                    "event": "plan",
+                    "action": "sweep",
+                    "n": self.chain.num_tasks,
+                    "queries": total,
+                    "structures_built": built,
+                    "structures_reused": reused,
+                }
+            )
         if span is not None:
             span.set("structures_built", built)
             span.set("structures_reused", reused)
@@ -538,6 +565,7 @@ def compile_chain(
     backend: str = "numpy",
     tracer: Optional["Tracer"] = None,
     metrics: Optional["MetricsRegistry"] = None,
+    hub: Any = None,
     max_structures: int = DEFAULT_MAX_STRUCTURES,
 ) -> CompiledChainPlan:
     """Compile ``chain`` into a :class:`CompiledChainPlan` — ``O(n)``.
@@ -557,6 +585,7 @@ def compile_chain(
                 backend=backend,
                 tracer=tracer,
                 metrics=metrics,
+                hub=hub,
                 max_structures=max_structures,
             )
     else:
@@ -565,8 +594,18 @@ def compile_chain(
             backend=backend,
             tracer=tracer,
             metrics=metrics,
+            hub=hub,
             max_structures=max_structures,
         )
     if metrics is not None:
         metrics.counter("engine.plan.compiled").inc()
+    if plan.hub.enabled:
+        plan.hub.publish(
+            {
+                "kind": "event",
+                "event": "plan",
+                "action": "compiled",
+                "n": chain.num_tasks,
+            }
+        )
     return plan

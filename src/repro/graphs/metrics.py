@@ -10,10 +10,12 @@ interconnection network), the heaviest single inter-component flow
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from repro.graphs.chain import Chain
 from repro.graphs.task_graph import TaskGraph
 
 
@@ -84,6 +86,47 @@ def pairwise_flows(
             key = (cu, cv) if cu < cv else (cv, cu)
             flows[key] += w
     return dict(flows)
+
+
+def chain_bandwidth_lower_bound(chain: Chain, bound: float) -> float:
+    """Combinatorial lower bound on the optimal chain bandwidth at ``bound``.
+
+    Träff–Wimmer-style counting argument (arXiv 1410.0462): any
+    partition of the chain into components of weight at most ``bound``
+    needs at least ``m = ceil(total_weight / bound)`` components, hence
+    at least ``m - 1`` cut edges — and no choice of cut edges can cost
+    less than the ``m - 1`` smallest edge weights.  The bound is cheap
+    (``O(n log n)``), valid for every feasible partition, and usually
+    loose; its value is that ``achieved == lower_bound`` *proves*
+    optimality, and the gap between them is an honest per-solve quality
+    signal (the ``solve.optimality_gap`` gauge).
+
+    Returns 0.0 when one component suffices or ``bound`` is not a
+    positive finite weight limit (no cut is forced, so the only safe
+    bound is the trivial one).
+    """
+    if not math.isfinite(bound) or bound <= 0.0:
+        return 0.0
+    total = chain.total_weight()
+    min_components = math.ceil(total / bound)
+    if min_components <= 1:
+        return 0.0
+    forced_cuts = min(min_components - 1, chain.num_edges)
+    return math.fsum(sorted(chain.beta)[:forced_cuts])
+
+
+def optimality_gap(achieved: float, lower_bound: float) -> float:
+    """Relative gap ``(achieved - lower_bound) / achieved`` in ``[0, 1]``.
+
+    0.0 means the solution is *provably* optimal (it meets the lower
+    bound — including the ``achieved == 0`` no-cut case); values near
+    1.0 mean the bound certifies almost nothing.  Clamped so a loose
+    bound can never report a negative gap.
+    """
+    if achieved <= 0.0:
+        return 0.0
+    gap = (achieved - lower_bound) / achieved
+    return min(max(gap, 0.0), 1.0)
 
 
 def compare_assignments(

@@ -1,30 +1,55 @@
-"""Trace serialization: JSONL writing, reading and span aggregation.
+"""Trace serialization: JSONL writing, reading, aggregation, Prometheus.
 
-A *trace file* is newline-delimited JSON with three record kinds,
-distinguishable by their ``kind`` field:
+A *trace file* is newline-delimited JSON with four record kinds,
+distinguishable by their ``kind`` field (schema v2):
 
 - ``{"kind": "meta", ...}`` — one optional header describing the run
   (workload, arguments, schema version);
 - ``{"kind": "span", "path": "bandwidth_min/temp_s_sweep", ...}`` —
   one per span, depth-first (see :meth:`Tracer.records`);
 - ``{"kind": "metric", "type": "counter" | "gauge" | "histogram", ...}``
-  — one per registry instrument (see :meth:`MetricsRegistry.records`).
+  — one per registry instrument (see :meth:`MetricsRegistry.records`);
+- ``{"kind": "event", "event": "span" | "metric" | "solve" | "batch" |
+  ..., "t": <monotonic seconds>, ...}`` — live-streamed records pushed
+  through a :class:`~repro.observability.live.TelemetryHub` *while* a
+  run executes (new in v2).
 
-``repro run --trace``/``repro batch --trace`` write this format and
-``repro report --trace`` ingests it, so traces captured in production
-can be inspected offline with no repo state beyond the file.
+**v1 → v2 migration.**  v2 is a superset: every v1 file is a valid v2
+file (v1 simply contains no ``event`` records, and all its histogram
+payloads are verbatim value lists rather than bucketed dicts).  Readers
+should dispatch on ``kind`` and ignore kinds they don't know; that is
+what :func:`read_trace` consumers here do, so v1 traces remain fully
+inspectable with ``repro report --trace``.
+
+``repro run --trace``/``repro batch --trace`` write this format,
+``repro batch --stream`` streams the ``event`` form live, and
+``repro report --trace``/``repro top --trace`` ingest it, so traces
+captured in production can be inspected offline with no repo state
+beyond the file.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, Union
+import warnings
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
+from repro.observability.live import TRACE_SCHEMA_VERSION
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.spans import Tracer
 
-#: Bump when the record layout changes incompatibly.
-TRACE_SCHEMA_VERSION = 1
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "trace_records",
+    "write_trace",
+    "read_trace",
+    "span_records",
+    "metric_records",
+    "event_records",
+    "aggregate_spans",
+    "render_prometheus",
+    "render_prometheus_records",
+]
 
 
 def trace_records(
@@ -72,27 +97,42 @@ def read_trace(source: Union[str, Iterable[str]]) -> List[Dict[str, Any]]:
     """Read trace records from a path or an iterable of JSONL lines.
 
     Raises :class:`ValueError` naming the offending line number on a
-    malformed record (mirroring ``repro batch`` input handling).
+    malformed record (mirroring ``repro batch`` input handling) — with
+    one deliberate exception: a malformed *final* line is treated as a
+    torn tail (a live stream interrupted mid-write, e.g. by a crash or
+    by reading while the producer is running), skipped with a
+    :class:`UserWarning` instead of failing, so streamed traces are
+    always inspectable.
     """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as handle:
             lines = handle.readlines()
     else:
         lines = list(source)
+    last_content = 0
+    for lineno, line in enumerate(lines, 1):
+        if line.strip():
+            last_content = lineno
     records: List[Dict[str, Any]] = []
     for lineno, line in enumerate(lines, 1):
         if not line.strip():
             continue
         try:
             record = json.loads(line)
+            if not isinstance(record, dict) or "kind" not in record:
+                raise ValueError("not a kind-tagged object")
         except ValueError as exc:
+            if lineno == last_content:
+                warnings.warn(
+                    f"trace has a torn tail record on line {lineno} "
+                    f"(interrupted stream?); skipping it: {exc!s}",
+                    UserWarning,
+                    stacklevel=2,
+                )
+                break
             raise ValueError(
                 f"invalid trace record on line {lineno}: {exc!s}"
             ) from exc
-        if not isinstance(record, dict) or "kind" not in record:
-            raise ValueError(
-                f"invalid trace record on line {lineno}: not a kind-tagged object"
-            )
         records.append(record)
     return records
 
@@ -103,6 +143,11 @@ def span_records(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
 
 def metric_records(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
     return [r for r in records if r.get("kind") == "metric"]
+
+
+def event_records(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Live-streamed ``event`` records (schema v2)."""
+    return [r for r in records if r.get("kind") == "event"]
 
 
 def aggregate_spans(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
@@ -144,3 +189,68 @@ def aggregate_spans(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
     for row in out:
         row["mean_s"] = row["total_s"] / row["calls"] if row["calls"] else 0.0
     return out
+
+
+# ----------------------------------------------------------------------
+# Prometheus text-format exposition
+# ----------------------------------------------------------------------
+
+#: Histogram summary quantiles exposed to Prometheus, as
+#: (quantile label, summary key) pairs.
+_PROM_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted instrument name into a Prometheus metric name."""
+    safe = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if not safe or safe[0].isdigit():
+        safe = "_" + safe
+    return "repro_" + safe
+
+
+def _prom_number(value: float) -> str:
+    """Format a sample value; integral floats print without exponent."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus_records(records: Iterable[Mapping[str, Any]]) -> str:
+    """Render metric records to Prometheus text exposition format.
+
+    Counters become ``<name>_total`` counters, gauges stay gauges, and
+    histograms are exposed as Prometheus *summary* families (quantile
+    series from the nearest-rank percentiles, plus ``_sum``/``_count``).
+    Input is the :func:`metric_records` shape, so a registry snapshot
+    and a trace file read back render identically.
+    """
+    lines: List[str] = []
+    for record in records:
+        if record.get("kind") != "metric":
+            continue
+        kind = record.get("type")
+        name = _prom_name(str(record.get("name", "")))
+        if kind == "counter":
+            lines.append(f"# TYPE {name}_total counter")
+            lines.append(f"{name}_total {_prom_number(record.get('value', 0.0))}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_prom_number(record.get('value', 0.0))}")
+        elif kind == "histogram":
+            summary = record.get("summary", {})
+            lines.append(f"# TYPE {name} summary")
+            for quantile, key in _PROM_QUANTILES:
+                lines.append(
+                    f'{name}{{quantile="{quantile}"}} '
+                    f"{_prom_number(summary.get(key, 0.0))}"
+                )
+            lines.append(f"{name}_sum {_prom_number(summary.get('sum', 0.0))}")
+            lines.append(f"{name}_count {_prom_number(summary.get('count', 0))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_prometheus(metrics: MetricsRegistry) -> str:
+    """Render a live registry to Prometheus text exposition format."""
+    return render_prometheus_records(metrics.records())

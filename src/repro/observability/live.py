@@ -1,0 +1,252 @@
+"""Push-based live telemetry: the hub, sinks and ring buffers.
+
+The PR 2 observability layer is post-hoc — spans and metrics buffer in
+memory and dump one JSONL file at exit.  A long-lived service (ROADMAP
+item 1) needs the opposite shape: components *push* events as they
+happen, and pluggable subscribers decide what to do with them —
+stream them to disk (:class:`StreamingJsonlSink`), keep a bounded
+recent window in memory (:class:`RingBufferSubscriber`), or fold them
+into sliding-window SLOs (:class:`repro.observability.slo.SloTracker`).
+
+Like the tracer, the hub has a zero-overhead null twin: hot paths guard
+every publish with ``if hub.enabled:`` so disabled telemetry costs one
+attribute load and a branch (lint rule REPRO012 enforces the guard in
+``core/``/``engine/``).
+
+Events are plain dicts with a ``"kind": "event"`` discriminator — the
+trace schema v2 record type (see :mod:`repro.observability.export`).
+A monotonic timestamp ``"t"`` is stamped at publish time.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, TextIO
+
+#: Trace schema version, bumped when the record layout changes
+#: incompatibly.  v1 (PR 2): ``meta``/``span``/``metric`` records.
+#: v2 (this module): adds the ``event`` record kind for live streams
+#: and bucketed histogram payloads.  Defined here (the leaf module of
+#: the package) so both spans and export can import it cycle-free;
+#: :mod:`repro.observability.export` re-exports it.
+TRACE_SCHEMA_VERSION = 2
+
+Event = Dict[str, Any]
+
+
+class TelemetrySubscriber:
+    """Interface for hub subscribers.  Subclass or duck-type."""
+
+    __slots__ = ()
+
+    def emit(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources.  Default: nothing to do."""
+
+
+class NullTelemetryHub:
+    """The disabled hub: every operation is a no-op.
+
+    ``enabled`` is False so guarded call sites
+    (``if hub.enabled: hub.publish(...)``) skip even building the event
+    dict.  A single shared instance, :data:`NULL_HUB`, is the default
+    everywhere a hub is accepted.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def publish(self, event: Event) -> None:
+        """Discard the event."""
+
+    def publish_span(self, record: Event) -> None:
+        """Discard the span record."""
+
+    def publish_metric(self, name: str, kind: str, value: float) -> None:
+        """Discard the metric delta."""
+
+    def subscribe(self, subscriber: TelemetrySubscriber) -> None:
+        raise RuntimeError("cannot subscribe to the null telemetry hub")
+
+    def close(self) -> None:
+        """Nothing to close."""
+
+
+#: Shared do-nothing hub (the default wherever a hub is accepted).
+NULL_HUB = NullTelemetryHub()
+
+
+class TelemetryHub:
+    """Fan events out to subscribers as they happen.
+
+    The hub itself is dumb on purpose: it stamps a monotonic timestamp
+    and calls each subscriber's ``emit`` synchronously, in subscription
+    order, on the publishing thread.  Subscribers own their buffering
+    and durability policies.  A subscriber that raises is dropped from
+    the fan-out (telemetry must never take down a solve) and the error
+    is remembered on :attr:`errors`.
+    """
+
+    __slots__ = ("enabled", "errors", "_subscribers", "_clock")
+
+    def __init__(
+        self,
+        subscribers: Sequence[TelemetrySubscriber] = (),
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.enabled = True
+        self.errors: List[str] = []
+        self._subscribers: List[TelemetrySubscriber] = list(subscribers)
+        self._clock = clock
+
+    def subscribe(self, subscriber: TelemetrySubscriber) -> None:
+        self._subscribers.append(subscriber)
+
+    @property
+    def subscribers(self) -> Sequence[TelemetrySubscriber]:
+        return tuple(self._subscribers)
+
+    def publish(self, event: Event) -> None:
+        """Stamp ``t`` (monotonic seconds) and fan out to subscribers."""
+        if "t" not in event:
+            event["t"] = self._clock()
+        dead: List[TelemetrySubscriber] = []
+        for subscriber in self._subscribers:
+            try:
+                subscriber.emit(event)
+            except Exception as exc:  # pragma: no cover - defensive
+                dead.append(subscriber)
+                self.errors.append(f"{type(subscriber).__name__}: {exc}")
+        for subscriber in dead:  # pragma: no cover - defensive
+            self._subscribers.remove(subscriber)
+
+    def publish_span(self, record: Event) -> None:
+        """Publish a span-close event (record from ``Span.to_record``)."""
+        event = dict(record)
+        event["kind"] = "event"
+        event["event"] = "span"
+        self.publish(event)
+
+    def publish_metric(self, name: str, kind: str, value: float) -> None:
+        """Publish a metric-delta event (counter inc, gauge set, observe)."""
+        self.publish(
+            {"kind": "event", "event": "metric", "metric": kind,
+             "name": name, "value": value}
+        )
+
+    def close(self) -> None:
+        for subscriber in self._subscribers:
+            subscriber.close()
+
+
+class StreamingJsonlSink(TelemetrySubscriber):
+    """Crash-safe streaming JSONL sink: one complete line per event.
+
+    Writes are line-buffered — each event is serialized to a single
+    ``\\n``-terminated line and flushed immediately, so a crash can tear
+    at most the final line (which schema-v2 ``read_trace`` tolerates).
+    A fresh (or empty) file gets a schema-v2 meta header first; with
+    ``resume=True`` an existing non-empty file is appended to without a
+    second header, so a restarted producer continues the same trace.
+    """
+
+    __slots__ = ("path", "lines_written", "_fh")
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        meta: Optional[Dict[str, Any]] = None,
+        resume: bool = False,
+    ) -> None:
+        self.path = path
+        self.lines_written = 0
+        fresh = not resume or not (
+            os.path.exists(path) and os.path.getsize(path) > 0
+        )
+        mode = "w" if fresh else "a"
+        self._fh: Optional[TextIO] = io.open(
+            path, mode, encoding="utf-8", buffering=1
+        )
+        if fresh:
+            header: Dict[str, Any] = {
+                "kind": "meta",
+                "schema": TRACE_SCHEMA_VERSION,
+                "stream": True,
+            }
+            if meta:
+                header.update(meta)
+            self._write_line(header)
+
+    def _write_line(self, record: Dict[str, Any]) -> None:
+        fh = self._fh
+        if fh is None:
+            raise ValueError(f"streaming sink {self.path!r} is closed")
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+        fh.flush()
+        self.lines_written += 1
+
+    def emit(self, event: Event) -> None:
+        self._write_line(event)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "StreamingJsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class RingBufferSubscriber(TelemetrySubscriber):
+    """Bounded in-memory event buffer: keeps the most recent events.
+
+    Backs the sliding-window SLO tracker and ``repro top`` — O(capacity)
+    memory no matter how long the producer runs.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ring buffer capacity must be positive, got {capacity}")
+        self._events: Deque[Event] = deque(maxlen=capacity)
+
+    @property
+    def capacity(self) -> int:
+        maxlen = self._events.maxlen
+        assert maxlen is not None
+        return maxlen
+
+    def emit(self, event: Event) -> None:
+        self._events.append(event)
+
+    def events(self) -> List[Event]:
+        """Snapshot of buffered events, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class CallbackSubscriber(TelemetrySubscriber):
+    """Adapter: wrap a plain callable as a subscriber (handy in tests)."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[Event], None]) -> None:
+        self._fn = fn
+
+    def emit(self, event: Event) -> None:
+        self._fn(event)

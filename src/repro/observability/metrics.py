@@ -10,14 +10,29 @@ which is how ``solve_many`` workers ship their numbers back to the
 parent engine.
 
 Merging is deterministic: counters and histogram observations add, a
-gauge takes the merged-in value (callers merge results in query order,
-so the outcome is reproducible run to run).
+gauge takes the merged-in value.  Histograms are *mergeable without a
+merge order*: their internal state is a pure function of the observed
+multiset (see :class:`Histogram`), so any fold order over worker
+payloads produces bit-identical :meth:`MetricsRegistry.records`.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+
+def nearest_rank(ordered: List[float], pct: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted list; 0 when empty.
+
+    The single percentile definition shared by :class:`Histogram`, the
+    SLO window tracker and the ``repro top`` dashboard, so live windowed
+    numbers and post-hoc trace summaries agree exactly on the same data.
+    """
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 class Counter:
@@ -52,50 +67,236 @@ class Gauge:
         return f"Gauge({self.name}={self.value:g})"
 
 
-class Histogram:
-    """A named distribution with exact (nearest-rank) percentiles.
+#: Observations kept verbatim before a histogram spills to log buckets.
+#: Every workload the repo's reports historically measured stays below
+#: this, so their summaries remain exact and bit-stable.
+EXACT_LIMIT = 512
 
-    Observations are kept verbatim — the workloads this repo measures
-    record at most a few thousand per run, and exact retention is what
-    makes cross-process merges deterministic and lossless.
+#: Log-bucket growth factor: 8 buckets per power of two (~9% relative
+#: bucket width, so bucketed percentiles carry <= ~4.5% relative error).
+BUCKETS_PER_OCTAVE = 8
+_GAMMA = 2.0 ** (1.0 / BUCKETS_PER_OCTAVE)
+_LN_GAMMA = math.log(_GAMMA)
+
+
+def _bucket_index(value: float) -> int:
+    """Index ``i`` with ``gamma**i <= value < gamma**(i+1)`` (value > 0).
+
+    Computed via ``log`` then corrected with exact power comparisons, so
+    the mapping is deterministic and boundary-safe despite float logs.
+    """
+    i = int(math.floor(math.log(value) / _LN_GAMMA))
+    while _GAMMA ** i > value:
+        i -= 1
+    while _GAMMA ** (i + 1) <= value:
+        i += 1
+    return i
+
+
+def _bucket_mid(index: int) -> float:
+    """The representative (midpoint) value of bucket ``index``."""
+    lo = _GAMMA ** index
+    return (lo + lo * _GAMMA) / 2.0
+
+
+#: A histogram wire payload: the v1 verbatim-values list, or the v2
+#: bucketed dict once a histogram has spilled.
+HistogramPayload = Union[List[float], Dict[str, Any]]
+
+
+class Histogram:
+    """A named distribution: exact while small, log-bucketed at scale.
+
+    Observations are kept verbatim up to :data:`EXACT_LIMIT` — exact
+    (nearest-rank) percentiles, exact sums, bit-stable summaries, just
+    like the original unbounded implementation.  Past the limit the
+    histogram *spills*: values move into logarithmic buckets
+    (:data:`BUCKETS_PER_OCTAVE` per power of two) and memory becomes
+    O(buckets) no matter how many observations stream in — the property
+    an always-on telemetry hub needs.
+
+    **Determinism.**  The internal state is a pure function of the
+    observed *multiset*: bucket counts add, min/max take extrema, exact
+    sums use :func:`math.fsum` (order-independent correctly-rounded
+    summation), and the exact→bucketed transition happens exactly when
+    the total count crosses the limit.  Merging worker payloads in any
+    order therefore yields bit-identical :meth:`summary` output, and a
+    merged histogram matches a single-process histogram fed the same
+    observations (property-tested).
+
+    Percentile calls memoize the sorted view and invalidate it on
+    :meth:`observe`/:meth:`merge`, so a p50+p99 report loop is sorted
+    once, not once per percentile.
     """
 
-    __slots__ = ("name", "values")
+    __slots__ = (
+        "name",
+        "_values",
+        "_ordered",
+        "_pos",
+        "_neg",
+        "_zero",
+        "_count",
+        "_min",
+        "_max",
+        "_cdf",
+    )
 
     def __init__(self, name: str, values: Optional[List[float]] = None) -> None:
         self.name = name
-        self.values: List[float] = values if values is not None else []
+        #: Verbatim observations while exact; ``None`` once spilled.
+        self._values: Optional[List[float]] = []
+        #: Memoized ascending sort of ``_values`` (exact mode).
+        self._ordered: Optional[List[float]] = None
+        #: Spilled state: bucket-index -> count for positive/negative
+        #: magnitudes, plus an exact-zero count.
+        self._pos: Dict[int, int] = {}
+        self._neg: Dict[int, int] = {}
+        self._zero = 0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+        #: Memoized bucketed CDF: ascending (value, count) pairs.
+        self._cdf: Optional[List[Tuple[float, int]]] = None
+        if values:
+            for value in values:
+                self.observe(value)
 
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
     def observe(self, value: float) -> None:
-        self.values.append(value)
+        value = float(value)
+        self._count += 1
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if self._values is not None:
+            self._values.append(value)
+            self._ordered = None
+            if self._count > EXACT_LIMIT:
+                self._spill()
+        else:
+            self._bucket_one(value)
+            self._cdf = None
+
+    def _bucket_one(self, value: float) -> None:
+        if value > 0.0:
+            self._pos[_bucket_index(value)] = (
+                self._pos.get(_bucket_index(value), 0) + 1
+            )
+        elif value < 0.0:
+            self._neg[_bucket_index(-value)] = (
+                self._neg.get(_bucket_index(-value), 0) + 1
+            )
+        else:
+            self._zero += 1
+
+    def _spill(self) -> None:
+        """Move verbatim values into buckets (count crossed the limit)."""
+        values = self._values
+        assert values is not None
+        self._values = None
+        self._ordered = None
+        self._cdf = None
+        for value in values:
+            self._bucket_one(value)
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def exact(self) -> bool:
+        """True while every observation is retained verbatim."""
+        return self._values is not None
+
+    @property
+    def values(self) -> List[float]:
+        """Verbatim observations, insertion-ordered (exact mode only).
+
+        Raises :class:`ValueError` once the histogram has spilled to
+        buckets — at that point individual observations no longer exist.
+        """
+        if self._values is None:
+            raise ValueError(
+                f"histogram {self.name!r} spilled to buckets at "
+                f"{EXACT_LIMIT} observations; raw values are gone"
+            )
+        return self._values
 
     @property
     def count(self) -> int:
-        return len(self.values)
-
-    @property
-    def sum(self) -> float:
-        return sum(self.values)
-
-    @property
-    def mean(self) -> float:
-        return self.sum / len(self.values) if self.values else 0.0
+        return self._count
 
     @property
     def min(self) -> float:
-        return min(self.values) if self.values else 0.0
+        return self._min if self._count else 0.0
 
     @property
     def max(self) -> float:
-        return max(self.values) if self.values else 0.0
+        return self._max if self._count else 0.0
 
+    @property
+    def sum(self) -> float:
+        """Exact (fsum) while exact; bucket-midpoint estimate after.
+
+        Both forms are independent of observation/merge order:
+        :func:`math.fsum` is correctly rounded, and the bucketed form
+        folds ``midpoint * count`` in bucket-index order.
+        """
+        if self._values is not None:
+            return math.fsum(self._values)
+        return math.fsum(value * count for value, count in self._bucket_cdf())
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self._count if self._count else 0.0
+
+    # ------------------------------------------------------------------
+    # Percentiles
+    # ------------------------------------------------------------------
     def percentile(self, pct: float) -> float:
-        """Nearest-rank percentile; 0 when empty."""
-        if not self.values:
+        """Nearest-rank percentile; 0 when empty.
+
+        Exact in exact mode.  In bucketed mode the returned value is the
+        selected bucket's midpoint clamped into ``[min, max]`` — within
+        half a bucket width (~4.5%) of the true order statistic.
+        """
+        if not self._count:
             return 0.0
-        ordered = sorted(self.values)
-        rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
-        return ordered[min(rank, len(ordered)) - 1]
+        if self._values is not None:
+            if self._ordered is None:
+                self._ordered = sorted(self._values)
+            return nearest_rank(self._ordered, pct)
+        cdf = self._bucket_cdf()
+        rank = max(1, math.ceil(pct / 100.0 * self._count))
+        seen = 0
+        for value, count in cdf:
+            seen += count
+            if seen >= rank:
+                return value
+        return self._max  # pragma: no cover - rank <= count always hits
+
+    def _bucket_cdf(self) -> List[Tuple[float, int]]:
+        """Ascending (representative value, count) pairs, memoized.
+
+        Representatives are bucket midpoints clamped into the observed
+        ``[min, max]`` so extremes never exceed real observations.
+        """
+        if self._cdf is None:
+            pairs: List[Tuple[float, int]] = []
+            for index in sorted(self._neg, reverse=True):
+                pairs.append((-_bucket_mid(index), self._neg[index]))
+            if self._zero:
+                pairs.append((0.0, self._zero))
+            for index in sorted(self._pos):
+                pairs.append((_bucket_mid(index), self._pos[index]))
+            lo, hi = self._min, self._max
+            self._cdf = [
+                (min(max(value, lo), hi), count) for value, count in pairs
+            ]
+        return self._cdf
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -106,11 +307,68 @@ class Histogram:
             "max": self.max,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
+            "p95": self.percentile(95),
             "p99": self.percentile(99),
         }
 
+    # ------------------------------------------------------------------
+    # Serialization and merging
+    # ------------------------------------------------------------------
+    def to_payload(self) -> HistogramPayload:
+        """Wire form: the verbatim list while exact (the v1 format),
+        or a bucketed dict once spilled."""
+        if self._values is not None:
+            return list(self._values)
+        return {
+            "count": self._count,
+            "zero": self._zero,
+            "pos": {str(index): count for index, count in self._pos.items()},
+            "neg": {str(index): count for index, count in self._neg.items()},
+            "min": self._min,
+            "max": self._max,
+        }
+
+    def merge(self, other: Union["Histogram", HistogramPayload]) -> None:
+        """Fold another histogram (or its payload) into this one.
+
+        Exact + exact stays exact while the combined count fits the
+        limit; any bucketed participant forces the merged histogram to
+        buckets.  The result depends only on the combined multiset,
+        never on merge order.
+        """
+        if isinstance(other, Histogram):
+            payload = other.to_payload()
+        else:
+            payload = other
+        if isinstance(payload, list):
+            for value in payload:
+                self.observe(float(value))
+            return
+        # Bucketed payload: spill ourselves, then add counts.
+        if self._values is not None:
+            self._spill()
+        self._cdf = None
+        incoming = int(payload.get("count", 0))
+        if not incoming:
+            return
+        self._count += incoming
+        self._zero += int(payload.get("zero", 0))
+        for key, count in payload.get("pos", {}).items():
+            index = int(key)
+            self._pos[index] = self._pos.get(index, 0) + int(count)
+        for key, count in payload.get("neg", {}).items():
+            index = int(key)
+            self._neg[index] = self._neg.get(index, 0) + int(count)
+        other_min = float(payload.get("min", math.inf))
+        other_max = float(payload.get("max", -math.inf))
+        if other_min < self._min:
+            self._min = other_min
+        if other_max > self._max:
+            self._max = other_max
+
     def __repr__(self) -> str:
-        return f"Histogram({self.name}, n={self.count}, mean={self.mean:g})"
+        mode = "exact" if self.exact else "bucketed"
+        return f"Histogram({self.name}, n={self.count}, {mode}, mean={self.mean:g})"
 
 
 class MetricsRegistry:
@@ -154,7 +412,7 @@ class MetricsRegistry:
         return {
             "counters": {n: c.value for n, c in self.counters.items()},
             "gauges": {n: g.value for n, g in self.gauges.items()},
-            "histograms": {n: list(h.values) for n, h in self.histograms.items()},
+            "histograms": {n: h.to_payload() for n, h in self.histograms.items()},
         }
 
     @classmethod
@@ -167,16 +425,17 @@ class MetricsRegistry:
         """Fold another registry (or its payload dict) into this one.
 
         Counters and histogram observations add; gauges take the
-        incoming value.  Merging in query order makes batch aggregation
-        reproducible.
+        incoming value.  Counter/histogram aggregation is independent of
+        merge order; only gauges are last-write-wins (callers merge
+        results in query order, so even those are reproducible).
         """
         payload = other.to_payload() if isinstance(other, MetricsRegistry) else other
         for name, value in payload.get("counters", {}).items():
             self.counter(name).inc(value)
         for name, value in payload.get("gauges", {}).items():
             self.gauge(name).set(value)
-        for name, values in payload.get("histograms", {}).items():
-            self.histogram(name).values.extend(values)
+        for name, histogram in payload.get("histograms", {}).items():
+            self.histogram(name).merge(histogram)
 
     def records(self) -> List[Dict[str, Any]]:
         """JSON-ready metric records (one per instrument), sorted by name."""

@@ -1,0 +1,157 @@
+"""Sliding-window SLO tracking over live telemetry events.
+
+An :class:`SloSpec` declares an objective ("p99 of
+``engine.batch.query_latency_s`` stays under 5 ms over a 60 s
+window, with a 1% error budget"); an :class:`SloTracker` subscribes to
+a :class:`~repro.observability.live.TelemetryHub`, folds matching
+metric events into per-spec sliding windows, and reports windowed
+percentiles, violation state and budget burn rate on demand.
+
+Percentiles use the same nearest-rank definition as
+:class:`~repro.observability.metrics.Histogram`
+(via :func:`~repro.observability.metrics.nearest_rank`), so a window
+that covers a whole run reports exactly the numbers the post-hoc trace
+report does.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Tuple
+
+from .live import Event, TelemetrySubscriber
+from .metrics import nearest_rank
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """A service-level objective over one streamed metric.
+
+    ``objective`` is the threshold the windowed ``percentile`` must stay
+    *at or under*; ``budget`` is the tolerated fraction of individual
+    observations allowed to exceed the objective before the error
+    budget is burning faster than allotted (burn rate > 1).
+    """
+
+    name: str
+    metric: str
+    objective: float
+    percentile: float = 99.0
+    window_s: float = 60.0
+    budget: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError(f"SLO {self.name!r}: window_s must be positive")
+        if not 0 < self.percentile <= 100:
+            raise ValueError(f"SLO {self.name!r}: percentile must be in (0, 100]")
+        if not 0 < self.budget <= 1:
+            raise ValueError(f"SLO {self.name!r}: budget must be in (0, 1]")
+
+
+class SlidingWindow:
+    """Timestamped observations over a half-open window ``(now - w, now]``.
+
+    A value stamped exactly ``window_s`` ago is evicted: the window is
+    half-open on the old side, closed on the new side, so an
+    observation contributes for exactly ``window_s`` seconds.
+    """
+
+    __slots__ = ("window_s", "_points")
+
+    def __init__(self, window_s: float) -> None:
+        self.window_s = window_s
+        self._points: Deque[Tuple[float, float]] = deque()
+
+    def add(self, t: float, value: float) -> None:
+        self._points.append((t, value))
+
+    def evict(self, now: float) -> None:
+        cutoff = now - self.window_s
+        points = self._points
+        while points and points[0][0] <= cutoff:
+            points.popleft()
+
+    def values(self, now: float) -> List[float]:
+        self.evict(now)
+        return [value for _, value in self._points]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+class SloTracker(TelemetrySubscriber):
+    """Hub subscriber that tracks sliding-window SLO status.
+
+    Feed it metric events (``emit``) or raw samples (``observe``), then
+    ask :meth:`status` / :meth:`statuses` for windowed p50/p95/p99, the
+    violating flag, the breached-observation fraction and the budget
+    burn rate.  The clock is injectable for deterministic tests; event
+    timestamps (``"t"``) take precedence over the clock when present so
+    replayed traces evaluate in trace time.
+    """
+
+    __slots__ = ("specs", "_windows", "_clock", "_last_t")
+
+    def __init__(
+        self,
+        specs: List[SloSpec],
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.specs = list(specs)
+        self._windows: Dict[str, SlidingWindow] = {
+            spec.name: SlidingWindow(spec.window_s) for spec in self.specs
+        }
+        self._clock = clock
+        self._last_t = -float("inf")
+
+    def emit(self, event: Event) -> None:
+        if event.get("event") != "metric":
+            return
+        name = event.get("name")
+        t = float(event.get("t", self._clock()))
+        value = float(event.get("value", 0.0))
+        for spec in self.specs:
+            if spec.metric == name:
+                self._windows[spec.name].add(t, value)
+        if t > self._last_t:
+            self._last_t = t
+
+    def observe(self, metric: str, value: float, *, t: float) -> None:
+        """Feed one raw sample directly (no hub event required)."""
+        self.emit(
+            {"kind": "event", "event": "metric", "metric": "observe",
+             "name": metric, "value": value, "t": t}
+        )
+
+    def status(self, spec: SloSpec, *, now: float) -> Dict[str, Any]:
+        """Windowed SLO status for one spec at time ``now``."""
+        window = self._windows[spec.name]
+        values = sorted(window.values(now))
+        count = len(values)
+        achieved = nearest_rank(values, spec.percentile)
+        breaches = sum(1 for value in values if value > spec.objective)
+        breach_fraction = breaches / count if count else 0.0
+        return {
+            "name": spec.name,
+            "metric": spec.metric,
+            "count": count,
+            "p50": nearest_rank(values, 50),
+            "p95": nearest_rank(values, 95),
+            "p99": nearest_rank(values, 99),
+            "objective": spec.objective,
+            "percentile": spec.percentile,
+            "achieved": achieved,
+            "violating": bool(count) and achieved > spec.objective,
+            "breach_fraction": breach_fraction,
+            "burn_rate": breach_fraction / spec.budget,
+        }
+
+    def statuses(self, *, now: float = -float("inf")) -> List[Dict[str, Any]]:
+        """Status for every spec, defaulting ``now`` to the newest event."""
+        if now == -float("inf"):
+            now = self._last_t if self._last_t > -float("inf") else self._clock()
+        return [self.status(spec, now=now) for spec in self.specs]

@@ -29,9 +29,13 @@ tracer unconditionally without taxing production calls.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.instrumentation.counters import NULL_COUNTER, OpCounter
+from repro.observability.live import NULL_HUB, NullTelemetryHub, TelemetryHub
+
+#: Anything a tracer can publish into: a real hub or the null hub.
+HubLike = Union[TelemetryHub, NullTelemetryHub]
 
 
 class NullSpan:
@@ -85,6 +89,8 @@ class Span:
         "start_s",
         "duration_s",
         "children",
+        "path",
+        "depth",
         "_tracer",
         "_t0",
     )
@@ -98,6 +104,8 @@ class Span:
         self.start_s = 0.0
         self.duration_s = 0.0
         self.children: List["Span"] = []
+        self.path = name
+        self.depth = 0
         self._tracer = tracer
         self._t0 = 0.0
 
@@ -110,6 +118,27 @@ class Span:
     def __exit__(self, *exc_info: object) -> None:
         self.duration_s = time.perf_counter() - self._t0
         self._tracer._pop(self)
+        hub = self._tracer.hub
+        if hub.enabled:
+            hub.publish_span(self.to_record())
+
+    def to_record(self) -> Dict[str, Any]:
+        """This span as a JSON-ready record (the per-span shape of
+        :meth:`Tracer.records`, minus the tree-global ``order``)."""
+        return {
+            "kind": "span",
+            "path": self.path,
+            "name": self.name,
+            "depth": self.depth,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+            "counts": self.counter.as_dict(),
+            "traces": {
+                name: _trace_summary(series)
+                for name, series in self.counter.traces.items()
+            },
+        }
 
     def set(self, name: str, value: Any) -> None:
         """Record a scalar attribute on this span."""
@@ -150,12 +179,15 @@ class Tracer:
     the tracer (e.g. forcing the counted sweep path).
     """
 
-    __slots__ = ("enabled", "roots", "epoch", "_stack")
+    __slots__ = ("enabled", "roots", "epoch", "hub", "_stack")
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, hub: HubLike = NULL_HUB) -> None:
         self.enabled = enabled
         self.roots: List[Span] = []
         self.epoch = time.perf_counter()
+        #: Live telemetry hub; every closed span is published into it
+        #: (guarded on ``hub.enabled``, so the default costs nothing).
+        self.hub = hub
         self._stack: List[Span] = []
 
     # ------------------------------------------------------------------
@@ -169,7 +201,10 @@ class Tracer:
 
     def _push(self, span: Span) -> None:
         if self._stack:
-            self._stack[-1].children.append(span)
+            parent = self._stack[-1]
+            parent.children.append(span)
+            span.path = f"{parent.path}/{span.name}"
+            span.depth = parent.depth + 1
         else:
             self.roots.append(span)
         self._stack.append(span)
@@ -215,30 +250,10 @@ class Tracer:
         given run), timing, attributes, op-counts and trace summaries.
         """
         out: List[Dict[str, Any]] = []
-
-        def visit(span: Span, prefix: str, depth: int) -> None:
-            path = f"{prefix}/{span.name}" if prefix else span.name
-            record: Dict[str, Any] = {
-                "kind": "span",
-                "path": path,
-                "name": span.name,
-                "depth": depth,
-                "order": len(out),
-                "start_s": span.start_s,
-                "duration_s": span.duration_s,
-                "attrs": dict(span.attrs),
-                "counts": span.counter.as_dict(),
-                "traces": {
-                    name: _trace_summary(series)
-                    for name, series in span.counter.traces.items()
-                },
-            }
+        for span in self.iter_spans():
+            record = span.to_record()
+            record["order"] = len(out)
             out.append(record)
-            for child in span.children:
-                visit(child, path, depth + 1)
-
-        for root in self.roots:
-            visit(root, "", 0)
         return out
 
     def __repr__(self) -> str:

@@ -27,6 +27,11 @@ REPRO004    No mutable default arguments (``def f(x=[])`` etc.).
 REPRO005    Never construct a disabled ``OpCounter`` — use the shared
             ``NULL_COUNTER`` singleton so no-op counters are free and
             state cannot leak into ad-hoc instances.
+REPRO012    Telemetry publishes in the solver hot paths (``core/``,
+            ``engine/``) must sit inside an ``if <hub>.enabled:``
+            guard, so disabled telemetry never pays for building the
+            event dict — the :data:`repro.observability.live.NULL_HUB`
+            contract.
 ==========  ==========================================================
 
 Sibling passes reuse this module's :class:`Finding` and pragma
@@ -67,6 +72,7 @@ RULES: Dict[str, str] = {
     "REPRO003": "bare time.time() outside the instrumentation/observability layer",
     "REPRO004": "mutable default argument",
     "REPRO005": "disabled OpCounter constructed directly (use NULL_COUNTER)",
+    "REPRO012": "unguarded hub publish in a hot path (wrap in 'if hub.enabled:')",
 }
 
 #: Files/packages where REPRO001 does not apply (user-facing output is
@@ -85,6 +91,11 @@ _CLOCK_PACKAGES = frozenset(("instrumentation", "observability"))
 #: Module allowed to construct disabled OpCounters (REPRO005): the one
 #: defining NULL_COUNTER itself.
 _COUNTER_HOME = "counters.py"
+
+#: Packages whose hub publishes must be guarded (REPRO012): the
+#: per-query solver hot paths, where an unguarded publish would build
+#: the event dict even with telemetry disabled.
+_HUB_GUARDED_PACKAGES = frozenset(("core", "engine"))
 
 #: Base classes that make __slots__ meaningless or automatic.
 _SLOTS_EXEMPT_BASES = frozenset(
@@ -263,6 +274,12 @@ class _Checker(ast.NodeVisitor):
         )
         self._check_clock = not _CLOCK_PACKAGES.intersection(parts)
         self._check_counter = path.name != _COUNTER_HOME
+        self._check_hub = (
+            "repro" in parts and bool(_HUB_GUARDED_PACKAGES.intersection(parts))
+        )
+        # Lexical nesting depth of ``if <x>.enabled:`` guards around the
+        # node being visited (REPRO012).
+        self._hub_guard = 0
 
     def _add(self, node: ast.AST, code: str) -> None:
         line = getattr(node, "lineno", 0)
@@ -297,6 +314,23 @@ class _Checker(ast.NodeVisitor):
         self._check_defaults(node, node.args)
         self.generic_visit(node)
 
+    def visit_If(self, node: ast.If) -> None:
+        # An ``if`` whose test reads any ``.enabled`` attribute guards
+        # its body (only) for REPRO012; the else-branch stays unguarded.
+        guarded = self._check_hub and any(
+            isinstance(sub, ast.Attribute) and sub.attr == "enabled"
+            for sub in ast.walk(node.test)
+        )
+        self.visit(node.test)
+        if guarded:
+            self._hub_guard += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if guarded:
+            self._hub_guard -= 1
+        for stmt in node.orelse:
+            self.visit(stmt)
+
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
         if (
@@ -305,6 +339,13 @@ class _Checker(ast.NodeVisitor):
             and func.id == "print"
         ):
             self._add(node, "REPRO001")
+        if (
+            self._check_hub
+            and self._hub_guard == 0
+            and isinstance(func, ast.Attribute)
+            and func.attr.startswith("publish")
+        ):
+            self._add(node, "REPRO012")
         if (
             self._check_clock
             and isinstance(func, ast.Attribute)

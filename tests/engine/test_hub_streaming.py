@@ -1,0 +1,188 @@
+"""Engine ↔ telemetry-hub integration: live events while batches run."""
+
+import json
+
+import pytest
+
+from repro.engine import PartitionEngine
+from repro.graphs.chain import Chain
+from repro.graphs.generators import random_chain
+from repro.observability import (
+    RingBufferSubscriber,
+    StreamingJsonlSink,
+    TelemetryHub,
+    read_trace,
+)
+
+
+def queries(count=6, n=24):
+    out = []
+    for i in range(count):
+        chain = random_chain(n, rng=i)
+        out.append(
+            {"alpha": list(chain.alpha), "beta": list(chain.beta),
+             "bound": 4.0 * chain.max_vertex_weight(), "tag": f"q{i}"}
+        )
+    return out
+
+
+def jsonl(records):
+    return [json.dumps(record) for record in records]
+
+
+class TestHubWiring:
+    def test_default_engine_has_disabled_hub(self):
+        engine = PartitionEngine()
+        assert engine.hub.enabled is False
+
+    def test_hub_threads_into_cache(self):
+        hub = TelemetryHub([RingBufferSubscriber()])
+        engine = PartitionEngine(hub=hub)
+        assert engine.cache.hub is hub
+
+    def test_no_events_when_hub_absent(self):
+        engine = PartitionEngine()
+        engine.solve_jsonl(jsonl(queries(2)))
+        # Nothing to assert beyond "it ran" — the null hub swallows all.
+        assert engine.hub.enabled is False
+
+
+class TestBatchStreaming:
+    def solve(self, workers=0, count=6):
+        ring = RingBufferSubscriber()
+        hub = TelemetryHub([ring])
+        engine = PartitionEngine(hub=hub)
+        results = engine.solve_jsonl(jsonl(queries(count)),
+                                     max_workers=workers)
+        return ring.events(), results
+
+    def test_serial_batch_publishes_per_query_solve_events(self):
+        events, results = self.solve(workers=0)
+        solves = [e for e in events if e.get("event") == "solve"]
+        assert len(solves) == len(results) == 6
+        assert {e["tag"] for e in solves} == {f"q{i}" for i in range(6)}
+        assert all(e["ok"] for e in solves)
+        assert all(e["duration_s"] >= 0.0 for e in solves)
+        assert all("t" in e for e in events)
+
+    def test_batch_summary_event_last(self):
+        events, _ = self.solve()
+        (batch,) = [e for e in events if e.get("event") == "batch"]
+        assert batch["queries"] == 6
+        assert batch["failures"] == 0
+        assert "cache_hit_rate" in batch
+        assert "plan_occupancy" in batch
+        assert events[-1] is batch
+
+    def test_latency_metric_event_per_query(self):
+        events, _ = self.solve()
+        latencies = [
+            e for e in events
+            if e.get("event") == "metric"
+            and e.get("name") == "engine.batch.query_latency_s"
+        ]
+        assert len(latencies) == 6
+
+    def test_pool_batch_streams_each_result(self):
+        events, results = self.solve(workers=2)
+        solves = [e for e in events if e.get("event") == "solve"]
+        assert len(solves) == len(results) == 6
+        assert {e["tag"] for e in solves} == {f"q{i}" for i in range(6)}
+
+    def test_infeasible_query_streams_not_ok(self):
+        chain = Chain([5.0, 5.0], [1.0])
+        ring = RingBufferSubscriber()
+        engine = PartitionEngine(hub=TelemetryHub([ring]))
+        engine.solve_jsonl(jsonl([
+            {"alpha": list(chain.alpha), "beta": list(chain.beta),
+             "bound": 1.0, "tag": "bad"}
+        ]))
+        (solve,) = [e for e in ring.events() if e.get("event") == "solve"]
+        assert solve["ok"] is False
+        assert solve["error"]
+
+
+class TestSingleSolveEvents:
+    def test_solve_publishes_event_and_latency(self):
+        ring = RingBufferSubscriber()
+        engine = PartitionEngine(hub=TelemetryHub([ring]))
+        chain = random_chain(32, rng=0)
+        engine.solve(chain, 4.0 * chain.max_vertex_weight())
+        kinds = [e.get("event") for e in ring.events()]
+        assert "solve" in kinds
+        assert any(
+            e.get("name") == "engine.query_latency_s" for e in ring.events()
+        )
+
+    def test_optimality_gap_streams_under_verify(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        ring = RingBufferSubscriber()
+        engine = PartitionEngine(hub=TelemetryHub([ring]))
+        chain = random_chain(32, rng=0)
+        engine.solve(chain, 4.0 * chain.max_vertex_weight())
+        (gap,) = [
+            e for e in ring.events()
+            if e.get("name") == "solve.optimality_gap"
+        ]
+        assert 0.0 <= gap["value"] <= 1.0
+
+    def test_no_gap_event_without_verify(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        ring = RingBufferSubscriber()
+        engine = PartitionEngine(hub=TelemetryHub([ring]))
+        chain = random_chain(32, rng=0)
+        engine.solve(chain, 4.0 * chain.max_vertex_weight())
+        assert not [
+            e for e in ring.events()
+            if e.get("name") == "solve.optimality_gap"
+        ]
+
+
+class TestStreamedTraceFile:
+    def test_streamed_file_is_valid_schema_v2(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        with StreamingJsonlSink(path, meta={"workload": "batch"}) as sink:
+            engine = PartitionEngine(hub=TelemetryHub([sink]))
+            engine.solve_jsonl(jsonl(queries(4)))
+        records = read_trace(path)
+        assert records[0]["kind"] == "meta"
+        assert records[0]["schema"] == 2
+        kinds = {r.get("event") for r in records if r["kind"] == "event"}
+        assert "solve" in kinds
+        assert "metric" in kinds
+        assert "batch" in kinds
+
+    def test_file_parseable_while_batch_is_mid_flight(self, tmp_path):
+        # The crash-safety contract end-to-end: after every published
+        # event the file on disk is complete lines only.
+        path = str(tmp_path / "stream.jsonl")
+        seen_counts = []
+        sink = StreamingJsonlSink(path)
+
+        class Spy:
+            def emit(self, event):
+                # Re-read the file *during* the batch at each event.
+                seen_counts.append(len(read_trace(path)))
+
+            def close(self):
+                pass
+
+        hub = TelemetryHub([sink, Spy()])
+        engine = PartitionEngine(hub=hub)
+        engine.solve_jsonl(jsonl(queries(3)))
+        hub.close()
+        assert seen_counts  # spy actually ran mid-batch
+        # Each snapshot had the header plus every event published so far.
+        assert seen_counts == sorted(seen_counts)
+        assert seen_counts[0] >= 1
+
+    def test_gap_histogram_lands_in_batch_stats(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        engine = PartitionEngine()
+        engine.solve_jsonl(jsonl(queries(3)))
+        stats = engine.last_batch_stats
+        assert stats is not None
+        gap_summary = stats.as_dict()["optimality_gap"]
+        assert gap_summary is not None
+        assert gap_summary["count"] == 3
+        assert 0.0 <= gap_summary["max"] <= 1.0

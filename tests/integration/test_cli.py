@@ -208,12 +208,23 @@ class TestTraceReportCommand:
         assert code == 2
         assert "report:" in capsys.readouterr().err
 
-    def test_report_trace_malformed_exits_2(self, tmp_path, capsys):
+    def test_report_trace_malformed_midfile_exits_2(self, tmp_path, capsys):
         trace = tmp_path / "bad.jsonl"
-        trace.write_text('{"kind": "meta"}\nnot json\n')
+        trace.write_text(
+            '{"kind": "meta"}\nnot json\n{"kind": "span", "path": "x"}\n'
+        )
         code = main(["report", "--trace", str(trace)])
         assert code == 2
         assert "line 2" in capsys.readouterr().err
+
+    def test_report_trace_torn_tail_tolerated(self, tmp_path, capsys):
+        # A malformed *last* record is an interrupted stream, not a bad
+        # file: warn, skip it, and report on what did land.
+        trace = tmp_path / "torn.jsonl"
+        trace.write_text('{"kind": "meta"}\n{"kind": "spa')
+        with pytest.warns(UserWarning, match="torn tail"):
+            code = main(["report", "--trace", str(trace)])
+        assert code == 0
 
 
 class TestAnalyzeCommand:

@@ -83,17 +83,40 @@ class TestRoundTrip:
 
 
 class TestMalformedInput:
-    def test_bad_json_names_line_number(self):
-        lines = [json.dumps({"kind": "meta", "schema": 1}), "{not json"]
+    def test_bad_json_mid_file_names_line_number(self):
+        lines = [
+            json.dumps({"kind": "meta", "schema": 1}),
+            "{not json",
+            json.dumps({"kind": "span", "path": "x"}),
+        ]
         with pytest.raises(ValueError, match="line 2"):
             read_trace(lines)
 
-    def test_untagged_record_names_line_number(self):
-        lines = [json.dumps({"kind": "meta", "schema": 1}), json.dumps([1, 2])]
+    def test_untagged_record_mid_file_names_line_number(self):
+        lines = [
+            json.dumps({"kind": "meta", "schema": 1}),
+            json.dumps([1, 2]),
+            json.dumps({"kind": "span", "path": "x"}),
+        ]
         with pytest.raises(ValueError, match="line 2"):
             read_trace(lines)
-        with pytest.raises(ValueError, match="line 1"):
-            read_trace([json.dumps({"no": "kind"})])
+
+    def test_torn_tail_warns_and_skips(self):
+        # A truncated final line is how a live stream looks mid-write;
+        # it must not make the whole trace unreadable.
+        lines = [
+            json.dumps({"kind": "meta", "schema": 1}),
+            json.dumps({"kind": "span", "path": "x"}),
+            '{"kind": "event", "event": "metr',
+        ]
+        with pytest.warns(UserWarning, match="torn tail.*line 3"):
+            records = read_trace(lines)
+        assert [r["kind"] for r in records] == ["meta", "span"]
+
+    def test_torn_tail_after_trailing_blanks(self):
+        lines = [json.dumps({"kind": "meta", "schema": 1}), "{not json", "", "  "]
+        with pytest.warns(UserWarning, match="line 2"):
+            assert [r["kind"] for r in read_trace(lines)] == ["meta"]
 
     def test_missing_file_raises_oserror(self, tmp_path):
         with pytest.raises(OSError):

@@ -1,0 +1,128 @@
+"""Unit tests for :mod:`repro.observability.profiler`."""
+
+import threading
+
+import pytest
+
+from repro.observability.profiler import (
+    ProfileSampler,
+    profile_duration_estimate,
+)
+
+
+def busy_function_alpha(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(i * i for i in range(200))
+
+
+class TestSampling:
+    def test_sample_once_skips_own_thread(self):
+        sampler = ProfileSampler()
+        sampler.sample_once()
+        assert sampler.samples == 1
+        # Only this thread is running, and it is skipped.
+        for stack in sampler.counts:
+            assert "sample_once" not in stack
+
+    def test_observes_other_thread_stack(self):
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=busy_function_alpha, args=(stop,), daemon=True
+        )
+        worker.start()
+        try:
+            sampler = ProfileSampler()
+            for _ in range(50):
+                sampler.sample_once()
+        finally:
+            stop.set()
+            worker.join()
+        assert any(
+            "busy_function_alpha" in stack for stack in sampler.counts
+        ), sampler.counts
+
+    def test_collapsed_stack_is_root_first(self):
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=busy_function_alpha, args=(stop,), daemon=True
+        )
+        worker.start()
+        try:
+            sampler = ProfileSampler()
+            for _ in range(50):
+                sampler.sample_once()
+        finally:
+            stop.set()
+            worker.join()
+        stack = next(s for s in sampler.counts if "busy_function_alpha" in s)
+        frames = stack.split(";")
+        # The leaf (deepest call) is last; thread bootstrap is first.
+        assert "busy_function_alpha" in frames[-1] or "genexpr" in frames[-1]
+        assert frames.index(
+            next(f for f in frames if "busy_function_alpha" in f)
+        ) > 0
+
+
+class TestLifecycle:
+    def test_context_manager_samples_in_background(self):
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=busy_function_alpha, args=(stop,), daemon=True
+        )
+        worker.start()
+        try:
+            with ProfileSampler(interval_s=0.001) as sampler:
+                stop_at = threading.Event()
+                stop_at.wait(0.1)
+        finally:
+            stop.set()
+            worker.join()
+        assert sampler.samples > 0
+        assert profile_duration_estimate(sampler) == pytest.approx(
+            sampler.samples * 0.001
+        )
+
+    def test_double_start_raises(self):
+        sampler = ProfileSampler()
+        sampler.start()
+        try:
+            with pytest.raises(RuntimeError):
+                sampler.start()
+        finally:
+            sampler.stop()
+
+    def test_stop_idempotent(self):
+        sampler = ProfileSampler()
+        sampler.stop()  # never started: no-op
+        sampler.start()
+        sampler.stop()
+        sampler.stop()
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ProfileSampler(interval_s=0.0)
+
+
+class TestOutput:
+    def sampled(self):
+        sampler = ProfileSampler()
+        sampler.counts = {"a:f;b:g": 3, "a:f;c:h": 1}
+        return sampler
+
+    def test_collapsed_lines_sorted_flamegraph_format(self):
+        assert self.sampled().collapsed_lines() == [
+            "a:f;b:g 3",
+            "a:f;c:h 1",
+        ]
+
+    def test_write_collapsed_round_trip(self, tmp_path):
+        path = str(tmp_path / "p.collapsed")
+        count = self.sampled().write_collapsed(path)
+        assert count == 2
+        lines = open(path).read().splitlines()
+        assert lines == ["a:f;b:g 3", "a:f;c:h 1"]
+
+    def test_top_stacks_hottest_first(self):
+        top = self.sampled().top_stacks(limit=1)
+        assert len(top) == 1
+        assert "a:f;b:g" in top[0]

@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.observability.slo`."""
+
+import pytest
+
+from repro.observability.live import TelemetryHub
+from repro.observability.slo import SlidingWindow, SloSpec, SloTracker
+
+LATENCY = SloSpec(
+    name="latency-p99", metric="engine.batch.query_latency_s",
+    objective=0.005, percentile=99.0, window_s=60.0, budget=0.01,
+)
+
+
+class TestSloSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window_s"):
+            SloSpec("x", "m", 1.0, window_s=0.0)
+        with pytest.raises(ValueError, match="percentile"):
+            SloSpec("x", "m", 1.0, percentile=0.0)
+        with pytest.raises(ValueError, match="budget"):
+            SloSpec("x", "m", 1.0, budget=0.0)
+
+
+class TestSlidingWindow:
+    def test_half_open_boundary_eviction(self):
+        # An observation stamped exactly window_s ago is OUT: the window
+        # is (now - w, now], so each point contributes for exactly w
+        # seconds — no double-counting at the boundary.
+        window = SlidingWindow(10.0)
+        window.add(0.0, 1.0)
+        window.add(0.5, 2.0)
+        assert window.values(10.0) == [2.0]  # t=0.0 hit the boundary
+        assert window.values(10.5) == []
+
+    def test_values_inside_window_survive(self):
+        window = SlidingWindow(10.0)
+        for t in (1.0, 5.0, 9.0):
+            window.add(t, t)
+        assert window.values(9.0) == [1.0, 5.0, 9.0]
+        assert window.values(11.5) == [5.0, 9.0]
+
+
+class TestSloTracker:
+    def feed(self, tracker, samples):
+        for t, value in samples:
+            tracker.observe(LATENCY.metric, value, t=t)
+
+    def test_healthy_window_not_violating(self):
+        tracker = SloTracker([LATENCY])
+        self.feed(tracker, [(float(i), 0.001) for i in range(20)])
+        (status,) = tracker.statuses()
+        assert status["count"] == 20
+        assert status["achieved"] == 0.001
+        assert not status["violating"]
+        assert status["burn_rate"] == 0.0
+
+    def test_violation_and_burn_rate(self):
+        tracker = SloTracker([LATENCY])
+        # 10 observations, 2 breach the 5 ms objective -> 20% breach
+        # fraction against a 1% budget: burning 20x faster than allowed.
+        samples = [(float(i), 0.001) for i in range(8)]
+        samples += [(8.0, 0.050), (9.0, 0.060)]
+        self.feed(tracker, samples)
+        (status,) = tracker.statuses(now=9.0)
+        assert status["violating"]
+        assert status["breach_fraction"] == pytest.approx(0.2)
+        assert status["burn_rate"] == pytest.approx(20.0)
+
+    def test_old_breaches_age_out(self):
+        tracker = SloTracker([LATENCY])
+        tracker.observe(LATENCY.metric, 0.100, t=0.0)
+        self.feed(tracker, [(70.0 + i, 0.001) for i in range(5)])
+        (status,) = tracker.statuses(now=74.0)
+        assert not status["violating"]
+        assert status["count"] == 5
+
+    def test_as_hub_subscriber(self):
+        tracker = SloTracker([LATENCY], clock=lambda: 3.0)
+        hub = TelemetryHub([tracker], clock=lambda: 3.0)
+        hub.publish_metric(LATENCY.metric, "observe", 0.002)
+        hub.publish_metric("unrelated.metric", "observe", 9.0)
+        hub.publish({"kind": "event", "event": "solve"})  # non-metric
+        (status,) = tracker.statuses()
+        assert status["count"] == 1
+        assert status["p99"] == 0.002
+
+    def test_statuses_default_now_is_newest_event(self):
+        tracker = SloTracker([LATENCY])
+        tracker.observe(LATENCY.metric, 0.001, t=100.0)
+        tracker.observe(LATENCY.metric, 0.002, t=159.0)
+        (status,) = tracker.statuses()  # now=159.0: both still inside
+        assert status["count"] == 2
+
+    def test_percentiles_match_nearest_rank(self):
+        from repro.observability.metrics import nearest_rank
+
+        values = [0.001 * i for i in range(1, 101)]
+        tracker = SloTracker([LATENCY])
+        # Timestamps all inside the 60 s window so nothing evicts.
+        self.feed(tracker, [(0.1 * i, v) for i, v in enumerate(values)])
+        (status,) = tracker.statuses(now=0.1 * len(values))
+        ordered = sorted(values)
+        assert status["p50"] == nearest_rank(ordered, 50)
+        assert status["p95"] == nearest_rank(ordered, 95)
+        assert status["p99"] == nearest_rank(ordered, 99)

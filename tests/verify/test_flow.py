@@ -243,7 +243,11 @@ class TestSeededRegressions:
             "            with ProcessPoolExecutor(max_workers=max_workers)"
             " as pool:"
         )
-        map_call = "pool.map(_solve_payload, grouped, chunksize=chunksize)"
+        map_call = (
+            "pool.map(\n"
+            "                    _solve_payload, grouped, chunksize=chunksize\n"
+            "                )"
+        )
         assert pool_line in source and map_call in source
         source = source.replace(
             pool_line,

@@ -204,6 +204,76 @@ class TestPragma:
         assert pragma_disables("x = 1  # just a comment\n") == {}
 
 
+class TestRepro012HubGuard:
+    def test_unguarded_publish_in_engine_flagged(self):
+        src = "self.hub.publish({'kind': 'event'})\n"
+        assert codes(src, "src/repro/engine/batch.py") == ["REPRO012"]
+
+    def test_unguarded_publish_in_core_flagged(self):
+        src = "hub.publish_metric('x', 'observe', 1.0)\n"
+        assert codes(src, "src/repro/core/bandwidth.py") == ["REPRO012"]
+
+    def test_guarded_publish_clean(self):
+        src = (
+            "if self.hub.enabled:\n"
+            "    self.hub.publish({'kind': 'event'})\n"
+        )
+        assert codes(src, "src/repro/engine/batch.py") == []
+
+    def test_guard_through_local_alias_clean(self):
+        src = (
+            "hub = self.hub\n"
+            "if hub.enabled:\n"
+            "    hub.publish_span(record)\n"
+        )
+        assert codes(src, "src/repro/engine/batch.py") == []
+
+    def test_nested_statement_inside_guard_clean(self):
+        src = (
+            "if plan.hub.enabled:\n"
+            "    for item in items:\n"
+            "        plan.hub.publish(item)\n"
+        )
+        assert codes(src, "src/repro/engine/plan.py") == []
+
+    def test_else_branch_is_not_guarded(self):
+        src = (
+            "if hub.enabled:\n"
+            "    pass\n"
+            "else:\n"
+            "    hub.publish(event)\n"
+        )
+        assert codes(src, "src/repro/engine/cache.py") == ["REPRO012"]
+
+    def test_publish_after_guard_closes_flagged(self):
+        src = (
+            "if hub.enabled:\n"
+            "    pass\n"
+            "hub.publish(event)\n"
+        )
+        assert codes(src, "src/repro/engine/cache.py") == ["REPRO012"]
+
+    def test_unrelated_if_does_not_guard(self):
+        src = (
+            "if count > 0:\n"
+            "    hub.publish(event)\n"
+        )
+        assert codes(src, "src/repro/engine/batch.py") == ["REPRO012"]
+
+    def test_observability_layer_exempt(self):
+        # The hub implementation itself publishes unconditionally.
+        src = "self.publish(event)\n"
+        assert codes(src, "src/repro/observability/live.py") == []
+
+    def test_analysis_layer_exempt(self):
+        src = "hub.publish(event)\n"
+        assert codes(src, "src/repro/analysis/top.py") == []
+
+    def test_pragma_suppresses(self):
+        src = "hub.publish(e)  # repro-lint: disable=REPRO012 startup only\n"
+        assert codes(src, "src/repro/engine/batch.py") == []
+
+
 class TestDriver:
     def test_src_tree_is_clean(self):
         findings, checked = lint_paths([SRC_ROOT])
