@@ -632,10 +632,11 @@ def _cmd_fig2plot(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    """Static + empirical analyzer gate (contracts, flow, complexity)."""
+    """Static + empirical analyzer gate (contracts, flow, concurrency)."""
     import json
     from pathlib import Path
 
+    from repro.verify.concurrency import check_concurrency
     from repro.verify.contracts import check_contracts
     from repro.verify.flow import check_flow
 
@@ -653,8 +654,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
     # No explicit selection runs the static passes; --complexity adds
     # (or, alone, restricts to) the empirical gate.
-    run_contracts = args.contracts or not (args.flow or args.complexity)
-    run_flow = args.flow or not (args.contracts or args.complexity)
+    explicit_static = args.contracts or args.flow or args.concurrency
+    run_all_static = not (explicit_static or args.complexity)
+    run_contracts = args.contracts or run_all_static
+    run_flow = args.flow or run_all_static
+    run_concurrency = args.concurrency or run_all_static
     # Schema version of the --json payload; bump on breaking changes so
     # downstream tooling (CI gates, dashboards) can evolve safely.
     report: dict = {"version": 1}
@@ -673,6 +677,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             report["flow"] = {
                 "files": checked,
                 "findings": [f.render() for f in flow_findings],
+            }
+        if run_concurrency:
+            conc_findings, checked = check_concurrency(paths)
+            findings.extend(conc_findings)
+            report["concurrency"] = {
+                "files": checked,
+                "findings": [f.render() for f in conc_findings],
             }
     except SyntaxError as exc:
         print(
@@ -703,7 +714,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if gate is not None:
             print(gate.render())
         if not failed:
-            parts = [k for k in ("contracts", "flow", "complexity") if k in report]
+            parts = [
+                k for k in ("contracts", "flow", "concurrency", "complexity")
+                if k in report
+            ]
             print(f"analyze: clean ({', '.join(parts)})", file=sys.stderr)
     return 1 if failed else 0
 
@@ -1005,7 +1019,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "analyze",
         help="complexity-contract and concurrency-safety analyzer "
-        "(REPRO006-REPRO011)",
+        "(REPRO006-REPRO015)",
     )
     p.add_argument(
         "paths",
@@ -1019,6 +1033,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--flow", action="store_true",
         help="run only the process-pool hygiene pass (REPRO006-REPRO008)",
+    )
+    p.add_argument(
+        "--concurrency", action="store_true",
+        help="run only the shared-state concurrency pass (REPRO013-REPRO015)",
     )
     p.add_argument(
         "--complexity", action="store_true",

@@ -31,6 +31,7 @@ identical to a fresh pure-Python computation (property-tested).
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
@@ -40,6 +41,7 @@ from repro.engine.kernels import validate_bound_array
 from repro.engine.plan import CompiledChainPlan, compile_chain
 from repro.graphs.chain import Chain
 from repro.observability.live import NULL_HUB
+from repro.verify.markers import concurrent_entry, shared_state
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.observability import MetricsRegistry, Tracer
@@ -131,6 +133,7 @@ class _ChainEntry:
         )
 
 
+@shared_state(lock="_lock")
 class PrimeStructureCache:
     """LRU of prime structures and solves, keyed by chain fingerprint.
 
@@ -149,6 +152,15 @@ class PrimeStructureCache:
         for the no-op default.  With a live hub, structure builds
         (misses) and evictions publish ``cache`` events — the feed the
         ``repro top`` cache panel and capacity planning watch.
+
+    **Thread safety.**  The cache is shared across request threads in
+    the upcoming ``repro serve`` arc, so every mutating entry point
+    (``structure``/``solve``/``clear``) serializes on one reentrant
+    ``_lock`` declared via ``@shared_state`` — the concurrency analyzer
+    (REPRO013) and the race-hammer harness both key off that
+    declaration.  Misses compute the structure while holding the lock:
+    exactness beats miss parallelism here, because a duplicated build
+    would double-count ``misses`` and tear the LRU order.
     """
 
     __slots__ = (
@@ -158,6 +170,7 @@ class PrimeStructureCache:
         "stats",
         "hub",
         "_entries",
+        "_lock",
     )
 
     def __init__(
@@ -179,6 +192,7 @@ class PrimeStructureCache:
         self.stats = CacheStats()
         self.hub = hub if hub is not None else NULL_HUB
         self._entries: "OrderedDict[str, _ChainEntry]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def _publish_cache_event(self, action: str, bound: float) -> None:
         """Publish one ``cache`` event (callers guard on ``hub.enabled``)."""
@@ -271,6 +285,7 @@ class PrimeStructureCache:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    @concurrent_entry
     def structure(
         self,
         chain: Chain,
@@ -280,13 +295,17 @@ class PrimeStructureCache:
     ) -> Any:
         """The prime structure for ``(chain, bound)`` — cached, warm-started,
         or freshly computed with the configured backend."""
-        entry = self._entry(chain)
-        validate_bound_array(entry.alpha_max, bound)
-        cached = self._lookup(entry, bound, apply_reduction)
-        if cached is None:
-            cached = self._compute(entry, bound, apply_reduction, tracer=tracer)
-        return cached.structure
+        with self._lock:
+            entry = self._entry(chain)
+            validate_bound_array(entry.alpha_max, bound)
+            cached = self._lookup(entry, bound, apply_reduction)
+            if cached is None:
+                cached = self._compute(
+                    entry, bound, apply_reduction, tracer=tracer
+                )
+            return cached.structure
 
+    @concurrent_entry
     def solve(
         self,
         chain: Chain,
@@ -343,31 +362,34 @@ class PrimeStructureCache:
         tracer: Optional[Any] = None,
         span: Optional[Any] = None,
     ) -> ChainCutResult:
-        entry = self._entry(chain)
-        validate_bound_array(entry.alpha_max, bound)
-        cached = self._lookup(entry, bound, apply_reduction)
-        if cached is None:
-            cached = self._compute(entry, bound, apply_reduction, tracer=tracer)
-        result = cached.results.get(search)
-        if result is None:
-            if span is not None:
-                span.set("sweep_ran", True)
-            if search == "binary":
-                from repro.engine.kernels import bandwidth_sweep
-
-                cut, weight = bandwidth_sweep(cached.structure)
-                result = ChainCutResult(chain, cut, weight)
-            else:
-                result = bandwidth_min(
-                    chain,
-                    cached.valid_from,
-                    apply_reduction=apply_reduction,
-                    search=search,
-                    structure=cached.structure,
+        with self._lock:
+            entry = self._entry(chain)
+            validate_bound_array(entry.alpha_max, bound)
+            cached = self._lookup(entry, bound, apply_reduction)
+            if cached is None:
+                cached = self._compute(
+                    entry, bound, apply_reduction, tracer=tracer
                 )
-            cached.results[search] = result
-        elif span is not None:
-            span.set("sweep_ran", False)
+            result = cached.results.get(search)
+            if result is None:
+                if span is not None:
+                    span.set("sweep_ran", True)
+                if search == "binary":
+                    from repro.engine.kernels import bandwidth_sweep
+
+                    cut, weight = bandwidth_sweep(cached.structure)
+                    result = ChainCutResult(chain, cut, weight)
+                else:
+                    result = bandwidth_min(
+                        chain,
+                        cached.valid_from,
+                        apply_reduction=apply_reduction,
+                        search=search,
+                        structure=cached.structure,
+                    )
+                cached.results[search] = result
+            elif span is not None:
+                span.set("sweep_ran", False)
         if "REPRO_VERIFY" in os.environ:
             # Self-certification (REPRO_VERIFY=1): certificate-check the
             # served result and cross-check it against a fresh pure-Python
@@ -382,14 +404,18 @@ class PrimeStructureCache:
             )
         return result
 
+    @concurrent_entry
     def clear(self) -> None:
-        self._entries.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return sum(len(e.structures) for e in self._entries.values())
+        with self._lock:
+            return sum(len(e.structures) for e in self._entries.values())
 
 
+@shared_state(lock="_lock")
 class PlanCache:
     """LRU of :class:`~repro.engine.plan.CompiledChainPlan` by fingerprint.
 
@@ -404,15 +430,23 @@ class PlanCache:
 
     ``interval_hits`` on :attr:`stats` stays zero — stability-interval
     reuse happens inside each plan's own memo, not at this layer.
+
+    Thread-safe under one reentrant ``_lock`` (``@shared_state``), the
+    same discipline as :class:`PrimeStructureCache`.  Note the *plans*
+    it hands out are not themselves locked: concurrent callers must not
+    drive one plan's lazy memo from two threads (the serve arc shards
+    sweeps per thread instead).
     """
 
-    __slots__ = ("max_plans", "stats", "_plans")
+    __slots__ = ("max_plans", "stats", "_plans", "_lock")
 
     def __init__(self, max_plans: int = 16) -> None:
         self.max_plans = max(1, int(max_plans))
         self.stats = CacheStats()
         self._plans: "OrderedDict[str, CompiledChainPlan]" = OrderedDict()
+        self._lock = threading.RLock()
 
+    @concurrent_entry
     def get(
         self,
         chain: Chain,
@@ -429,25 +463,30 @@ class PlanCache:
         shared).
         """
         key = chain.fingerprint()
-        plan = self._plans.get(key)
-        if plan is None:
-            plan = compile_chain(chain, tracer=tracer, metrics=metrics, hub=hub)
-            self._plans[key] = plan
-            self.stats.misses += 1
-            if len(self._plans) > self.max_plans:
-                self._plans.popitem(last=False)
-                self.stats.evictions += 1
-        else:
-            self._plans.move_to_end(key)
-            plan.tracer = tracer
-            plan.metrics = metrics
-            plan.hub = hub or NULL_HUB
-            self.stats.hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                plan = compile_chain(
+                    chain, tracer=tracer, metrics=metrics, hub=hub
+                )
+                self._plans[key] = plan
+                self.stats.misses += 1
+                if len(self._plans) > self.max_plans:
+                    self._plans.popitem(last=False)
+                    self.stats.evictions += 1
+            else:
+                self._plans.move_to_end(key)
+                plan.tracer = tracer
+                plan.metrics = metrics
+                plan.hub = hub or NULL_HUB
+                self.stats.hits += 1
+            return plan
 
+    @concurrent_entry
     def clear(self) -> None:
-        self._plans.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._plans.clear()
+            self.stats = CacheStats()
 
     def __len__(self) -> int:
         return len(self._plans)

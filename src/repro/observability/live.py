@@ -23,9 +23,12 @@ from __future__ import annotations
 import io
 import json
 import os
+import threading
 import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, TextIO
+
+from repro.verify.markers import concurrent_entry, shared_state
 
 #: Trace schema version, bumped when the record layout changes
 #: incompatibly.  v1 (PR 2): ``meta``/``span``/``metric`` records.
@@ -83,6 +86,7 @@ class NullTelemetryHub:
 NULL_HUB = NullTelemetryHub()
 
 
+@shared_state(lock="_lock")
 class TelemetryHub:
     """Fan events out to subscribers as they happen.
 
@@ -92,9 +96,18 @@ class TelemetryHub:
     and durability policies.  A subscriber that raises is dropped from
     the fan-out (telemetry must never take down a solve) and the error
     is remembered on :attr:`errors`.
+
+    **Thread safety.**  One reentrant ``_lock`` (declared via
+    ``@shared_state``) serializes publish/subscribe/close, so events
+    from concurrent solver threads fan out whole — subscribers see one
+    complete event at a time, never an interleaving.  The lock is held
+    *during* the fan-out: emit handlers therefore run serialized, and a
+    handler may publish back into the hub (the lock is reentrant)
+    without deadlocking.  Keep handlers short — they sit on the hot
+    publish path by design.
     """
 
-    __slots__ = ("enabled", "errors", "_subscribers", "_clock")
+    __slots__ = ("enabled", "errors", "_subscribers", "_clock", "_lock")
 
     def __init__(
         self,
@@ -106,28 +119,35 @@ class TelemetryHub:
         self.errors: List[str] = []
         self._subscribers: List[TelemetrySubscriber] = list(subscribers)
         self._clock = clock
+        self._lock = threading.RLock()
 
+    @concurrent_entry
     def subscribe(self, subscriber: TelemetrySubscriber) -> None:
-        self._subscribers.append(subscriber)
+        with self._lock:
+            self._subscribers.append(subscriber)
 
     @property
     def subscribers(self) -> Sequence[TelemetrySubscriber]:
-        return tuple(self._subscribers)
+        with self._lock:
+            return tuple(self._subscribers)
 
+    @concurrent_entry
     def publish(self, event: Event) -> None:
         """Stamp ``t`` (monotonic seconds) and fan out to subscribers."""
         if "t" not in event:
             event["t"] = self._clock()
-        dead: List[TelemetrySubscriber] = []
-        for subscriber in self._subscribers:
-            try:
-                subscriber.emit(event)
-            except Exception as exc:  # pragma: no cover - defensive
-                dead.append(subscriber)
-                self.errors.append(f"{type(subscriber).__name__}: {exc}")
-        for subscriber in dead:  # pragma: no cover - defensive
-            self._subscribers.remove(subscriber)
+        with self._lock:
+            dead: List[TelemetrySubscriber] = []
+            for subscriber in self._subscribers:
+                try:
+                    subscriber.emit(event)
+                except Exception as exc:  # pragma: no cover - defensive
+                    dead.append(subscriber)
+                    self.errors.append(f"{type(subscriber).__name__}: {exc}")
+            for subscriber in dead:  # pragma: no cover - defensive
+                self._subscribers.remove(subscriber)
 
+    @concurrent_entry
     def publish_span(self, record: Event) -> None:
         """Publish a span-close event (record from ``Span.to_record``)."""
         event = dict(record)
@@ -135,6 +155,7 @@ class TelemetryHub:
         event["event"] = "span"
         self.publish(event)
 
+    @concurrent_entry
     def publish_metric(self, name: str, kind: str, value: float) -> None:
         """Publish a metric-delta event (counter inc, gauge set, observe)."""
         self.publish(
@@ -142,11 +163,14 @@ class TelemetryHub:
              "name": name, "value": value}
         )
 
+    @concurrent_entry
     def close(self) -> None:
-        for subscriber in self._subscribers:
-            subscriber.close()
+        with self._lock:
+            for subscriber in self._subscribers:
+                subscriber.close()
 
 
+@shared_state(lock="_lock")
 class StreamingJsonlSink(TelemetrySubscriber):
     """Crash-safe streaming JSONL sink: one complete line per event.
 
@@ -156,9 +180,14 @@ class StreamingJsonlSink(TelemetrySubscriber):
     A fresh (or empty) file gets a schema-v2 meta header first; with
     ``resume=True`` an existing non-empty file is appended to without a
     second header, so a restarted producer continues the same trace.
+
+    Writes serialize on the sink's own ``_lock``: even when the sink is
+    shared by several hubs (or written directly from several threads),
+    records land whole — serialization, write, flush and the
+    ``lines_written`` count are one atomic step per event.
     """
 
-    __slots__ = ("path", "lines_written", "_fh")
+    __slots__ = ("path", "lines_written", "_fh", "_lock")
 
     def __init__(
         self,
@@ -169,6 +198,7 @@ class StreamingJsonlSink(TelemetrySubscriber):
     ) -> None:
         self.path = path
         self.lines_written = 0
+        self._lock = threading.RLock()
         fresh = not resume or not (
             os.path.exists(path) and os.path.getsize(path) > 0
         )
@@ -187,20 +217,24 @@ class StreamingJsonlSink(TelemetrySubscriber):
             self._write_line(header)
 
     def _write_line(self, record: Dict[str, Any]) -> None:
-        fh = self._fh
-        if fh is None:
-            raise ValueError(f"streaming sink {self.path!r} is closed")
-        fh.write(json.dumps(record, sort_keys=True) + "\n")
-        fh.flush()
-        self.lines_written += 1
+        with self._lock:
+            fh = self._fh
+            if fh is None:
+                raise ValueError(f"streaming sink {self.path!r} is closed")
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            self.lines_written += 1
 
+    @concurrent_entry
     def emit(self, event: Event) -> None:
         self._write_line(event)
 
+    @concurrent_entry
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "StreamingJsonlSink":
         return self

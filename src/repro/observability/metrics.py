@@ -19,7 +19,10 @@ payloads produces bit-identical :meth:`MetricsRegistry.records`.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.verify.markers import concurrent_entry, shared_state
 
 
 def nearest_rank(ordered: List[float], pct: float) -> float:
@@ -35,33 +38,47 @@ def nearest_rank(ordered: List[float], pct: float) -> float:
     return ordered[min(rank, len(ordered)) - 1]
 
 
+@shared_state(lock="_lock")
 class Counter:
-    """A named monotone counter."""
+    """A named monotone counter.
 
-    __slots__ = ("name", "value")
+    ``inc`` locks: ``self.value += amount`` is read-modify-write, and
+    the GIL does not make it atomic — two threads can interleave the
+    load and the store and lose an update (the race-hammer test
+    demonstrates exactly this on the unlocked form).
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str, value: float = 0) -> None:
         self.name = name
         self.value = value
+        self._lock = threading.RLock()
 
+    @concurrent_entry
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value:g})"
 
 
+@shared_state(lock="_lock")
 class Gauge:
     """A named last-write-wins value (queue depth, pool width, ...)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str, value: float = 0.0) -> None:
         self.name = name
         self.value = value
+        self._lock = threading.RLock()
 
+    @concurrent_entry
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def __repr__(self) -> str:
         return f"Gauge({self.name}={self.value:g})"
@@ -104,6 +121,7 @@ def _bucket_mid(index: int) -> float:
 HistogramPayload = Union[List[float], Dict[str, Any]]
 
 
+@shared_state(lock="_lock")
 class Histogram:
     """A named distribution: exact while small, log-bucketed at scale.
 
@@ -127,6 +145,14 @@ class Histogram:
     Percentile calls memoize the sorted view and invalidate it on
     :meth:`observe`/:meth:`merge`, so a p50+p99 report loop is sorted
     once, not once per percentile.
+
+    **Thread safety.**  Observation, merge, summary and the memoized
+    percentile/CDF paths all serialize on one reentrant ``_lock``
+    (``@shared_state``): the count/min/max/values update in ``observe``
+    and the exact→bucketed spill are multi-field transitions that must
+    never be observed half-done.  ``merge`` snapshots the other
+    histogram's payload *before* taking its own lock, so two histograms
+    merging into each other cannot deadlock.
     """
 
     __slots__ = (
@@ -140,6 +166,7 @@ class Histogram:
         "_min",
         "_max",
         "_cdf",
+        "_lock",
     )
 
     def __init__(self, name: str, values: Optional[List[float]] = None) -> None:
@@ -158,6 +185,7 @@ class Histogram:
         self._max = -math.inf
         #: Memoized bucketed CDF: ascending (value, count) pairs.
         self._cdf: Optional[List[Tuple[float, int]]] = None
+        self._lock = threading.RLock()
         if values:
             for value in values:
                 self.observe(value)
@@ -165,21 +193,23 @@ class Histogram:
     # ------------------------------------------------------------------
     # Observation
     # ------------------------------------------------------------------
+    @concurrent_entry
     def observe(self, value: float) -> None:
         value = float(value)
-        self._count += 1
-        if value < self._min:
-            self._min = value
-        if value > self._max:
-            self._max = value
-        if self._values is not None:
-            self._values.append(value)
-            self._ordered = None
-            if self._count > EXACT_LIMIT:
-                self._spill()
-        else:
-            self._bucket_one(value)
-            self._cdf = None
+        with self._lock:
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if self._values is not None:
+                self._values.append(value)
+                self._ordered = None
+                if self._count > EXACT_LIMIT:
+                    self._spill()
+            else:
+                self._bucket_one(value)
+                self._cdf = None
 
     def _bucket_one(self, value: float) -> None:
         if value > 0.0:
@@ -245,9 +275,12 @@ class Histogram:
         :func:`math.fsum` is correctly rounded, and the bucketed form
         folds ``midpoint * count`` in bucket-index order.
         """
-        if self._values is not None:
-            return math.fsum(self._values)
-        return math.fsum(value * count for value, count in self._bucket_cdf())
+        with self._lock:
+            if self._values is not None:
+                return math.fsum(self._values)
+            return math.fsum(
+                value * count for value, count in self._bucket_cdf()
+            )
 
     @property
     def mean(self) -> float:
@@ -263,20 +296,21 @@ class Histogram:
         selected bucket's midpoint clamped into ``[min, max]`` — within
         half a bucket width (~4.5%) of the true order statistic.
         """
-        if not self._count:
-            return 0.0
-        if self._values is not None:
-            if self._ordered is None:
-                self._ordered = sorted(self._values)
-            return nearest_rank(self._ordered, pct)
-        cdf = self._bucket_cdf()
-        rank = max(1, math.ceil(pct / 100.0 * self._count))
-        seen = 0
-        for value, count in cdf:
-            seen += count
-            if seen >= rank:
-                return value
-        return self._max  # pragma: no cover - rank <= count always hits
+        with self._lock:
+            if not self._count:
+                return 0.0
+            if self._values is not None:
+                if self._ordered is None:
+                    self._ordered = sorted(self._values)
+                return nearest_rank(self._ordered, pct)
+            cdf = self._bucket_cdf()
+            rank = max(1, math.ceil(pct / 100.0 * self._count))
+            seen = 0
+            for value, count in cdf:
+                seen += count
+                if seen >= rank:
+                    return value
+            return self._max  # pragma: no cover - rank <= count always hits
 
     def _bucket_cdf(self) -> List[Tuple[float, int]]:
         """Ascending (representative value, count) pairs, memoized.
@@ -284,19 +318,20 @@ class Histogram:
         Representatives are bucket midpoints clamped into the observed
         ``[min, max]`` so extremes never exceed real observations.
         """
-        if self._cdf is None:
-            pairs: List[Tuple[float, int]] = []
-            for index in sorted(self._neg, reverse=True):
-                pairs.append((-_bucket_mid(index), self._neg[index]))
-            if self._zero:
-                pairs.append((0.0, self._zero))
-            for index in sorted(self._pos):
-                pairs.append((_bucket_mid(index), self._pos[index]))
-            lo, hi = self._min, self._max
-            self._cdf = [
-                (min(max(value, lo), hi), count) for value, count in pairs
-            ]
-        return self._cdf
+        with self._lock:
+            if self._cdf is None:
+                pairs: List[Tuple[float, int]] = []
+                for index in sorted(self._neg, reverse=True):
+                    pairs.append((-_bucket_mid(index), self._neg[index]))
+                if self._zero:
+                    pairs.append((0.0, self._zero))
+                for index in sorted(self._pos):
+                    pairs.append((_bucket_mid(index), self._pos[index]))
+                lo, hi = self._min, self._max
+                self._cdf = [
+                    (min(max(value, lo), hi), count) for value, count in pairs
+                ]
+            return self._cdf
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -314,20 +349,23 @@ class Histogram:
     # ------------------------------------------------------------------
     # Serialization and merging
     # ------------------------------------------------------------------
+    @concurrent_entry
     def to_payload(self) -> HistogramPayload:
         """Wire form: the verbatim list while exact (the v1 format),
         or a bucketed dict once spilled."""
-        if self._values is not None:
-            return list(self._values)
-        return {
-            "count": self._count,
-            "zero": self._zero,
-            "pos": {str(index): count for index, count in self._pos.items()},
-            "neg": {str(index): count for index, count in self._neg.items()},
-            "min": self._min,
-            "max": self._max,
-        }
+        with self._lock:
+            if self._values is not None:
+                return list(self._values)
+            return {
+                "count": self._count,
+                "zero": self._zero,
+                "pos": {str(i): count for i, count in self._pos.items()},
+                "neg": {str(i): count for i, count in self._neg.items()},
+                "min": self._min,
+                "max": self._max,
+            }
 
+    @concurrent_entry
     def merge(self, other: Union["Histogram", HistogramPayload]) -> None:
         """Fold another histogram (or its payload) into this one.
 
@@ -336,84 +374,107 @@ class Histogram:
         buckets.  The result depends only on the combined multiset,
         never on merge order.
         """
+        # Snapshot the other side under *its* lock only, before taking
+        # ours — holding both at once could deadlock two histograms
+        # merging into each other from different threads.
         if isinstance(other, Histogram):
             payload = other.to_payload()
         else:
             payload = other
-        if isinstance(payload, list):
-            for value in payload:
-                self.observe(float(value))
-            return
-        # Bucketed payload: spill ourselves, then add counts.
-        if self._values is not None:
-            self._spill()
-        self._cdf = None
-        incoming = int(payload.get("count", 0))
-        if not incoming:
-            return
-        self._count += incoming
-        self._zero += int(payload.get("zero", 0))
-        for key, count in payload.get("pos", {}).items():
-            index = int(key)
-            self._pos[index] = self._pos.get(index, 0) + int(count)
-        for key, count in payload.get("neg", {}).items():
-            index = int(key)
-            self._neg[index] = self._neg.get(index, 0) + int(count)
-        other_min = float(payload.get("min", math.inf))
-        other_max = float(payload.get("max", -math.inf))
-        if other_min < self._min:
-            self._min = other_min
-        if other_max > self._max:
-            self._max = other_max
+        with self._lock:
+            if isinstance(payload, list):
+                for value in payload:
+                    self.observe(float(value))
+                return
+            # Bucketed payload: spill ourselves, then add counts.
+            if self._values is not None:
+                self._spill()
+            self._cdf = None
+            incoming = int(payload.get("count", 0))
+            if not incoming:
+                return
+            self._count += incoming
+            self._zero += int(payload.get("zero", 0))
+            for key, count in payload.get("pos", {}).items():
+                index = int(key)
+                self._pos[index] = self._pos.get(index, 0) + int(count)
+            for key, count in payload.get("neg", {}).items():
+                index = int(key)
+                self._neg[index] = self._neg.get(index, 0) + int(count)
+            other_min = float(payload.get("min", math.inf))
+            other_max = float(payload.get("max", -math.inf))
+            if other_min < self._min:
+                self._min = other_min
+            if other_max > self._max:
+                self._max = other_max
 
     def __repr__(self) -> str:
         mode = "exact" if self.exact else "bucketed"
         return f"Histogram({self.name}, n={self.count}, {mode}, mean={self.mean:g})"
 
 
+@shared_state(lock="_lock")
 class MetricsRegistry:
     """Get-or-create home for named instruments.
 
     Instrument names are dotted paths by convention
     (``engine.cache.hits``, ``engine.query_latency_s``); the registry
     itself imposes only uniqueness per kind.
+
+    Get-or-create and snapshot paths lock (``@shared_state``), so two
+    threads asking for the same name always receive the *same*
+    instrument, and ``to_payload``/``records`` never iterate a dict
+    mid-insert.  The instruments themselves carry their own locks, and
+    the registry lock is always acquired first — the lock order is
+    acyclic, so the pair cannot deadlock.
     """
 
-    __slots__ = ("counters", "gauges", "histograms")
+    __slots__ = ("counters", "gauges", "histograms", "_lock")
 
     def __init__(self) -> None:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self._lock = threading.RLock()
 
+    @concurrent_entry
     def counter(self, name: str) -> Counter:
-        inst = self.counters.get(name)
-        if inst is None:
-            inst = self.counters[name] = Counter(name)
-        return inst
+        with self._lock:
+            inst = self.counters.get(name)
+            if inst is None:
+                inst = self.counters[name] = Counter(name)
+            return inst
 
+    @concurrent_entry
     def gauge(self, name: str) -> Gauge:
-        inst = self.gauges.get(name)
-        if inst is None:
-            inst = self.gauges[name] = Gauge(name)
-        return inst
+        with self._lock:
+            inst = self.gauges.get(name)
+            if inst is None:
+                inst = self.gauges[name] = Gauge(name)
+            return inst
 
+    @concurrent_entry
     def histogram(self, name: str) -> Histogram:
-        inst = self.histograms.get(name)
-        if inst is None:
-            inst = self.histograms[name] = Histogram(name)
-        return inst
+        with self._lock:
+            inst = self.histograms.get(name)
+            if inst is None:
+                inst = self.histograms[name] = Histogram(name)
+            return inst
 
     # ------------------------------------------------------------------
     # Serialization and merging
     # ------------------------------------------------------------------
+    @concurrent_entry
     def to_payload(self) -> Dict[str, Any]:
         """Plain-dict form: pickles to workers, dumps to JSON, merges back."""
-        return {
-            "counters": {n: c.value for n, c in self.counters.items()},
-            "gauges": {n: g.value for n, g in self.gauges.items()},
-            "histograms": {n: h.to_payload() for n, h in self.histograms.items()},
-        }
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self.counters.items()},
+                "gauges": {n: g.value for n, g in self.gauges.items()},
+                "histograms": {
+                    n: h.to_payload() for n, h in self.histograms.items()
+                },
+            }
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "MetricsRegistry":
@@ -421,6 +482,7 @@ class MetricsRegistry:
         registry.merge(payload)
         return registry
 
+    @concurrent_entry
     def merge(self, other: Any) -> None:
         """Fold another registry (or its payload dict) into this one.
 
@@ -437,24 +499,26 @@ class MetricsRegistry:
         for name, histogram in payload.get("histograms", {}).items():
             self.histogram(name).merge(histogram)
 
+    @concurrent_entry
     def records(self) -> List[Dict[str, Any]]:
         """JSON-ready metric records (one per instrument), sorted by name."""
         out: List[Dict[str, Any]] = []
-        for name in sorted(self.counters):
-            out.append(
-                {"kind": "metric", "type": "counter", "name": name,
-                 "value": self.counters[name].value}
-            )
-        for name in sorted(self.gauges):
-            out.append(
-                {"kind": "metric", "type": "gauge", "name": name,
-                 "value": self.gauges[name].value}
-            )
-        for name in sorted(self.histograms):
-            out.append(
-                {"kind": "metric", "type": "histogram", "name": name,
-                 "summary": self.histograms[name].summary()}
-            )
+        with self._lock:
+            for name in sorted(self.counters):
+                out.append(
+                    {"kind": "metric", "type": "counter", "name": name,
+                     "value": self.counters[name].value}
+                )
+            for name in sorted(self.gauges):
+                out.append(
+                    {"kind": "metric", "type": "gauge", "name": name,
+                     "value": self.gauges[name].value}
+                )
+            for name in sorted(self.histograms):
+                out.append(
+                    {"kind": "metric", "type": "histogram", "name": name,
+                     "summary": self.histograms[name].summary()}
+                )
         return out
 
     def __len__(self) -> int:

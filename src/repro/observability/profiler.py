@@ -21,7 +21,10 @@ import sys
 import threading
 from typing import Dict, List, Optional
 
+from repro.verify.markers import concurrent_entry, shared_state
 
+
+@shared_state(lock="_lock")
 class ProfileSampler:
     """Sample all live thread stacks into collapsed-stack counts.
 
@@ -33,9 +36,15 @@ class ProfileSampler:
 
     ``samples`` counts snapshots taken; each snapshot contributes one
     count per observed thread stack.
+
+    Lifecycle transitions and count updates serialize on one reentrant
+    ``_lock`` (``@shared_state``): ``stop()`` is idempotent and safe to
+    call from several threads at once — exactly one caller claims the
+    sampler thread and joins it (outside the lock, so an in-flight
+    ``sample_once`` can finish), the rest return immediately.
     """
 
-    __slots__ = ("interval_s", "counts", "samples", "_thread", "_stop")
+    __slots__ = ("interval_s", "counts", "samples", "_thread", "_stop", "_lock")
 
     def __init__(self, interval_s: float = 0.005) -> None:
         if interval_s <= 0:
@@ -46,6 +55,7 @@ class ProfileSampler:
         self.samples = 0
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Sampling
@@ -65,17 +75,19 @@ class ProfileSampler:
         parts.reverse()
         return ";".join(parts)
 
+    @concurrent_entry
     def sample_once(self) -> None:
         """Take one snapshot of every other thread's stack."""
         own = threading.get_ident()
         frames = sys._current_frames()
-        self.samples += 1
-        for thread_id, frame in frames.items():
-            if thread_id == own:
-                continue
-            stack = self._collapse(frame)
-            if stack:
-                self.counts[stack] = self.counts.get(stack, 0) + 1
+        with self._lock:
+            self.samples += 1
+            for thread_id, frame in frames.items():
+                if thread_id == own:
+                    continue
+                stack = self._collapse(frame)
+                if stack:
+                    self.counts[stack] = self.counts.get(stack, 0) + 1
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval_s):
@@ -84,22 +96,33 @@ class ProfileSampler:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @concurrent_entry
     def start(self) -> None:
-        if self._thread is not None:
-            raise RuntimeError("profiler already started")
-        self._stop.clear()
-        self._thread = threading.Thread(
-            target=self._run, name="repro-profiler", daemon=True
-        )
-        self._thread.start()
+        with self._lock:
+            if self._thread is not None:
+                raise RuntimeError("profiler already started")
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-profiler", daemon=True
+            )
+            self._thread.start()
 
+    @concurrent_entry
     def stop(self) -> None:
-        thread = self._thread
-        if thread is None:
-            return
-        self._stop.set()
+        """Stop sampling.  Idempotent and safe under concurrent callers.
+
+        The thread handle is claimed atomically under the lock, but the
+        join happens outside it: the sampler thread may be inside
+        ``sample_once`` waiting for the same lock, and joining while
+        holding it would deadlock.
+        """
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+            if thread is None:
+                return
+            self._stop.set()
         thread.join(timeout=max(1.0, 10 * self.interval_s))
-        self._thread = None
 
     def __enter__(self) -> "ProfileSampler":
         self.start()
@@ -113,7 +136,11 @@ class ProfileSampler:
     # ------------------------------------------------------------------
     def collapsed_lines(self) -> List[str]:
         """``stack count`` lines, sorted by stack for stable output."""
-        return [f"{stack} {count}" for stack, count in sorted(self.counts.items())]
+        with self._lock:
+            return [
+                f"{stack} {count}"
+                for stack, count in sorted(self.counts.items())
+            ]
 
     def write_collapsed(self, path: str) -> int:
         """Write collapsed-stack lines to ``path``; returns line count."""
@@ -125,7 +152,8 @@ class ProfileSampler:
 
     def top_stacks(self, limit: int = 10) -> List[str]:
         """The ``limit`` hottest stacks, hottest first."""
-        ranked = sorted(self.counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        with self._lock:
+            ranked = sorted(self.counts.items(), key=lambda kv: (-kv[1], kv[0]))
         return [f"{count:6d}  {stack}" for stack, count in ranked[:limit]]
 
 

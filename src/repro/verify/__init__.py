@@ -23,6 +23,13 @@ that observation into tooling:
   (REPRO006-REPRO008);
 - :mod:`repro.verify.empirical` — the ``repro analyze --complexity``
   gate fitting OpCounter telemetry against declared budgets (REPRO009);
+- :mod:`repro.verify.markers` / :mod:`repro.verify.concurrency` /
+  :mod:`repro.verify.races` — the concurrency-safety layer:
+  ``@shared_state``/``@concurrent_entry`` runtime declarations, the
+  shared-state effect analyzer (REPRO013 lock discipline, REPRO014
+  async blocking calls, REPRO015 fork-unsafe capture) behind
+  ``repro analyze --concurrency``, and the seeded multi-thread
+  race-hammer harness;
 - :mod:`repro.verify.operators` / :mod:`repro.verify.sandbox` /
   :mod:`repro.verify.mutate` — the mutation-analysis engine behind
   ``repro mutate``: domain-aware AST fault seeding, fork-isolated kill
@@ -47,7 +54,19 @@ if TYPE_CHECKING:  # pragma: no cover - re-export types for checkers only
         check_prime_cover,
         check_tree_cut,
     )
+    from repro.verify.concurrency import (
+        CONCURRENCY_RULES,
+        check_concurrency,
+        concurrency_check_source,
+        shared_state_inventory,
+    )
     from repro.verify.contracts import ComplexityContract, complexity
+    from repro.verify.markers import (
+        SHARED_REGISTRY,
+        concurrent_entry,
+        shared_state,
+    )
+    from repro.verify.races import ConcurrencyHarness, RaceConditionError
     from repro.verify.mutate import compare_to_baseline, run_mutation_analysis
     from repro.verify.operators import (
         MutationSite,
@@ -72,6 +91,15 @@ _EXPORTS = {
     "check_tree_cut": "repro.verify.certificates",
     "ComplexityContract": "repro.verify.contracts",
     "complexity": "repro.verify.contracts",
+    "CONCURRENCY_RULES": "repro.verify.concurrency",
+    "check_concurrency": "repro.verify.concurrency",
+    "concurrency_check_source": "repro.verify.concurrency",
+    "shared_state_inventory": "repro.verify.concurrency",
+    "SHARED_REGISTRY": "repro.verify.markers",
+    "concurrent_entry": "repro.verify.markers",
+    "shared_state": "repro.verify.markers",
+    "ConcurrencyHarness": "repro.verify.races",
+    "RaceConditionError": "repro.verify.races",
     "MutationSite": "repro.verify.operators",
     "enumerate_sites": "repro.verify.operators",
     "apply_site": "repro.verify.operators",

@@ -28,18 +28,21 @@ REPRO005    Never construct a disabled ``OpCounter`` — use the shared
             ``NULL_COUNTER`` singleton so no-op counters are free and
             state cannot leak into ad-hoc instances.
 REPRO012    Telemetry publishes in the solver hot paths (``core/``,
-            ``engine/``) must sit inside an ``if <hub>.enabled:``
-            guard, so disabled telemetry never pays for building the
-            event dict — the :data:`repro.observability.live.NULL_HUB`
-            contract.
+            ``engine/``) and the per-event report/simulation layers
+            (``analysis/``, ``realtime/``) must sit inside an
+            ``if <hub>.enabled:`` guard, so disabled telemetry never
+            pays for building the event dict — the
+            :data:`repro.observability.live.NULL_HUB` contract.
 ==========  ==========================================================
 
 Sibling passes reuse this module's :class:`Finding` and pragma
 machinery for further codes, all surfaced by ``repro analyze``:
 REPRO006-REPRO008 (process-pool hygiene, :mod:`repro.verify.flow`),
-REPRO009 (empirical complexity gate, :mod:`repro.verify.empirical`)
-and REPRO010/REPRO011 (missing/contradicted ``@complexity`` contracts,
-:mod:`repro.verify.contracts`).
+REPRO009 (empirical complexity gate, :mod:`repro.verify.empirical`),
+REPRO010/REPRO011 (missing/contradicted ``@complexity`` contracts,
+:mod:`repro.verify.contracts`) and REPRO013-REPRO015 (shared-state
+lock discipline, async blocking calls and fork-unsafe capture,
+:mod:`repro.verify.concurrency`).
 
 Any finding can be suppressed on its line (for classes and functions,
 the ``class``/``def`` line) with a pragma comment; several codes may be
@@ -77,7 +80,9 @@ RULES: Dict[str, str] = {
 
 #: Files/packages where REPRO001 does not apply (user-facing output is
 #: their job).  ``lint.py`` is this command-line tool itself.
-_PRINT_EXEMPT_FILES = frozenset(("cli.py", "__main__.py", "lint.py"))
+_PRINT_EXEMPT_FILES = frozenset(
+    ("cli.py", "__main__.py", "lint.py", "concurrency.py")
+)
 _PRINT_EXEMPT_PACKAGES = frozenset(("analysis",))
 
 #: Packages whose classes must be slotted (REPRO002): the per-query
@@ -94,8 +99,10 @@ _COUNTER_HOME = "counters.py"
 
 #: Packages whose hub publishes must be guarded (REPRO012): the
 #: per-query solver hot paths, where an unguarded publish would build
-#: the event dict even with telemetry disabled.
-_HUB_GUARDED_PACKAGES = frozenset(("core", "engine"))
+#: the event dict even with telemetry disabled, plus the report/
+#: simulation layers (``analysis``, ``realtime``) that iterate per
+#: event — intentional unguarded publishes there take a pragma.
+_HUB_GUARDED_PACKAGES = frozenset(("core", "engine", "analysis", "realtime"))
 
 #: Base classes that make __slots__ meaningless or automatic.
 _SLOTS_EXEMPT_BASES = frozenset(

@@ -85,6 +85,7 @@ KILL_LAYERS = ("import", "test", "certificate", "cross-check", "contract",
 PACKAGE_THRESHOLDS: Dict[str, float] = {
     "repro.core": 0.85,
     "repro.engine": 0.85,
+    "repro.verify": 0.85,
 }
 
 
@@ -153,6 +154,11 @@ TARGETS: Dict[str, MutationTarget] = {
             "repro.baselines.nicol",
             ("tests/baselines/test_nicol.py",),
             ("nicol",),
+        ),
+        MutationTarget(
+            "repro.verify.concurrency",
+            ("tests/verify/test_concurrency.py",),
+            ("concurrency",),
         ),
     )
 }
@@ -522,6 +528,185 @@ def _suite_nicol() -> Any:
     return rows
 
 
+#: Seeded concurrency fixtures: deterministic analyzer inputs covering
+#: every REPRO013-015 code path (lock propagation, pragma escapes,
+#: globals, async handles, fork carriers) plus a clean control.  The
+#: observation suite runs the *mutated* analyzer over these and diffs
+#: the rendered findings against the pristine golden — any mutant that
+#: changes what the analyzer reports on any fixture is killed here.
+_CONCURRENCY_FIXTURES: Tuple[Tuple[str, str], ...] = (
+    (
+        "unlocked_class.py",
+        '''\
+import threading
+
+from repro.verify.markers import concurrent_entry, shared_state
+
+
+@shared_state(lock="_lock")
+class Cache:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.entries = {}
+        self.hits = 0
+
+    @concurrent_entry
+    def get(self, key):
+        self.hits += 1
+        with self._lock:
+            self.entries[key] = key
+        return self._helper(key)
+
+    def _helper(self, key):
+        self.entries.pop(key, None)
+        return key
+
+    @concurrent_entry
+    def reset(self):
+        self.entries.clear()  # repro-lint: disable=REPRO013
+
+    def unshared(self):
+        self.entries = {}
+''',
+    ),
+    (
+        "globals.py",
+        '''\
+from repro.verify.markers import concurrent_entry
+
+COUNTS = {}
+TOTAL = 0
+
+
+@concurrent_entry
+def record(name):
+    global TOTAL
+    TOTAL = TOTAL + 1
+    COUNTS[name] = COUNTS.get(name, 0) + 1
+    _spill(name)
+
+
+def _spill(name):
+    COUNTS.update({name: 0})
+
+
+def untracked(name):
+    COUNTS[name] = 0
+''',
+    ),
+    (
+        "async_blocking.py",
+        '''\
+import subprocess
+import time
+
+
+async def poll(path, pool):
+    time.sleep(0.1)
+    fh = open(path)
+    fh.read()
+    subprocess.run(["true"])
+    result = pool.apply_async(len, (path,))
+    result.get()  # repro-lint: disable=REPRO014
+
+    def sync_helper():
+        time.sleep(1.0)
+
+    return sync_helper
+''',
+    ),
+    (
+        "fork_capture.py",
+        '''\
+from concurrent.futures import ProcessPoolExecutor
+from threading import RLock
+
+
+class Carrier:
+    def __init__(self):
+        self._lock = RLock()
+
+
+class Wrapper:
+    def __init__(self):
+        self.z_handle = open("state.bin", "rb")
+        self.inner = Carrier()
+
+    def run(self, item):
+        return item
+
+    def fan_out(self, items):
+        with ProcessPoolExecutor() as pool:
+            pool.submit(self.run, items)
+
+
+def ship(items):
+    carrier = Carrier()
+    with ProcessPoolExecutor() as pool:
+        pool.submit(len, carrier)
+        pool.map(len, items)
+''',
+    ),
+    (
+        "clean.py",
+        '''\
+import threading
+
+from repro.verify.markers import concurrent_entry, shared_state
+
+
+@shared_state(lock="_lock")
+class Guarded:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.total = 0
+
+    @concurrent_entry
+    def add(self, value):
+        with self._lock:
+            self.total += value
+            self._note(value)
+
+    def _note(self, value):
+        self.total += value
+''',
+    ),
+)
+
+
+def _suite_concurrency() -> Any:
+    from repro.verify import concurrency as conc
+
+    # The rule tables ARE the analyzer's behavior: record them verbatim
+    # so a mutant that silently drops a constructor/method/call from
+    # any table diffs against the golden even when no fixture happens
+    # to exercise that exact name.
+    rows: List[Dict[str, Any]] = [
+        {"rules": dict(sorted(conc.CONCURRENCY_RULES.items()))},
+        {
+            "tables": {
+                "fork_unsafe": sorted(conc._FORK_UNSAFE_CONSTRUCTORS),
+                "pools": sorted(conc._POOL_CONSTRUCTORS),
+                "submit": sorted(conc._SUBMIT_METHODS),
+                "blocking_module": sorted(
+                    list(pair) for pair in conc._BLOCKING_MODULE_CALLS
+                ),
+                "blocking_names": sorted(conc._BLOCKING_NAME_CALLS),
+                "handle_methods": sorted(conc._BLOCKING_HANDLE_METHODS),
+                "handle_sources": sorted(conc._BLOCKING_HANDLE_SOURCES),
+                "mutators": sorted(conc._MUTATOR_METHODS),
+                "construction": sorted(conc._CONSTRUCTION_METHODS),
+            }
+        },
+    ]
+    for name, source in _CONCURRENCY_FIXTURES:
+        findings = conc.concurrency_check_source(source, Path(name))
+        rows.append(
+            {"fixture": name, "findings": [f.render() for f in findings]}
+        )
+    return rows
+
+
 _SUITES: Dict[str, Callable[[], Any]] = {
     "chain": _suite_chain,
     "prime": _suite_prime,
@@ -529,6 +714,7 @@ _SUITES: Dict[str, Callable[[], Any]] = {
     "plan": _suite_plan,
     "tree": _suite_tree,
     "nicol": _suite_nicol,
+    "concurrency": _suite_concurrency,
 }
 
 
@@ -630,6 +816,35 @@ def _certify_nicol() -> None:
         verify_chain_result(chain, result.cut_indices, bound, result.weight)
 
 
+def _certify_concurrency() -> None:
+    """The analyzer must report exactly the seeded violations.
+
+    Stronger than the golden diff: the expectations are hard-coded
+    here, not derived from the pristine module, so a mutant that
+    somehow survives into the golden snapshot still fails this stage.
+    """
+    from collections import Counter
+
+    from repro.verify.concurrency import concurrency_check_source
+
+    expected: Dict[str, Dict[str, int]] = {
+        "unlocked_class.py": {"REPRO013": 2},
+        "globals.py": {"REPRO013": 3},
+        "async_blocking.py": {"REPRO014": 4},
+        "fork_capture.py": {"REPRO015": 2},
+        "clean.py": {},
+    }
+    for name, source in _CONCURRENCY_FIXTURES:
+        findings = concurrency_check_source(source, Path(name))
+        got = dict(Counter(f.code for f in findings))
+        if got != expected[name]:
+            raise AssertionError(
+                f"concurrency analyzer on fixture {name!r}: expected "
+                f"{expected[name]!r}, got {got!r} "
+                f"({[f.render() for f in findings]})"
+            )
+
+
 _CERTIFIERS: Dict[str, Callable[[], None]] = {
     "chain": _certify_chain,
     "prime": _certify_prime,
@@ -637,6 +852,7 @@ _CERTIFIERS: Dict[str, Callable[[], None]] = {
     "plan": _certify_plan,
     "tree": _certify_tree,
     "nicol": _certify_nicol,
+    "concurrency": _certify_concurrency,
 }
 
 

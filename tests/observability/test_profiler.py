@@ -98,6 +98,51 @@ class TestLifecycle:
         sampler.stop()
         sampler.stop()
 
+    def test_stop_joins_sampler_thread(self):
+        # Regression: stop() must not return while the daemon thread is
+        # still sampling — a caller tearing down right after stop()
+        # would race the final sample_once().
+        sampler = ProfileSampler(interval_s=0.001)
+        sampler.start()
+        thread = sampler._thread
+        assert thread is not None and thread.is_alive()
+        sampler.stop()
+        assert not thread.is_alive()
+        assert sampler._thread is None
+
+    def test_concurrent_stop_from_many_threads(self):
+        # Regression: exactly one caller claims the handle and joins;
+        # the rest return immediately — no double-join, no deadlock with
+        # an in-flight sample_once() holding the sampler lock.
+        for _ in range(5):
+            sampler = ProfileSampler(interval_s=0.0005)
+            sampler.start()
+            barrier = threading.Barrier(4)
+            errors = []
+
+            def stopper():
+                try:
+                    barrier.wait()
+                    sampler.stop()
+                except BaseException as exc:  # pragma: no cover - fail loud
+                    errors.append(exc)
+
+            stoppers = [threading.Thread(target=stopper) for _ in range(4)]
+            for t in stoppers:
+                t.start()
+            for t in stoppers:
+                t.join(timeout=5.0)
+            assert not any(t.is_alive() for t in stoppers), "stop() deadlocked"
+            assert errors == []
+            assert sampler._thread is None
+
+    def test_restart_after_stop(self):
+        sampler = ProfileSampler(interval_s=0.001)
+        sampler.start()
+        sampler.stop()
+        sampler.start()  # handle was cleared: restart is legal
+        sampler.stop()
+
     def test_interval_must_be_positive(self):
         with pytest.raises(ValueError):
             ProfileSampler(interval_s=0.0)

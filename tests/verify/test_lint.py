@@ -265,9 +265,21 @@ class TestRepro012HubGuard:
         src = "self.publish(event)\n"
         assert codes(src, "src/repro/observability/live.py") == []
 
-    def test_analysis_layer_exempt(self):
+    def test_analysis_layer_guarded(self):
+        # Extended coverage: the live-rendering analysis package sits on
+        # hot refresh loops, so its publishes need the guard too.
         src = "hub.publish(event)\n"
-        assert codes(src, "src/repro/analysis/top.py") == []
+        assert codes(src, "src/repro/analysis/top.py") == ["REPRO012"]
+
+    def test_realtime_layer_guarded(self):
+        src = "hub.publish(event)\n"
+        assert codes(src, "src/repro/realtime/scheduler.py") == ["REPRO012"]
+
+    def test_desim_layer_exempt(self):
+        # Simulation drivers are not hot paths; only the four guarded
+        # packages carry the rule.
+        src = "hub.publish(event)\n"
+        assert codes(src, "src/repro/desim/parallel.py") == []
 
     def test_pragma_suppresses(self):
         src = "hub.publish(e)  # repro-lint: disable=REPRO012 startup only\n"

@@ -43,6 +43,7 @@ class TestScoreMath:
     def test_thresholds_cover_the_acceptance_packages(self):
         assert PACKAGE_THRESHOLDS["repro.core"] >= 0.85
         assert PACKAGE_THRESHOLDS["repro.engine"] >= 0.85
+        assert PACKAGE_THRESHOLDS["repro.verify"] >= 0.85
 
 
 class TestSelection:
