@@ -486,6 +486,104 @@ def test_disabled_paths_allocation_free(benchmark):
     benchmark(lambda: guard_loop(1_000))
 
 
+#: Allocation budgets certified by :mod:`repro.verify.allocs`.  Roughly
+#: 2-3x the worst observed footprint, so allocator drift across
+#: interpreter versions stays inside the budget (ratio exactly 1.0) and
+#: only a real per-iteration allocation regression trips the 20%
+#: ratchet tolerance.
+ALLOC_BUDGETS = {
+    "disabled_guard": {"net_blocks": 8},
+    "disabled_publish": {"net_blocks": 8},
+    "disabled_counter_inc": {"net_blocks": 8},
+    "warm_plan_sweep": {"net_blocks": 8, "peak_bytes": 32_768},
+    "prime_structure": {"net_blocks": 8, "peak_bytes": 65_536},
+}
+
+
+def test_allocation_budgets(benchmark):
+    """Hot paths stay within the committed allocation budgets.
+
+    The static pass (``repro analyze --hotpath``, REPRO016-019) claims
+    the hot loops are allocation-hygienic; ``repro.verify.allocs``
+    certifies it: the disabled-telemetry paths must retain zero net
+    allocator blocks, and warm plan sweeps plus
+    ``compute_prime_structure`` must stay within committed peak-byte
+    budgets.  Ratcheted via :func:`ratchet_ratio` — 1.0 while within
+    budget, decaying past the 20% tolerance once a path allocates more
+    than 1.25x its budget.
+    """
+    from repro.verify.allocs import (
+        AllocationHarness,
+        certify_budgets,
+        measure_disabled_telemetry,
+        measure_prime_structure,
+        measure_warm_plan_sweep,
+        ratchet_ratio,
+    )
+
+    telemetry = AllocationHarness(warmup=1_000, iterations=20_000, repeats=3)
+    workload = AllocationHarness(warmup=4, iterations=32, repeats=2)
+
+    t0 = time.perf_counter()
+    disabled = measure_disabled_telemetry(telemetry)
+    telemetry_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = measure_warm_plan_sweep(workload, tasks=256, queries=16)
+    warm_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    prime = measure_prime_structure(workload, tasks=128)
+    prime_s = time.perf_counter() - t0
+
+    measured = {
+        "disabled_guard": disabled["guard"],
+        "disabled_publish": disabled["publish"],
+        "disabled_counter_inc": disabled["counter_inc"],
+        "warm_plan_sweep": warm,
+        "prime_structure": prime,
+    }
+    certify_budgets(measured, ALLOC_BUDGETS)
+    for scenario, footprint in measured.items():
+        benchmark.extra_info[scenario] = footprint
+
+    blocks = ALLOC_BUDGETS["disabled_guard"]["net_blocks"]
+    _snapshot_record(
+        "engine_alloc_disabled",
+        telemetry_s,
+        guard_ratio=ratchet_ratio(disabled["guard"]["net_blocks"], blocks),
+        publish_ratio=ratchet_ratio(
+            disabled["publish"]["net_blocks"], blocks
+        ),
+        counter_inc_ratio=ratchet_ratio(
+            disabled["counter_inc"]["net_blocks"], blocks
+        ),
+    )
+    _snapshot_record(
+        "engine_alloc_warm_sweep",
+        warm_s,
+        blocks_ratio=ratchet_ratio(
+            warm["net_blocks"], ALLOC_BUDGETS["warm_plan_sweep"]["net_blocks"]
+        ),
+        peak_ratio=ratchet_ratio(
+            warm["peak_bytes"], ALLOC_BUDGETS["warm_plan_sweep"]["peak_bytes"]
+        ),
+    )
+    _snapshot_record(
+        "engine_alloc_prime_structure",
+        prime_s,
+        blocks_ratio=ratchet_ratio(
+            prime["net_blocks"],
+            ALLOC_BUDGETS["prime_structure"]["net_blocks"],
+        ),
+        peak_ratio=ratchet_ratio(
+            prime["peak_bytes"],
+            ALLOC_BUDGETS["prime_structure"]["peak_bytes"],
+        ),
+    )
+
+    quick = AllocationHarness(warmup=10, iterations=100, repeats=1)
+    benchmark(lambda: measure_disabled_telemetry(quick))
+
+
 def _timed(fn):
     t0 = time.perf_counter()
     fn()

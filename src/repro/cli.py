@@ -632,13 +632,15 @@ def _cmd_fig2plot(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    """Static + empirical analyzer gate (contracts, flow, concurrency)."""
+    """Static + empirical analyzer gate (contracts, flow, concurrency,
+    hotpath; ``--all`` adds the empirical complexity gate)."""
     import json
     from pathlib import Path
 
     from repro.verify.concurrency import check_concurrency
     from repro.verify.contracts import check_contracts
     from repro.verify.flow import check_flow
+    from repro.verify.hotpath import check_hotpath
 
     if args.paths:
         paths = [Path(p) for p in args.paths]
@@ -653,12 +655,17 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         paths = [Path(repro.__file__).resolve().parent]
 
     # No explicit selection runs the static passes; --complexity adds
-    # (or, alone, restricts to) the empirical gate.
-    explicit_static = args.contracts or args.flow or args.concurrency
-    run_all_static = not (explicit_static or args.complexity)
+    # (or, alone, restricts to) the empirical gate; --all merges every
+    # pass into one report so CI runs one step instead of three.
+    explicit_static = (
+        args.contracts or args.flow or args.concurrency or args.hotpath
+    )
+    run_all_static = args.all or not (explicit_static or args.complexity)
     run_contracts = args.contracts or run_all_static
     run_flow = args.flow or run_all_static
     run_concurrency = args.concurrency or run_all_static
+    run_hotpath = args.hotpath or run_all_static
+    run_complexity = args.complexity or args.all
     # Schema version of the --json payload; bump on breaking changes so
     # downstream tooling (CI gates, dashboards) can evolve safely.
     report: dict = {"version": 1}
@@ -685,6 +692,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 "files": checked,
                 "findings": [f.render() for f in conc_findings],
             }
+        if run_hotpath:
+            hot_findings, checked = check_hotpath(paths)
+            findings.extend(hot_findings)
+            report["hotpath"] = {
+                "files": checked,
+                "findings": [f.render() for f in hot_findings],
+            }
     except SyntaxError as exc:
         print(
             f"analyze: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
@@ -693,7 +707,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return 2
 
     gate = None
-    if args.complexity:
+    if run_complexity:
         from repro.verify.empirical import run_complexity_gate
 
         gate = run_complexity_gate(
@@ -715,7 +729,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print(gate.render())
         if not failed:
             parts = [
-                k for k in ("contracts", "flow", "concurrency", "complexity")
+                k
+                for k in (
+                    "contracts",
+                    "flow",
+                    "concurrency",
+                    "hotpath",
+                    "complexity",
+                )
                 if k in report
             ]
             print(f"analyze: clean ({', '.join(parts)})", file=sys.stderr)
@@ -1018,8 +1039,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "analyze",
-        help="complexity-contract and concurrency-safety analyzer "
-        "(REPRO006-REPRO015)",
+        help="complexity-contract, concurrency-safety and hot-path "
+        "analyzer (REPRO006-REPRO019)",
     )
     p.add_argument(
         "paths",
@@ -1039,8 +1060,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only the shared-state concurrency pass (REPRO013-REPRO015)",
     )
     p.add_argument(
+        "--hotpath", action="store_true",
+        help="run only the hot-path allocation/dispatch pass "
+        "(REPRO016-REPRO019)",
+    )
+    p.add_argument(
         "--complexity", action="store_true",
         help="run the empirical complexity gate (REPRO009)",
+    )
+    p.add_argument(
+        "--all", action="store_true",
+        help="run every pass (static + empirical complexity gate) in "
+        "one merged report",
     )
     p.add_argument("--json", action="store_true", help="machine-readable report")
     p.add_argument(

@@ -233,18 +233,21 @@ def _bandwidth_min_impl(
     if structure.p > 0:
         gamma_sol: Optional[SolutionNode] = None  # S_{lo_j - 1}; None = empty
         for edge in structure.edges:
-            completed = queue.pop_completed(edge.first_prime)
+            # REPRO017: one attribute load per field per lap, not four.
+            first_prime = edge.first_prime
+            edge_weight = edge.weight
+            completed = queue.pop_completed(first_prime)
             if completed is not None:
                 gamma_sol = completed.sol
-            w_value = edge.weight + solution_weight(
-                gamma_sol if edge.first_prime > 0 else None  # repro-mutate: equivalent=flip-compare -- first_prime is nondecreasing, so gamma_sol is still None whenever it is 0
+            w_value = edge_weight + solution_weight(
+                gamma_sol if first_prime > 0 else None  # repro-mutate: equivalent=flip-compare -- first_prime is nondecreasing, so gamma_sol is still None whenever it is 0
             )
             node = SolutionNode(
                 edge.index,
-                edge.weight,
-                gamma_sol if edge.first_prime > 0 else None,  # repro-mutate: equivalent=flip-compare -- first_prime is nondecreasing, so gamma_sol is still None whenever it is 0
+                edge_weight,
+                gamma_sol if first_prime > 0 else None,  # repro-mutate: equivalent=flip-compare -- first_prime is nondecreasing, so gamma_sol is still None whenever it is 0
             )
-            queue.update(w_value, node, edge.first_prime, edge.last_prime)
+            queue.update(w_value, node, first_prime, edge.last_prime)
         # The last prime subpath never completes during the sweep; its
         # solution sits in the BOTTOM row ("Solution S_p is
         # TEMP_S(4, BOTTOM)").

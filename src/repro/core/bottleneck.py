@@ -144,9 +144,13 @@ def bottleneck_min(tree: Tree, bound: float) -> TreeCutResult:
     # Walk from the heaviest edge downwards; stop before the first merge
     # that creates an over-weight component.
     boundary = 0  # edges ordered[0:boundary] form the cut
+    # REPRO017: the component-weight list and find() are loop-stable —
+    # union() mutates the list in place, never rebinds the attribute.
+    uf_weight = uf.weight
+    uf_find = uf.find
     for idx in range(len(ordered) - 1, -1, -1):
         weight, (u, v) = ordered[idx]
-        if uf.weight[uf.find(u)] + uf.weight[uf.find(v)] > bound:
+        if uf_weight[uf_find(u)] + uf_weight[uf_find(v)] > bound:
             boundary = idx + 1
             break
         uf.union(u, v)

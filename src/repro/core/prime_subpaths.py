@@ -148,12 +148,16 @@ def edge_membership_intervals(
     p = len(primes)
     lo = [p] * num_edges  # min i with last_edge >= j
     hi = [-1] * num_edges  # max i with first_edge <= j
+    # REPRO017-adjacent: strip the NamedTuple attribute dispatch out of
+    # the monotone-pointer loops — one flat list index per probe.
+    last_edges = [prime.last_edge for prime in primes]
+    first_edges = [prime.first_edge for prime in primes]
     lo_ptr = 0
     hi_ptr = -1
     for j in range(num_edges):
-        while lo_ptr < p and primes[lo_ptr].last_edge < j:
+        while lo_ptr < p and last_edges[lo_ptr] < j:
             lo_ptr += 1
-        while hi_ptr + 1 < p and primes[hi_ptr + 1].first_edge <= j:
+        while hi_ptr + 1 < p and first_edges[hi_ptr + 1] <= j:
             hi_ptr += 1
         lo[j] = lo_ptr
         hi[j] = hi_ptr
@@ -209,16 +213,21 @@ def reduce_edges(
     kept: List[ReducedEdge] = []
     beta = chain.beta
     for j in range(chain.num_edges):
-        if lo[j] > hi[j]:
+        # REPRO017-adjacent: one subscript per interval bound per lap.
+        lo_j = lo[j]
+        hi_j = hi[j]
+        if lo_j > hi_j:
             continue  # edge in no prime subpath
-        candidate = ReducedEdge(j, beta[j], lo[j], hi[j])
+        weight_j = beta[j]
+        candidate = ReducedEdge(j, weight_j, lo_j, hi_j)
+        tail = kept[-1] if kept else None
         if (
             apply_reduction
-            and kept
-            and kept[-1].first_prime == lo[j]
-            and kept[-1].last_prime == hi[j]
+            and tail is not None
+            and tail.first_prime == lo_j
+            and tail.last_prime == hi_j
         ):
-            if beta[j] < kept[-1].weight:
+            if weight_j < tail.weight:
                 kept[-1] = candidate
         else:
             kept.append(candidate)

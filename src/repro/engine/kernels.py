@@ -106,19 +106,41 @@ def prime_windows(
     # feasibility validated max(alpha) <= K exactly and a single-task
     # prefix difference can exceed K only by cancellation noise (the
     # reference sweep enforces the same floor).
-    np.clip(j, a + 2, n, out=j)  # repro-mutate: equivalent=shift-index -- an over-clipped seed is pulled straight back by the down sweep (prefix is monotone)
+    floor = a + 2
+    np.clip(j, floor, n, out=j)  # repro-mutate: equivalent=shift-index -- an over-clipped seed is pulled straight back by the down sweep (prefix is monotone)
     # Fix-up to the exact subtraction-form predicate (monotone in j, so
     # each loop runs to a fixpoint; in practice 0-1 iterations).
+    # REPRO019: the predicates reuse preallocated scratch buffers via
+    # out= instead of chaining four fresh temporaries per pass.
+    idx = np.empty(n, dtype=np.int64)
+    gap = np.empty_like(starts)
+    mask = np.empty(n, dtype=bool)
+    inb = np.empty(n, dtype=bool)
+    # REPRO017: the ufuncs themselves are module-attribute loads; bind
+    # them once rather than twice per fix-up pass.
+    np_take, np_subtract = np.take, np.subtract
+    np_greater, np_and = np.greater, np.logical_and
     while True:
-        down = (j > a + 2) & (prefix[j - 1] - starts > bound)  # repro-mutate: equivalent=flip-compare,swap-arith -- a misfiring down sweep only undershoots; the up sweep re-derives the boundary with the exact predicate
-        if not down.any():
+        # down: (j > floor) & (prefix[j - 1] - starts > bound)
+        np_subtract(j, 1, out=idx)  # repro-mutate: equivalent=flip-compare,swap-arith -- a misfiring down sweep only undershoots; the up sweep re-derives the boundary with the exact predicate
+        np_take(prefix, idx, out=gap)
+        np_subtract(gap, starts, out=gap)
+        np_greater(gap, bound, out=mask)
+        np_greater(j, floor, out=inb)
+        np_and(mask, inb, out=mask)
+        if not mask.any():
             break
-        j[down] -= 1
+        j[mask] -= 1
     while True:
-        up = (j < n) & (prefix[j] - starts <= bound)
-        if not up.any():
+        # up: (j < n) & (prefix[j] - starts <= bound)
+        np_take(prefix, j, out=gap)
+        np_subtract(gap, starts, out=gap)
+        np.less_equal(gap, bound, out=mask)
+        np.less(j, n, out=inb)
+        np_and(mask, inb, out=mask)
+        if not mask.any():
             break
-        j[up] += 1
+        j[mask] += 1
     exceeds = prefix[j] - starts > bound
     valid = exceeds & (j > a + 1)  # repro-mutate: equivalent=flip-compare -- the clip keeps j >= a + 2, so this guard holds either way
     a = a[valid]
@@ -440,6 +462,15 @@ def sweep_min_cut(
     row_hi: List[int] = []
     row_w: List[float] = []
     row_sol: List[int] = []
+    # REPRO017: bound methods once — the same local-binding idiom
+    # sweep_min_weight already uses for its row columns.
+    push_lo = row_lo.append
+    push_hi = row_hi.append
+    push_w = row_w.append
+    push_sol = row_sol.append
+    push_edge = sol_edge.append
+    push_prev = sol_prev.append
+    push_sw = sol_w.append
     top = 0
     gamma = -1  # solution id of S_{first_prime - 1}; -1 = empty solution
     for j, bw, fp, lp in zip(edge_index, edge_weight, edge_first, edge_last):
@@ -461,9 +492,9 @@ def sweep_min_cut(
             wv = bw
             prev = -1
         sid = len(sol_edge)
-        sol_edge.append(j)
-        sol_prev.append(prev)
-        sol_w.append(wv)
+        push_edge(j)
+        push_prev(prev)
+        push_sw(wv)
         # First row (from TOP) whose W >= wv; replace it and everything
         # below with one row carrying wv, then open new subpaths.
         size = len(row_w)
@@ -480,15 +511,15 @@ def sweep_min_cut(
                 del row_sol[split + 1 :]
         elif top >= size:
             # Queue drained: anchor a fresh row at this edge's range.
-            row_lo.append(fp)
-            row_hi.append(lp)
-            row_w.append(wv)
-            row_sol.append(sid)
+            push_lo(fp)
+            push_hi(lp)
+            push_w(wv)
+            push_sol(sid)
         elif lp > row_hi[-1]:
-            row_lo.append(row_hi[-1] + 1)
-            row_hi.append(lp)
-            row_w.append(wv)
-            row_sol.append(sid)
+            push_lo(row_hi[-1] + 1)
+            push_hi(lp)
+            push_w(wv)
+            push_sol(sid)
         # else: wv exceeds every open minimum and opens nothing — no-op.
     if top >= len(row_lo):
         return [], 0.0

@@ -42,7 +42,7 @@ Plans are cached per chain fingerprint by
 from __future__ import annotations
 
 import os
-from bisect import bisect_right
+from bisect import bisect_right, insort
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple, Union
 
@@ -268,10 +268,17 @@ class CompiledChainPlan:
         return frozen
 
     def _remember(self, frozen: _FrozenStructure) -> None:
-        while len(self._memo) >= self.max_structures:
-            self._memo.popitem(last=False)
-        self._memo[frozen.valid_from] = frozen
-        self._starts = sorted(self._memo)
+        # REPRO016/017: maintain the sorted start index incrementally
+        # (insort is O(k)) instead of re-sorting the whole memo — and
+        # rebuilding the list — on every insert.
+        memo = self._memo
+        starts = self._starts
+        while len(memo) >= self.max_structures:
+            evicted, _ = memo.popitem(last=False)
+            starts.remove(evicted)
+        if frozen.valid_from not in memo:
+            insort(starts, frozen.valid_from)
+        memo[frozen.valid_from] = frozen
 
     def _lookup(self, bound: float) -> Optional[_FrozenStructure]:
         """The memoized structure whose stability interval covers ``bound``.

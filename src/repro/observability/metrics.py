@@ -212,14 +212,14 @@ class Histogram:
                 self._cdf = None
 
     def _bucket_one(self, value: float) -> None:
+        # REPRO017-adjacent: one _bucket_index dispatch per observation,
+        # not two — observe() runs this under the lock on the hot path.
         if value > 0.0:
-            self._pos[_bucket_index(value)] = (
-                self._pos.get(_bucket_index(value), 0) + 1
-            )
+            key = _bucket_index(value)
+            self._pos[key] = self._pos.get(key, 0) + 1
         elif value < 0.0:
-            self._neg[_bucket_index(-value)] = (
-                self._neg.get(_bucket_index(-value), 0) + 1
-            )
+            key = _bucket_index(-value)
+            self._neg[key] = self._neg.get(key, 0) + 1
         else:
             self._zero += 1
 

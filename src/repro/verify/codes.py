@@ -1,0 +1,145 @@
+"""Single registry of every ``REPROxxx`` verification rule.
+
+Before this module existed each analyzer kept its own private
+``{code: message}`` dict (``lint.py``, ``flow.py``, ``empirical.py``,
+``contracts.py``, ``concurrency.py``, ``hotpath.py``) and nothing
+guaranteed the set stayed coherent: codes could collide, drift from
+``docs/verification.md``, or ship without a test ever exercising them.
+Now the analyzers *derive* their rule tables from this one place via
+:func:`messages_for`, and ``tests/verify/test_codes.py`` asserts every
+registered code is documented and exercised.
+
+This is a stdlib-only leaf module (like ``repro.verify.markers``): the
+analyzers import it at module load, so it must not import anything from
+the rest of the package.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Tuple
+
+
+class RuleSpec(NamedTuple):
+    """Everything the docs/rule-index table needs to know about a rule.
+
+    ``scope`` is how a ``# repro-lint: disable=`` pragma anchors:
+    ``"line"`` (the pragma must sit on the finding's own line) or
+    ``"loop"`` (a pragma on any enclosing loop header also suppresses
+    findings inside that loop's body — the REPRO016–REPRO018 rules).
+    ``certifier`` names the dynamic counterpart that proves the static
+    claim at runtime, or ``""`` when the rule is purely static.
+    """
+
+    message: str
+    module: str
+    scope: str
+    certifier: str
+
+
+#: Every verification rule the repository ships, by code.  Analyzer
+#: modules build their own tables with :func:`messages_for`; adding a
+#: rule here without documenting and testing it fails
+#: ``tests/verify/test_codes.py``.
+REGISTRY: Dict[str, RuleSpec] = {
+    "REPRO001": RuleSpec(
+        "print() call in library code (use observability, or return data)",
+        "repro.verify.lint", "line", "",
+    ),
+    "REPRO002": RuleSpec(
+        "class in a slotted package without __slots__ (hot-path allocation)",
+        "repro.verify.lint", "line", "",
+    ),
+    "REPRO003": RuleSpec(
+        "bare time.time() outside the instrumentation/observability layer",
+        "repro.verify.lint", "line", "",
+    ),
+    "REPRO004": RuleSpec(
+        "mutable default argument",
+        "repro.verify.lint", "line", "",
+    ),
+    "REPRO005": RuleSpec(
+        "disabled OpCounter constructed directly (use NULL_COUNTER)",
+        "repro.verify.lint", "line", "",
+    ),
+    "REPRO006": RuleSpec(
+        "worker code mutates a module-level global (per-process copy)",
+        "repro.verify.flow", "line", "",
+    ),
+    "REPRO007": RuleSpec(
+        "unpicklable callable or capture submitted to a process pool",
+        "repro.verify.flow", "line", "",
+    ),
+    "REPRO008": RuleSpec(
+        "unseeded random stream in process-pool worker code",
+        "repro.verify.flow", "line", "",
+    ),
+    "REPRO009": RuleSpec(
+        "measured op-count growth exceeds the declared complexity budget",
+        "repro.verify.empirical", "line", "repro.verify.empirical",
+    ),
+    "REPRO010": RuleSpec(
+        "exported solver lacks a @complexity contract",
+        "repro.verify.contracts", "line", "repro.verify.empirical",
+    ),
+    "REPRO011": RuleSpec(
+        "docstring O(...) claims all disagree with the @complexity budget",
+        "repro.verify.contracts", "line", "",
+    ),
+    "REPRO012": RuleSpec(
+        "unguarded hub publish in a hot path (wrap in 'if hub.enabled:')",
+        "repro.verify.lint", "line", "repro.verify.allocs",
+    ),
+    "REPRO013": RuleSpec(
+        "unguarded write to shared state on a concurrent path "
+        "(wrap in 'with self.<lock>:')",
+        "repro.verify.concurrency", "line", "repro.verify.races",
+    ),
+    "REPRO014": RuleSpec(
+        "blocking call inside 'async def' (stalls the event loop)",
+        "repro.verify.concurrency", "line", "",
+    ),
+    "REPRO015": RuleSpec(
+        "fork-unsafe capture pickled into a process-pool worker "
+        "(locks/handles/hubs do not survive pickling)",
+        "repro.verify.concurrency", "line", "",
+    ),
+    "REPRO016": RuleSpec(
+        "loop-invariant allocation rebuilt every iteration (hoist it "
+        "out of the loop)",
+        "repro.verify.hotpath", "loop", "repro.verify.allocs",
+    ),
+    "REPRO017": RuleSpec(
+        "attribute path loaded repeatedly per iteration (bind it to a "
+        "local before the loop)",
+        "repro.verify.hotpath", "loop", "repro.verify.allocs",
+    ),
+    "REPRO018": RuleSpec(
+        "accidentally-quadratic idiom inside a loop (insert(0,...), "
+        "list membership, += concatenation)",
+        "repro.verify.hotpath", "loop", "repro.verify.allocs",
+    ),
+    "REPRO019": RuleSpec(
+        "chained NumPy expression builds avoidable temporaries inside a "
+        "loop (reuse a scratch buffer via out=)",
+        "repro.verify.hotpath", "line", "repro.verify.allocs",
+    ),
+}
+
+
+def messages_for(module: str) -> Dict[str, str]:
+    """The ``{code: message}`` rule table owned by ``module``.
+
+    This is what the per-analyzer ``RULES`` constants are built from,
+    so a code can never live in two analyzers or fall out of the
+    registry silently.
+    """
+    return {
+        code: spec.message
+        for code, spec in REGISTRY.items()
+        if spec.module == module
+    }
+
+
+def all_codes() -> Tuple[str, ...]:
+    """Every registered code, sorted — the docs/consistency-test view."""
+    return tuple(sorted(REGISTRY))

@@ -76,6 +76,7 @@ from typing import (
     TypeVar,
 )
 
+from repro.verify.codes import messages_for
 from repro.verify.lint import Finding, iter_python_files, pragma_disables
 from repro.verify.markers import (  # noqa: F401 - canonical re-export
     SHARED_REGISTRY,
@@ -83,13 +84,8 @@ from repro.verify.markers import (  # noqa: F401 - canonical re-export
     shared_state,
 )
 
-CONCURRENCY_RULES: Dict[str, str] = {
-    "REPRO013": "unguarded write to shared state on a concurrent path "
-    "(wrap in 'with self.<lock>:')",
-    "REPRO014": "blocking call inside 'async def' (stalls the event loop)",
-    "REPRO015": "fork-unsafe capture pickled into a process-pool worker "
-    "(locks/handles/hubs do not survive pickling)",
-}
+#: Drawn from the central registry (:mod:`repro.verify.codes`).
+CONCURRENCY_RULES: Dict[str, str] = messages_for("repro.verify.concurrency")
 
 
 #: Constructors whose instances cannot survive a fork+pickle into a

@@ -60,14 +60,13 @@ from typing import (
     TypeVar,
 )
 
+from repro.verify.codes import messages_for
 from repro.verify.lint import Finding, pragma_disables
 
 #: Rule codes enforced by the contract AST pass (the empirical gate owns
 #: REPRO009; see :mod:`repro.verify.empirical`).
-CONTRACT_RULES: Dict[str, str] = {
-    "REPRO010": "exported solver lacks a @complexity contract",
-    "REPRO011": "docstring O(...) claims all disagree with the @complexity budget",
-}
+#: Drawn from the central registry (:mod:`repro.verify.codes`).
+CONTRACT_RULES: Dict[str, str] = messages_for("repro.verify.contracts")
 
 
 class BudgetSyntaxError(ValueError):

@@ -32,11 +32,11 @@ import math
 import random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.verify.codes import messages_for
 from repro.verify.contracts import ComplexityBudget, get_contract
 
-EMPIRICAL_RULES: Dict[str, str] = {
-    "REPRO009": "measured op-count growth exceeds the declared complexity budget",
-}
+#: Drawn from the central registry (:mod:`repro.verify.codes`).
+EMPIRICAL_RULES: Dict[str, str] = messages_for("repro.verify.empirical")
 
 #: A probe measurement: (operation count, instance parameters by name).
 Measurement = Tuple[float, Dict[str, float]]

@@ -40,13 +40,11 @@ import ast
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.verify.codes import messages_for
 from repro.verify.lint import Finding, iter_python_files, pragma_disables
 
-FLOW_RULES: Dict[str, str] = {
-    "REPRO006": "worker code mutates a module-level global (per-process copy)",
-    "REPRO007": "unpicklable callable or capture submitted to a process pool",
-    "REPRO008": "unseeded random stream in process-pool worker code",
-}
+#: Drawn from the central registry (:mod:`repro.verify.codes`).
+FLOW_RULES: Dict[str, str] = messages_for("repro.verify.flow")
 
 #: Constructors whose result is a *process* pool.
 _POOL_CONSTRUCTORS = frozenset(("ProcessPoolExecutor", "Pool"))

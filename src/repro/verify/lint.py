@@ -40,9 +40,11 @@ machinery for further codes, all surfaced by ``repro analyze``:
 REPRO006-REPRO008 (process-pool hygiene, :mod:`repro.verify.flow`),
 REPRO009 (empirical complexity gate, :mod:`repro.verify.empirical`),
 REPRO010/REPRO011 (missing/contradicted ``@complexity`` contracts,
-:mod:`repro.verify.contracts`) and REPRO013-REPRO015 (shared-state
+:mod:`repro.verify.contracts`), REPRO013-REPRO015 (shared-state
 lock discipline, async blocking calls and fork-unsafe capture,
-:mod:`repro.verify.concurrency`).
+:mod:`repro.verify.concurrency`) and REPRO016-REPRO019 (hot-path
+allocation and dispatch hygiene, :mod:`repro.verify.hotpath`).  The
+full code registry lives in :mod:`repro.verify.codes`.
 
 Any finding can be suppressed on its line (for classes and functions,
 the ``class``/``def`` line) with a pragma comment; several codes may be
@@ -69,19 +71,16 @@ import sys
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
-RULES: Dict[str, str] = {
-    "REPRO001": "print() call in library code (use observability, or return data)",
-    "REPRO002": "class in a slotted package without __slots__ (hot-path allocation)",
-    "REPRO003": "bare time.time() outside the instrumentation/observability layer",
-    "REPRO004": "mutable default argument",
-    "REPRO005": "disabled OpCounter constructed directly (use NULL_COUNTER)",
-    "REPRO012": "unguarded hub publish in a hot path (wrap in 'if hub.enabled:')",
-}
+from repro.verify.codes import messages_for
+
+#: This linter's rules, drawn from the central registry so codes can
+#: never collide across analyzers (see :mod:`repro.verify.codes`).
+RULES: Dict[str, str] = messages_for("repro.verify.lint")
 
 #: Files/packages where REPRO001 does not apply (user-facing output is
 #: their job).  ``lint.py`` is this command-line tool itself.
 _PRINT_EXEMPT_FILES = frozenset(
-    ("cli.py", "__main__.py", "lint.py", "concurrency.py")
+    ("cli.py", "__main__.py", "lint.py", "concurrency.py", "hotpath.py")
 )
 _PRINT_EXEMPT_PACKAGES = frozenset(("analysis",))
 

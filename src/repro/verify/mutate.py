@@ -160,6 +160,11 @@ TARGETS: Dict[str, MutationTarget] = {
             ("tests/verify/test_concurrency.py",),
             ("concurrency",),
         ),
+        MutationTarget(
+            "repro.verify.hotpath",
+            ("tests/verify/test_hotpath.py",),
+            ("hotpath",),
+        ),
     )
 }
 
@@ -674,6 +679,159 @@ class Guarded:
 )
 
 
+#: Seeded hot-path fixtures: deterministic analyzer inputs covering
+#: every REPRO016-019 code path (invariant allocations with the empty
+#: literal/loop-dependent exemptions, maximal-chain attribute loads
+#: with the stored-path exemption, all three quadratic idioms, numpy
+#: temporary chains, loop-scoped pragma suppression) plus a clean
+#: control.
+_HOTPATH_FIXTURES: Tuple[Tuple[str, str], ...] = (
+    (
+        "invariant_allocs.py",
+        '''\
+import numpy as np
+
+from repro.verify.contracts import complexity
+
+
+@complexity("n")
+def rebuild(rows, k):
+    acc = []
+    total = 0.0
+    for row in rows:
+        weights = [k, k + 1]
+        scratch = np.zeros(k)
+        squares = [v * v for v in rows]
+        local = [row]
+        acc.append(local)
+        total += scratch[0] + weights[0] + squares[0]
+    return total
+''',
+    ),
+    (
+        "attr_dispatch.py",
+        '''\
+from repro.verify.contracts import complexity
+
+
+@complexity("n")
+def drain(queue, cfg, node):
+    total = 0
+    for item in queue.items:
+        total += cfg.scale * item + cfg.scale
+        node.weight = node.weight + item
+    while queue.head is not None and queue.head is not queue.tail:
+        queue.pop()
+    return total
+''',
+    ),
+    (
+        "quadratic.py",
+        '''\
+from repro.verify.contracts import complexity
+
+
+@complexity("n")
+def churn(items, blocked):
+    order = []
+    label = ""
+    for item in items:
+        order.insert(0, item)
+        if item in [1, 2, 3]:
+            continue
+        label += "x"
+    return order, label, blocked
+''',
+    ),
+    (
+        "numpy_temps.py",
+        '''\
+import numpy as np
+
+from repro.verify.contracts import complexity
+
+
+@complexity("n * q")
+def sweep(bounds, weights):
+    gaps = np.asarray(weights)
+    out = []
+    for bound in bounds:
+        slack = gaps - bound + gaps * 2.0
+        out.append(float(slack.sum()))
+    return out
+''',
+    ),
+    (
+        "pragma_scoped.py",
+        '''\
+from repro.verify.contracts import complexity
+
+
+@complexity("n")
+def padded(rows, k):
+    total = 0
+    for row in rows:  # repro-lint: disable=REPRO016
+        pad = [k, k]
+        for _ in row:
+            tail = [k]
+            total += pad[0] + tail[0]
+    for row in rows:
+        again = [k, k]
+        total += again[0] + row
+    return total
+''',
+    ),
+    (
+        "clean.py",
+        '''\
+from repro.verify.contracts import complexity
+
+
+@complexity("n")
+def tally(rows, k):
+    base = [k, k + 1]
+    total = 0
+    for row in rows:
+        total += base[0] * row
+    return total
+''',
+    ),
+)
+
+
+def _suite_hotpath() -> Any:
+    from repro.verify import hotpath as hp
+
+    # Same trick as the concurrency suite: the rule/constant tables ARE
+    # behavior — snapshot them so a mutant that drops a numpy allocator
+    # or nudges a threshold diffs even without a matching fixture.
+    rows: List[Dict[str, Any]] = [
+        {"rules": dict(sorted(hp.HOTPATH_RULES.items()))},
+        {
+            "tables": {
+                "loop_scoped": sorted(hp.LOOP_SCOPED_RULES),
+                "scoped_packages": sorted(hp._SCOPED_PACKAGES),
+                "numpy_aliases": sorted(hp._NUMPY_ALIASES),
+                "numpy_allocators": sorted(hp._NUMPY_ALLOCATORS),
+                "numpy_elementwise": sorted(hp._NUMPY_ELEMENTWISE),
+                "loop_nodes": sorted(n.__name__ for n in hp._LOOP_NODES),
+                "func_nodes": sorted(n.__name__ for n in hp._FUNC_NODES),
+                "binop_temp_ops": sorted(
+                    op.__name__ for op in hp._BINOP_TEMP_OPS
+                ),
+                "attr_load_threshold": hp._ATTR_LOAD_THRESHOLD,
+                "temp_chain_threshold": hp._TEMP_CHAIN_THRESHOLD,
+            }
+        },
+    ]
+    for name, source in _HOTPATH_FIXTURES:
+        findings = hp.hotpath_check_source(source, Path(name))
+        rows.append(
+            {"fixture": name, "findings": [f.render() for f in findings]}
+        )
+    return rows
+
+
 def _suite_concurrency() -> Any:
     from repro.verify import concurrency as conc
 
@@ -715,6 +873,7 @@ _SUITES: Dict[str, Callable[[], Any]] = {
     "tree": _suite_tree,
     "nicol": _suite_nicol,
     "concurrency": _suite_concurrency,
+    "hotpath": _suite_hotpath,
 }
 
 
@@ -845,6 +1004,36 @@ def _certify_concurrency() -> None:
             )
 
 
+def _certify_hotpath() -> None:
+    """The analyzer must report exactly the seeded violations.
+
+    Mirrors ``_certify_concurrency``: expectations are hard-coded, not
+    derived from the pristine module, so a mutant that survives into
+    the golden snapshot still fails this stage.
+    """
+    from collections import Counter
+
+    from repro.verify.hotpath import hotpath_check_source
+
+    expected: Dict[str, Dict[str, int]] = {
+        "invariant_allocs.py": {"REPRO016": 3, "REPRO019": 1},
+        "attr_dispatch.py": {"REPRO017": 2},
+        "quadratic.py": {"REPRO018": 3},
+        "numpy_temps.py": {"REPRO019": 1},
+        "pragma_scoped.py": {"REPRO016": 1},
+        "clean.py": {},
+    }
+    for name, source in _HOTPATH_FIXTURES:
+        findings = hotpath_check_source(source, Path(name))
+        got = dict(Counter(f.code for f in findings))
+        if got != expected[name]:
+            raise AssertionError(
+                f"hotpath analyzer on fixture {name!r}: expected "
+                f"{expected[name]!r}, got {got!r} "
+                f"({[f.render() for f in findings]})"
+            )
+
+
 _CERTIFIERS: Dict[str, Callable[[], None]] = {
     "chain": _certify_chain,
     "prime": _certify_prime,
@@ -853,6 +1042,7 @@ _CERTIFIERS: Dict[str, Callable[[], None]] = {
     "tree": _certify_tree,
     "nicol": _certify_nicol,
     "concurrency": _certify_concurrency,
+    "hotpath": _certify_hotpath,
 }
 
 

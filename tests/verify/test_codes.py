@@ -1,0 +1,101 @@
+"""Consistency tests for :mod:`repro.verify.codes` — the rule registry.
+
+The satellite contract: every registered REPROxxx code must be (a)
+documented in ``docs/verification.md`` and (b) exercised by at least
+one test under ``tests/``.  With the registry as the single source of
+truth, adding a rule without docs or coverage fails here instead of
+silently shipping.
+"""
+
+import re
+from pathlib import Path
+
+from repro.verify.codes import REGISTRY, RuleSpec, all_codes, messages_for
+
+REPO = Path(__file__).resolve().parents[2]
+DOCS = REPO / "docs" / "verification.md"
+TESTS = REPO / "tests"
+
+#: The analyzer modules allowed to own rules, and the dynamic
+#: certifiers allowed to back them.
+ANALYZERS = {
+    "repro.verify.lint",
+    "repro.verify.flow",
+    "repro.verify.empirical",
+    "repro.verify.contracts",
+    "repro.verify.concurrency",
+    "repro.verify.hotpath",
+}
+CERTIFIERS = {
+    "",
+    "repro.verify.empirical",
+    "repro.verify.races",
+    "repro.verify.allocs",
+}
+
+
+def test_codes_are_well_formed():
+    for code, spec in REGISTRY.items():
+        assert re.fullmatch(r"REPRO\d{3}", code), code
+        assert isinstance(spec, RuleSpec)
+        assert spec.message.strip(), code
+        assert spec.module in ANALYZERS, (code, spec.module)
+        assert spec.scope in ("line", "loop"), (code, spec.scope)
+        assert spec.certifier in CERTIFIERS, (code, spec.certifier)
+
+
+def test_codes_are_contiguous_from_001():
+    numbers = sorted(int(code[5:]) for code in REGISTRY)
+    assert numbers == list(range(1, len(REGISTRY) + 1))
+
+
+def test_all_codes_is_sorted_and_complete():
+    assert list(all_codes()) == sorted(REGISTRY)
+
+
+def test_messages_for_partitions_the_registry():
+    seen = {}
+    for module in ANALYZERS:
+        for code in messages_for(module):
+            assert code not in seen, f"{code} owned by both {seen[code]} and {module}"
+            seen[code] = module
+    assert set(seen) == set(REGISTRY)
+
+
+def test_analyzer_tables_derive_from_registry():
+    from repro.verify.concurrency import CONCURRENCY_RULES
+    from repro.verify.contracts import CONTRACT_RULES
+    from repro.verify.empirical import EMPIRICAL_RULES
+    from repro.verify.flow import FLOW_RULES
+    from repro.verify.hotpath import HOTPATH_RULES
+    from repro.verify.lint import RULES
+
+    assert RULES == messages_for("repro.verify.lint")
+    assert FLOW_RULES == messages_for("repro.verify.flow")
+    assert EMPIRICAL_RULES == messages_for("repro.verify.empirical")
+    assert CONTRACT_RULES == messages_for("repro.verify.contracts")
+    assert CONCURRENCY_RULES == messages_for("repro.verify.concurrency")
+    assert HOTPATH_RULES == messages_for("repro.verify.hotpath")
+
+
+def test_loop_scope_matches_the_loop_scoped_rule_set():
+    from repro.verify.hotpath import LOOP_SCOPED_RULES
+
+    loop_scoped = {c for c, spec in REGISTRY.items() if spec.scope == "loop"}
+    assert loop_scoped == set(LOOP_SCOPED_RULES)
+
+
+def test_every_code_is_documented():
+    text = DOCS.read_text(encoding="utf-8")
+    missing = [code for code in REGISTRY if code not in text]
+    assert not missing, f"codes absent from docs/verification.md: {missing}"
+
+
+def test_every_code_is_exercised_by_a_test():
+    corpus = ""
+    for path in sorted(TESTS.rglob("test_*.py")):
+        if path.name == "test_codes.py":
+            continue  # this file mentions every code by construction
+        corpus += path.read_text(encoding="utf-8")
+    missing = [code for code in REGISTRY if code not in corpus]
+    assert not missing, f"codes never exercised by any test: {missing}"
