@@ -38,6 +38,13 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.exitcodes import (
+    EXIT_FAILURE,
+    EXIT_OK,
+    EXIT_USAGE,
+    EXIT_VERIFICATION,
+)
+
 
 def _cmd_fig2(args: argparse.Namespace) -> int:
     from repro.analysis.figure2 import figure2_sweep, headline_claims
@@ -66,7 +73,7 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
             f"({100 * claim['max_ratio_of_nlogn']:.0f}% of n log n), "
             f"low at extreme K: {claim['low_at_extremes']}"
         )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_fig2w(args: argparse.Namespace) -> int:
@@ -88,7 +95,7 @@ def _cmd_fig2w(args: argparse.Namespace) -> int:
             f"Figure 2 — effect of max module weight (n={args.n})",
         )
     )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -121,7 +128,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             f"Bandwidth minimization wall time (s), K = {args.k_ratio} * wmax",
         )
     )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_linear(args: argparse.Namespace) -> int:
@@ -145,7 +152,7 @@ def _cmd_linear(args: argparse.Namespace) -> int:
           f"(R^2 = {linear_fit.r_squared:.5f})")
     print(f"nlogn fit  : ops ~ {nlogn_fit.a:.3f} n log n + {nlogn_fit.b:.1f} "
           f"(R^2 = {nlogn_fit.r_squared:.5f})")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_temps(args: argparse.Namespace) -> int:
@@ -168,7 +175,7 @@ def _cmd_temps(args: argparse.Namespace) -> int:
             "Appendix B — TEMP_S queue length vs log q",
         )
     )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_tree(args: argparse.Namespace) -> int:
@@ -182,7 +189,7 @@ def _cmd_tree(args: argparse.Namespace) -> int:
     print(plan.summary())
     partition = plan.partition()
     print(f"component weights: {[round(w, 1) for w in partition.component_weights]}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_realtime(args: argparse.Namespace) -> int:
@@ -204,7 +211,7 @@ def _cmd_realtime(args: argparse.Namespace) -> int:
     schedules = build_schedule(plan, machine)
     print(f"stages: {len(schedules)}, worst slack "
           f"{min(s.slack for s in schedules):.2f}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_circuit(args: argparse.Namespace) -> int:
@@ -223,7 +230,7 @@ def _cmd_circuit(args: argparse.Namespace) -> int:
     print(f"partition: {run.num_processors} processors, "
           f"{run.cross_messages} cross / {run.local_messages} local messages, "
           f"imbalance {run.load_imbalance:.2f}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_ring(args: argparse.Namespace) -> int:
@@ -251,7 +258,7 @@ def _cmd_ring(args: argparse.Namespace) -> int:
     print(f"break-lightest heuristic : weight {heuristic_weight:.2f}")
     gap = heuristic_weight / exact.weight if exact.weight else 1.0
     print(f"heuristic/exact ratio    : {gap:.4f}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_pareto(args: argparse.Namespace) -> int:
@@ -271,7 +278,7 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
             f"total {tree.total_vertex_weight():g})",
         )
     )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_sync(args: argparse.Namespace) -> int:
@@ -318,7 +325,7 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         rows,
         f"Synchronization cost on {k} LPs (identical committed results)",
     ))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -356,7 +363,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             verify_cache_solve(chain, bound, result)
         except VerificationError as exc:
             print(f"verification FAILED:\n{exc}", file=sys.stderr)
-            return 3
+            return EXIT_VERIFICATION
         print("verification: certificate + backend cross-check OK")
     if args.baseline:
         from repro.baselines.nicol import bandwidth_min_nlogn
@@ -387,7 +394,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"to {args.profile}",
             file=sys.stderr,
         )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -412,7 +419,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         except OSError as exc:
             print(f"batch: cannot stream to {args.stream}: {exc}",
                   file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         hub = TelemetryHub([sink])
     if args.trace:
         from repro.observability import Tracer
@@ -429,7 +436,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 lines = handle.readlines()
     except OSError as exc:
         print(f"batch: cannot read {args.input}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     # --sweep forces serial dispatch so same-fingerprint bandwidth
     # queries are answered through one compiled-plan sweep per chain
     # (the pool would re-pickle each query into a worker instead).
@@ -440,7 +447,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         print(f"batch: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     finally:
         if hub is not None and sink is not None:
             hub.close()
@@ -478,7 +485,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             "(see 'error' fields)",
             file=sys.stderr,
         )
-    return 0 if not failed else 1
+    return EXIT_OK if not failed else EXIT_FAILURE
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -490,17 +497,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
             records = read_trace(args.trace)
         except OSError as exc:
             print(f"report: cannot read {args.trace}: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         except ValueError as exc:
             print(f"report: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         print(render_trace_report(records))
-        return 0
+        return EXIT_OK
     from repro.analysis.report import render_report, run_report
 
     claims = run_report(quick=not args.full)
     print(render_report(claims))
-    return 0 if all(c.passed for c in claims) else 1
+    return EXIT_OK if all(c.passed for c in claims) else EXIT_FAILURE
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -522,18 +529,18 @@ def _cmd_top(args: argparse.Namespace) -> int:
             records = read_trace(args.trace)
         except OSError as exc:
             print(f"top: cannot read {args.trace}: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         except ValueError as exc:
             print(f"top: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         state.ingest_all(records)
         print(render_dashboard(state))
-        return 0
+        return EXIT_OK
     try:
         handle = open(args.trace, "r", encoding="utf-8")
     except OSError as exc:
         print(f"top: cannot read {args.trace}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     next_draw = 0.0
     try:
         with handle:
@@ -557,7 +564,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     print(render_dashboard(state))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -574,10 +581,10 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         records = read_trace(args.trace)
     except OSError as exc:
         print(f"metrics: cannot read {args.trace}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     except ValueError as exc:
         print(f"metrics: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     # Post-hoc traces carry rendered "metric" records; streamed traces
     # carry per-observation metric *events*.  Fold the events back into
     # instruments and render both, preferring the post-hoc record when
@@ -600,9 +607,9 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     rendered += [r for r in registry.records() if r["name"] not in seen]
     if not rendered:
         print(f"metrics: no metric records in {args.trace}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
     sys.stdout.write(render_prometheus_records(rendered))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_fig2plot(args: argparse.Namespace) -> int:
@@ -628,17 +635,18 @@ def _cmd_fig2plot(args: argparse.Namespace) -> int:
             title="Figure 2: p log q vs n log n over K/wmax (log-log)",
         )
     )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     """Static + empirical analyzer gate (contracts, flow, concurrency,
-    hotpath; ``--all`` adds the empirical complexity gate)."""
+    hotpath, faults; ``--all`` adds the empirical complexity gate)."""
     import json
     from pathlib import Path
 
     from repro.verify.concurrency import check_concurrency
     from repro.verify.contracts import check_contracts
+    from repro.verify.faultflow import check_faultflow
     from repro.verify.flow import check_flow
     from repro.verify.hotpath import check_hotpath
 
@@ -648,7 +656,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if missing:
             for p in missing:
                 print(f"analyze: no such path: {p}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
     else:
         import repro
 
@@ -659,12 +667,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     # pass into one report so CI runs one step instead of three.
     explicit_static = (
         args.contracts or args.flow or args.concurrency or args.hotpath
+        or args.faults
     )
     run_all_static = args.all or not (explicit_static or args.complexity)
     run_contracts = args.contracts or run_all_static
     run_flow = args.flow or run_all_static
     run_concurrency = args.concurrency or run_all_static
     run_hotpath = args.hotpath or run_all_static
+    run_faults = args.faults or run_all_static
     run_complexity = args.complexity or args.all
     # Schema version of the --json payload; bump on breaking changes so
     # downstream tooling (CI gates, dashboards) can evolve safely.
@@ -699,12 +709,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 "files": checked,
                 "findings": [f.render() for f in hot_findings],
             }
+        if run_faults:
+            fault_findings, checked = check_faultflow(paths)
+            findings.extend(fault_findings)
+            report["faults"] = {
+                "files": checked,
+                "findings": [f.render() for f in fault_findings],
+            }
     except SyntaxError as exc:
         print(
             f"analyze: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
 
     gate = None
     if run_complexity:
@@ -735,12 +752,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                     "flow",
                     "concurrency",
                     "hotpath",
+                    "faults",
                     "complexity",
                 )
                 if k in report
             ]
             print(f"analyze: clean ({', '.join(parts)})", file=sys.stderr)
-    return 1 if failed else 0
+    return EXIT_FAILURE if failed else EXIT_OK
 
 
 def _cmd_mutate(args: argparse.Namespace) -> int:
@@ -764,7 +782,7 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"mutate: cannot read baseline {baseline_path}: {exc}",
                   file=sys.stderr)
-            return 2
+            return EXIT_USAGE
 
     progress = None if args.quiet else (
         lambda message: print(message, file=sys.stderr)
@@ -778,10 +796,10 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
         )
     except UnknownModuleError as exc:
         print(f"mutate: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     except MutationSetupError as exc:
         print(f"mutate: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     if baseline is not None:
         regressions = compare_to_baseline(report, baseline)
@@ -795,7 +813,7 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
             print(f"mutate: FAIL: {failure}", file=sys.stderr)
     else:
         print(render_report(report))
-    return 0 if report["passed"] else 1
+    return EXIT_OK if report["passed"] else EXIT_FAILURE
 
 
 def _cmd_ratchet(args: argparse.Namespace) -> int:
@@ -811,17 +829,17 @@ def _cmd_ratchet(args: argparse.Namespace) -> int:
                 snapshots.append(json.load(handle))
         except OSError as exc:
             print(f"ratchet: cannot read {label} {path}: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         except ValueError as exc:
             print(f"ratchet: invalid JSON in {path}: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
     try:
         rows, failures = compare_snapshots(
             snapshots[0], snapshots[1], tolerance=args.tolerance
         )
     except ValueError as exc:
         print(f"ratchet: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if args.json:
         print(
             json.dumps(
@@ -831,7 +849,7 @@ def _cmd_ratchet(args: argparse.Namespace) -> int:
         )
     else:
         print(render_comparison(rows, failures))
-    return 1 if failures else 0
+    return EXIT_FAILURE if failures else EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1039,8 +1057,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "analyze",
-        help="complexity-contract, concurrency-safety and hot-path "
-        "analyzer (REPRO006-REPRO019)",
+        help="complexity-contract, concurrency-safety, hot-path and "
+        "fault-surface analyzer (REPRO006-REPRO024)",
     )
     p.add_argument(
         "paths",
@@ -1063,6 +1081,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--hotpath", action="store_true",
         help="run only the hot-path allocation/dispatch pass "
         "(REPRO016-REPRO019)",
+    )
+    p.add_argument(
+        "--faults", action="store_true",
+        help="run only the fault-surface pass (REPRO020-REPRO024)",
     )
     p.add_argument(
         "--complexity", action="store_true",

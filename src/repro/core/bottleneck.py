@@ -89,7 +89,7 @@ def _certified(result: TreeCutResult, bound: float) -> TreeCutResult:
     The verify layer sits above core, so it is imported lazily and only
     when the environment opts in.
     """
-    if "REPRO_VERIFY" in os.environ:
+    if "REPRO_VERIFY" in os.environ:  # repro-lint: disable=REPRO023 opt-in verification gate; raises on failure, never alters outputs
         from repro.verify.runtime import maybe_verify_tree_result
 
         maybe_verify_tree_result(result.tree, result, bound)

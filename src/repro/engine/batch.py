@@ -746,7 +746,7 @@ def _solve_payload(
             gap = optimality_gap(
                 result.weight, chain_bandwidth_lower_bound(chain, bound)
             )
-    except (PartitioningError, ValueError) as exc:
+    except (PartitioningError, ValueError) as exc:  # repro-lint: disable=REPRO024 error is captured into the QueryResult payload and published downstream
         answer = QueryResult(index, tag, objective, bound, error=str(exc))
     duration = time.perf_counter() - t0
     stats = engine.cache.stats  # clear() swaps the object; re-read

@@ -376,7 +376,7 @@ class CompiledChainPlan:
         # One feasibility check clears the whole batch: bounds are
         # validated smallest-first, and feasibility is monotone in K.
         validate_bound_array(self._alpha_max, float(arr[order[0]]))
-        verify = "REPRO_VERIFY" in os.environ
+        verify = "REPRO_VERIFY" in os.environ  # repro-lint: disable=REPRO023 opt-in verification gate; raises on failure, never alters outputs
         need_cuts = return_cuts or verify
         total = arr.shape[0]
         weights = np.empty(total, dtype=np.float64)
@@ -485,7 +485,7 @@ class CompiledChainPlan:
             self.metrics.histogram("engine.plan.sweep_batch_size").observe(
                 mat.shape[0]
             )
-        if "REPRO_VERIFY" in os.environ:
+        if "REPRO_VERIFY" in os.environ:  # repro-lint: disable=REPRO023 opt-in verification gate; raises on failure, never alters outputs
             self._verify_beta_sweep(mat, bound, out)
         return out
 

@@ -1,0 +1,54 @@
+"""The process exit-code contract: one registered ``EXIT_CODES`` table.
+
+Every ``sys.exit``/``SystemExit`` site in the CLI entry points
+(``repro/cli.py``, ``repro/__main__.py``) must use a code from this
+table — the fault-surface analyzer (:mod:`repro.verify.faultflow`,
+rule REPRO022) enforces it statically, and ``docs/usage.md`` documents
+the same table ("Exit codes"), checked by ``tests/verify/
+test_faultflow.py`` exactly the way the REPROxxx rule registry is
+docs-checked.  Before this module existed the meanings were scattered
+as literal ``return 0/1/2/3`` statements across twelve ``_cmd_*``
+functions, and nothing kept them from drifting apart.
+
+This is a stdlib-only leaf module (like :mod:`repro.verify.codes`):
+the CLI and the analyzers import it at module load, so it must not
+import anything from the rest of the package.
+
+==============  ====  ====================================================
+Name            Code  Meaning
+==============  ====  ====================================================
+OK              0     the command succeeded
+FAILURE         1     the command ran but the gate failed — findings,
+                      failed queries, a regressed score or ratchet
+USAGE           2     usage, I/O or parse errors: bad flags, missing or
+                      malformed input files
+VERIFICATION    3     a ``--verify`` self-certification failed — the
+                      solver's own answer did not pass the paper
+                      certificates
+==============  ====  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: The single source of truth.  Keys are stable names (documented in
+#: docs/usage.md), values are the process exit statuses.
+EXIT_CODES: Dict[str, int] = {
+    "OK": 0,
+    "FAILURE": 1,
+    "USAGE": 2,
+    "VERIFICATION": 3,
+}
+
+#: Named constants derived from the table — the only spellings the
+#: REPRO022 exit-code contract accepts at ``sys.exit``/``return``
+#: sites in the CLI entry points.
+EXIT_OK = EXIT_CODES["OK"]
+EXIT_FAILURE = EXIT_CODES["FAILURE"]
+EXIT_USAGE = EXIT_CODES["USAGE"]
+EXIT_VERIFICATION = EXIT_CODES["VERIFICATION"]
+
+#: The constant names REPRO022 recognizes, derived (never hand-listed)
+#: from the table so the two can not drift.
+EXIT_CONSTANT_NAMES = frozenset("EXIT_" + name for name in EXIT_CODES)

@@ -102,7 +102,11 @@ def read_trace(source: Union[str, Iterable[str]]) -> List[Dict[str, Any]]:
     torn tail (a live stream interrupted mid-write, e.g. by a crash or
     by reading while the producer is running), skipped with a
     :class:`UserWarning` instead of failing, so streamed traces are
-    always inspectable.
+    always inspectable.  A producer that reopens the file with
+    ``StreamingJsonlSink(path, resume=True)`` truncates that torn tail
+    before appending (the newline is the commit marker), so resumed
+    traces parse clean end to end — certified by the fault-injection
+    harness (:mod:`repro.verify.faults`).
     """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as handle:

@@ -141,7 +141,7 @@ class TelemetryHub:
             for subscriber in self._subscribers:
                 try:
                     subscriber.emit(event)
-                except Exception as exc:  # pragma: no cover - defensive
+                except Exception as exc:  # repro-lint: disable=REPRO021 subscriber isolation: any exception is recorded in hub.errors and the subscriber dropped
                     dead.append(subscriber)
                     self.errors.append(f"{type(subscriber).__name__}: {exc}")
             for subscriber in dead:  # pragma: no cover - defensive
@@ -170,6 +170,39 @@ class TelemetryHub:
                 subscriber.close()
 
 
+def _truncate_torn_tail(path: str) -> int:
+    """Drop a trailing partial line (no final newline) from ``path``.
+
+    The streaming sink's commit marker is the line terminator: a crash
+    mid-write leaves at most one unterminated tail record, which a
+    resuming producer must not append fresh data onto.  Returns the
+    number of bytes dropped (0 when the file is empty or ends cleanly).
+    """
+    with open(path, "rb+") as fh:
+        fh.seek(0, os.SEEK_END)
+        size = fh.tell()
+        if size == 0:
+            return 0
+        fh.seek(size - 1)
+        if fh.read(1) == b"\n":
+            return 0
+        # Scan backwards for the last committed line end.
+        keep = 0
+        pos = size
+        chunk = 4096
+        while pos > 0:
+            start = max(0, pos - chunk)
+            fh.seek(start)
+            data = fh.read(pos - start)
+            newline = data.rfind(b"\n")
+            if newline != -1:
+                keep = start + newline + 1
+                break
+            pos = start
+        fh.truncate(keep)
+        return size - keep
+
+
 @shared_state(lock="_lock")
 class StreamingJsonlSink(TelemetrySubscriber):
     """Crash-safe streaming JSONL sink: one complete line per event.
@@ -180,6 +213,11 @@ class StreamingJsonlSink(TelemetrySubscriber):
     A fresh (or empty) file gets a schema-v2 meta header first; with
     ``resume=True`` an existing non-empty file is appended to without a
     second header, so a restarted producer continues the same trace.
+    The line terminator is the commit marker: on resume, a trailing
+    *unterminated* record (the torn tail a crash mid-write leaves) is
+    truncated away first — it was never committed — so a resumed trace
+    is fully well-formed JSONL, not a torn record with fresh data glued
+    onto it.
 
     Writes serialize on the sink's own ``_lock``: even when the sink is
     shared by several hubs (or written directly from several threads),
@@ -199,6 +237,8 @@ class StreamingJsonlSink(TelemetrySubscriber):
         self.path = path
         self.lines_written = 0
         self._lock = threading.RLock()
+        if resume and os.path.exists(path):
+            _truncate_torn_tail(path)
         fresh = not resume or not (
             os.path.exists(path) and os.path.getsize(path) > 0
         )
@@ -206,15 +246,21 @@ class StreamingJsonlSink(TelemetrySubscriber):
         self._fh: Optional[TextIO] = io.open(
             path, mode, encoding="utf-8", buffering=1
         )
-        if fresh:
-            header: Dict[str, Any] = {
-                "kind": "meta",
-                "schema": TRACE_SCHEMA_VERSION,
-                "stream": True,
-            }
-            if meta:
-                header.update(meta)
-            self._write_line(header)
+        try:
+            if fresh:
+                header: Dict[str, Any] = {
+                    "kind": "meta",
+                    "schema": TRACE_SCHEMA_VERSION,
+                    "stream": True,
+                }
+                if meta:
+                    header.update(meta)
+                self._write_line(header)
+        except BaseException:
+            # A failed header write (disk full, unserializable meta)
+            # must not leak the just-opened handle.
+            self.close()
+            raise
 
     def _write_line(self, record: Dict[str, Any]) -> None:
         with self._lock:

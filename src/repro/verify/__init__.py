@@ -30,6 +30,16 @@ that observation into tooling:
   async blocking calls, REPRO015 fork-unsafe capture) behind
   ``repro analyze --concurrency``, and the seeded multi-thread
   race-hammer harness;
+- :mod:`repro.verify.hotpath` / :mod:`repro.verify.allocs` — the
+  hot-path allocation & dispatch analyzer (REPRO016-REPRO019) over
+  ``@complexity``-decorated functions and their callees, certified by
+  the allocation harness with ratcheted budgets;
+- :mod:`repro.verify.faultflow` / :mod:`repro.verify.faults` — the
+  fault-surface layer: resource-lifecycle, exception-flow, exit-code
+  and determinism-taint rules (REPRO020-REPRO024) behind
+  ``repro analyze --faults``, certified by a fault-injection harness
+  that raises at each instrumented acquire/IO point and demands
+  released locks, resumable sinks and bit-identical re-solves;
 - :mod:`repro.verify.operators` / :mod:`repro.verify.sandbox` /
   :mod:`repro.verify.mutate` — the mutation-analysis engine behind
   ``repro mutate``: domain-aware AST fault seeding, fork-isolated kill

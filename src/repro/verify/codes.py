@@ -2,7 +2,8 @@
 
 Before this module existed each analyzer kept its own private
 ``{code: message}`` dict (``lint.py``, ``flow.py``, ``empirical.py``,
-``contracts.py``, ``concurrency.py``, ``hotpath.py``) and nothing
+``contracts.py``, ``concurrency.py``, ``hotpath.py``,
+``faultflow.py``) and nothing
 guaranteed the set stayed coherent: codes could collide, drift from
 ``docs/verification.md``, or ship without a test ever exercising them.
 Now the analyzers *derive* their rule tables from this one place via
@@ -122,6 +123,31 @@ REGISTRY: Dict[str, RuleSpec] = {
         "chained NumPy expression builds avoidable temporaries inside a "
         "loop (reuse a scratch buffer via out=)",
         "repro.verify.hotpath", "line", "repro.verify.allocs",
+    ),
+    "REPRO020": RuleSpec(
+        "resource acquired outside 'with'/try-finally (a raise between "
+        "acquire and release leaks it)",
+        "repro.verify.faultflow", "line", "repro.verify.faults",
+    ),
+    "REPRO021": RuleSpec(
+        "broad/bare except swallows PartitioningError/VerificationError "
+        "(catch the typed exceptions)",
+        "repro.verify.faultflow", "line", "",
+    ),
+    "REPRO022": RuleSpec(
+        "exit site bypasses the registered EXIT_CODES table "
+        "(use the EXIT_* constants)",
+        "repro.verify.faultflow", "line", "",
+    ),
+    "REPRO023": RuleSpec(
+        "nondeterministic source on a @complexity path (unseeded random, "
+        "wall clock, os.environ, unordered iteration)",
+        "repro.verify.faultflow", "line", "repro.verify.faults",
+    ),
+    "REPRO024": RuleSpec(
+        "except handler silently drops the error (re-raise, publish to "
+        "the hub, or count it)",
+        "repro.verify.faultflow", "line", "",
     ),
 }
 

@@ -42,9 +42,12 @@ REPRO009 (empirical complexity gate, :mod:`repro.verify.empirical`),
 REPRO010/REPRO011 (missing/contradicted ``@complexity`` contracts,
 :mod:`repro.verify.contracts`), REPRO013-REPRO015 (shared-state
 lock discipline, async blocking calls and fork-unsafe capture,
-:mod:`repro.verify.concurrency`) and REPRO016-REPRO019 (hot-path
-allocation and dispatch hygiene, :mod:`repro.verify.hotpath`).  The
-full code registry lives in :mod:`repro.verify.codes`.
+:mod:`repro.verify.concurrency`), REPRO016-REPRO019 (hot-path
+allocation and dispatch hygiene, :mod:`repro.verify.hotpath`) and
+REPRO020-REPRO024 (fault-surface analysis: resource lifecycle,
+exception flow, exit-code contract and determinism taint,
+:mod:`repro.verify.faultflow`).  The full code registry lives in
+:mod:`repro.verify.codes`.
 
 Any finding can be suppressed on its line (for classes and functions,
 the ``class``/``def`` line) with a pragma comment; several codes may be
@@ -80,7 +83,8 @@ RULES: Dict[str, str] = messages_for("repro.verify.lint")
 #: Files/packages where REPRO001 does not apply (user-facing output is
 #: their job).  ``lint.py`` is this command-line tool itself.
 _PRINT_EXEMPT_FILES = frozenset(
-    ("cli.py", "__main__.py", "lint.py", "concurrency.py", "hotpath.py")
+    ("cli.py", "__main__.py", "lint.py", "concurrency.py", "hotpath.py",
+     "faultflow.py")
 )
 _PRINT_EXEMPT_PACKAGES = frozenset(("analysis",))
 

@@ -165,6 +165,11 @@ TARGETS: Dict[str, MutationTarget] = {
             ("tests/verify/test_hotpath.py",),
             ("hotpath",),
         ),
+        MutationTarget(
+            "repro.verify.faultflow",
+            ("tests/verify/test_faultflow.py",),
+            ("faultflow",),
+        ),
     )
 }
 
@@ -865,6 +870,263 @@ def _suite_concurrency() -> Any:
     return rows
 
 
+#: Fault-surface fixtures: seeded violations for every REPRO020-024
+#: rule plus safe twins, so a mutated check diffs immediately.  The
+#: exit-code fixture is *named* ``cli.py`` on purpose — REPRO022 only
+#: applies to the CLI entry files.
+_FAULTFLOW_FIXTURES: Tuple[Tuple[str, str], ...] = (
+    (
+        "leaky_resources.py",
+        '''\
+import threading
+
+
+def load(path):
+    fh = open(path)
+    data = fh.read()
+    fh.close()
+    return data
+
+
+def fan_out(jobs, process):
+    return process(open(jobs))
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self, amount):
+        self._lock.acquire()
+        self.value += compute(amount)
+        self._lock.release()
+
+    def safe_bump(self, amount):
+        self._lock.acquire()
+        try:
+            self.value += compute(amount)
+        finally:
+            self._lock.release()
+
+
+def stream(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+def opener(path):
+    return open(path)
+''',
+    ),
+    (
+        "broad_except.py",
+        '''\
+def run(job, log):
+    try:
+        return job()
+    except:
+        log.warning("bare")
+
+
+def guard(job, log):
+    try:
+        return job()
+    except Exception:
+        log.warning("broad")
+
+
+def multi(job, log):
+    try:
+        return job()
+    except (ValueError, BaseException):
+        log.warning("tuple")
+
+
+def reraise(job, log):
+    try:
+        return job()
+    except Exception:
+        log.warning("noted")
+        raise
+
+
+def typed(job, log):
+    try:
+        return job()
+    except ValueError:
+        log.warning("typed")
+''',
+    ),
+    (
+        "cli.py",
+        '''\
+import sys
+
+from repro.exitcodes import EXIT_CODES, EXIT_FAILURE, EXIT_OK
+
+
+def _cmd_run(args):
+    if args.bad:
+        raise SystemExit(2)
+    return 0 if args.ok else 1
+
+
+def _cmd_safe(args):
+    if args.bad:
+        raise SystemExit(EXIT_CODES["USAGE"])
+    return EXIT_OK if args.ok else EXIT_FAILURE
+
+
+def main(argv=None):
+    if argv is None:
+        sys.exit(1)
+    return EXIT_OK
+
+
+sys.exit(main())
+''',
+    ),
+    (
+        "tainted.py",
+        '''\
+import os
+import random
+import time
+from datetime import datetime
+
+from repro.verify.contracts import complexity
+
+
+def jitter():
+    return random.random()
+
+
+@complexity("n")
+def solve(chain, emit):
+    started = time.time()
+    mode = os.environ.get("MODE", "fast")
+    stamp = datetime.now()
+    for key in {1, 2, 3}:
+        emit(key)
+    return jitter(), started, mode, stamp
+
+
+@complexity("n")
+def seeded(chain, seed, tz, emit):
+    rng = random.Random(seed)
+    for key in sorted({1, 2}):
+        emit(key)
+    return rng.random(), datetime.now(tz)
+
+
+def free(chain):
+    return random.random()
+''',
+    ),
+    (
+        "silent_drop.py",
+        '''\
+def run(job):
+    try:
+        return job()
+    except ValueError:
+        pass
+
+
+def note(job):
+    try:
+        return job()
+    except ValueError:
+        result = None
+
+
+def report(job, log):
+    try:
+        return job()
+    except ValueError:
+        log.warning("failed")
+        return None
+
+
+try:
+    import numpy
+except ImportError:
+    numpy = None
+''',
+    ),
+    (
+        "pragma_scoped.py",
+        '''\
+def load(path):
+    fh = open(path)  # repro-lint: disable=REPRO020 handed to a finalizer
+    data = fh.read()
+    fh.close()
+    return data
+
+
+def swallow(job):
+    try:
+        return job()
+    except Exception:  # repro-lint: disable=REPRO021 isolation boundary
+        pass
+''',
+    ),
+    (
+        "clean.py",
+        '''\
+def load(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+def run(job, log):
+    try:
+        return job()
+    except ValueError:
+        log.warning("failed")
+        return None
+''',
+    ),
+)
+
+
+def _suite_faultflow() -> Any:
+    from repro.verify import faultflow as ff
+
+    # Rule/constant tables ARE behavior (same trick as the hotpath and
+    # concurrency suites): a mutant that drops a resource constructor,
+    # a reporting verb or an exit-file name diffs even without a
+    # fixture naming it.
+    rows: List[Dict[str, Any]] = [
+        {"rules": dict(sorted(ff.FAULTFLOW_RULES.items()))},
+        {
+            "tables": {
+                "scoped_packages": sorted(ff._SCOPED_PACKAGES),
+                "exit_files": sorted(ff._EXIT_FILES),
+                "exit_func_prefixes": sorted(ff._EXIT_FUNC_PREFIXES),
+                "resource_constructors": sorted(ff._RESOURCE_CONSTRUCTORS),
+                "acquire_methods": sorted(ff._ACQUIRE_METHODS),
+                "release_methods": sorted(ff._RELEASE_METHODS),
+                "broad_exceptions": sorted(ff._BROAD_EXCEPTIONS),
+                "import_fallbacks": sorted(ff._IMPORT_FALLBACK_EXCEPTIONS),
+                "reporting_calls": sorted(ff._REPORTING_CALLS),
+                "seeded_random": sorted(ff._SEEDED_RANDOM_EXEMPT),
+                "seeded_np_random": sorted(ff._SEEDED_NP_RANDOM_EXEMPT),
+                "numpy_aliases": sorted(ff._NUMPY_ALIASES),
+                "wallclock_time": sorted(ff._WALLCLOCK_TIME_CALLS),
+                "wallclock_datetime": sorted(ff._WALLCLOCK_DATETIME_CALLS),
+            }
+        },
+    ]
+    for name, source in _FAULTFLOW_FIXTURES:
+        findings = ff.faultflow_check_source(source, Path(name))
+        rows.append(
+            {"fixture": name, "findings": [f.render() for f in findings]}
+        )
+    return rows
+
+
 _SUITES: Dict[str, Callable[[], Any]] = {
     "chain": _suite_chain,
     "prime": _suite_prime,
@@ -874,6 +1136,7 @@ _SUITES: Dict[str, Callable[[], Any]] = {
     "nicol": _suite_nicol,
     "concurrency": _suite_concurrency,
     "hotpath": _suite_hotpath,
+    "faultflow": _suite_faultflow,
 }
 
 
@@ -1034,6 +1297,37 @@ def _certify_hotpath() -> None:
             )
 
 
+def _certify_faultflow() -> None:
+    """The analyzer must report exactly the seeded violations.
+
+    Mirrors ``_certify_concurrency``: expectations are hard-coded, not
+    derived from the pristine module, so a mutant that survives into
+    the golden snapshot still fails this stage.
+    """
+    from collections import Counter
+
+    from repro.verify.faultflow import faultflow_check_source
+
+    expected: Dict[str, Dict[str, int]] = {
+        "leaky_resources.py": {"REPRO020": 3},
+        "broad_except.py": {"REPRO021": 3},
+        "cli.py": {"REPRO022": 4},
+        "tainted.py": {"REPRO023": 5},
+        "silent_drop.py": {"REPRO024": 2},
+        "pragma_scoped.py": {"REPRO024": 1},
+        "clean.py": {},
+    }
+    for name, source in _FAULTFLOW_FIXTURES:
+        findings = faultflow_check_source(source, Path(name))
+        got = dict(Counter(f.code for f in findings))
+        if got != expected[name]:
+            raise AssertionError(
+                f"faultflow analyzer on fixture {name!r}: expected "
+                f"{expected[name]!r}, got {got!r} "
+                f"({[f.render() for f in findings]})"
+            )
+
+
 _CERTIFIERS: Dict[str, Callable[[], None]] = {
     "chain": _certify_chain,
     "prime": _certify_prime,
@@ -1043,6 +1337,7 @@ _CERTIFIERS: Dict[str, Callable[[], None]] = {
     "nicol": _certify_nicol,
     "concurrency": _certify_concurrency,
     "hotpath": _certify_hotpath,
+    "faultflow": _certify_faultflow,
 }
 
 

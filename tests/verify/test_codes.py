@@ -25,12 +25,14 @@ ANALYZERS = {
     "repro.verify.contracts",
     "repro.verify.concurrency",
     "repro.verify.hotpath",
+    "repro.verify.faultflow",
 }
 CERTIFIERS = {
     "",
     "repro.verify.empirical",
     "repro.verify.races",
     "repro.verify.allocs",
+    "repro.verify.faults",
 }
 
 
@@ -66,6 +68,7 @@ def test_analyzer_tables_derive_from_registry():
     from repro.verify.concurrency import CONCURRENCY_RULES
     from repro.verify.contracts import CONTRACT_RULES
     from repro.verify.empirical import EMPIRICAL_RULES
+    from repro.verify.faultflow import FAULTFLOW_RULES
     from repro.verify.flow import FLOW_RULES
     from repro.verify.hotpath import HOTPATH_RULES
     from repro.verify.lint import RULES
@@ -76,6 +79,7 @@ def test_analyzer_tables_derive_from_registry():
     assert CONTRACT_RULES == messages_for("repro.verify.contracts")
     assert CONCURRENCY_RULES == messages_for("repro.verify.concurrency")
     assert HOTPATH_RULES == messages_for("repro.verify.hotpath")
+    assert FAULTFLOW_RULES == messages_for("repro.verify.faultflow")
 
 
 def test_loop_scope_matches_the_loop_scoped_rule_set():
